@@ -1,0 +1,76 @@
+"""E15 — Prop 7.1: exact separability reduces to fixed-ε approximate.
+
+The padding reduction plants M indistinguishable-pair entities so the error
+budget ``⌊ε·n⌋`` is exactly consumed by the padding.  The bench validates
+the equivalence on YES and NO instances across ε values and reports the
+padding sizes (polynomial, as the reduction requires).
+"""
+
+from __future__ import annotations
+
+from repro.data import Database, TrainingDatabase
+from repro.core.ghw_approx import ghw_approx_separable
+from repro.core.ghw_sep import ghw_separable
+from repro.core.reductions import pad_for_approximation
+
+from harness import report, timed
+
+
+def _yes_instance() -> TrainingDatabase:
+    database = Database.from_tuples(
+        {
+            "E": [("a", "b"), ("b", "c"), ("d", "e")],
+            "eta": [("a",), ("b",), ("d",)],
+        }
+    )
+    return TrainingDatabase.from_examples(database, ["a"], ["b", "d"])
+
+
+def _no_instance() -> TrainingDatabase:
+    database = Database.from_tuples(
+        {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+    )
+    return TrainingDatabase.from_examples(database, ["a"], ["b"])
+
+
+def test_padding_reduction(benchmark):
+    rows = []
+    for name, training in (("YES", _yes_instance()), ("NO", _no_instance())):
+        exact = ghw_separable(training, 1)
+        for epsilon in (0.1, 0.25, 0.4):
+            instance = pad_for_approximation(training, epsilon)
+            seconds, approx = timed(
+                lambda i=instance, e=epsilon: ghw_approx_separable(
+                    i.training, 1, e
+                )
+            )
+            assert approx == exact  # the reduction's equivalence
+            rows.append(
+                (
+                    name,
+                    epsilon,
+                    len(training.entities),
+                    len(instance.training.entities),
+                    instance.forced_errors,
+                    f"{seconds * 1e3:.1f} ms",
+                    approx,
+                )
+            )
+    report(
+        "E15_apx_reduction",
+        (
+            "instance",
+            "eps",
+            "n before",
+            "n after",
+            "planted M",
+            "ApxSep time",
+            "answer",
+        ),
+        rows,
+    )
+
+    instance = pad_for_approximation(_yes_instance(), 0.4)
+    benchmark(
+        lambda: ghw_approx_separable(instance.training, 1, 0.4)
+    )

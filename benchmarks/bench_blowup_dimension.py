@@ -1,0 +1,67 @@
+"""E14 — Theorem 6.7: fixed dimension forces exponentially large features.
+
+With the statistic capped at ONE feature on the prime-cycle family, the
+only realizable separating queries are lcm-length paths: the bench pins the
+measured minimal feature size to ``lcm(primes) − 1`` and contrasts it with
+the unbounded-dimension alternative, where per-class features stay small
+(linear in each prime) at the cost of dimension = #classes.
+"""
+
+from __future__ import annotations
+
+from math import lcm
+
+from repro.workloads import (
+    minimal_path_feature_length,
+    prime_cycle_family,
+)
+from repro.core.ghw_classify import GhwClassifier
+
+from harness import report, timed
+
+PRIME_SETS = ((2, 3), (2, 3, 5), (2, 3, 5, 7))
+
+
+def test_fixed_dimension_blowup(benchmark):
+    rows = []
+    for primes in PRIME_SETS:
+        training = prime_cycle_family(
+            list(primes), positive_indices=range(len(primes))
+        )
+        seconds, length = timed(
+            lambda t=training: minimal_path_feature_length(t)
+        )
+        assert length == lcm(*primes) - 1
+        device = GhwClassifier(training, 1)
+        rows.append(
+            (
+                str(primes),
+                len(training.database),
+                1,
+                length,
+                device.dimension,
+                max(primes),
+            )
+        )
+    report(
+        "E14_blowup_dimension",
+        (
+            "primes",
+            "|D|",
+            "dim (fixed)",
+            "1-feature atoms",
+            "free dim",
+            "per-class atoms <=",
+        ),
+        rows,
+    )
+    # The crossover the theorem describes: single-feature size explodes
+    # (lcm scale) while the unbounded-dimension route stays linear.
+    assert rows[-1][3] > rows[-1][1]  # feature bigger than the database
+    assert rows[-1][5] < rows[-1][1]  # per-class cost below database size
+
+    benchmark(
+        lambda: minimal_path_feature_length(
+            prime_cycle_family([2, 3, 5], positive_indices=[0, 1, 2])
+        )
+    )

@@ -1,0 +1,63 @@
+"""E9 — Theorem 5.7: separating GHW(k) features can be exponentially large.
+
+On the prime-cycle family, GHW(1)-SEP answers YES in polynomial time, yet
+the smallest path feature that selects all marked-cycle entities has length
+``lcm(primes) − 1``: the query size grows super-polynomially in |D| while
+the *decision* time stays flat — the paper's separability-vs-generation gap
+(see DESIGN.md §3.5 for the appendix-construction substitution).
+"""
+
+from __future__ import annotations
+
+from math import lcm
+
+from repro.workloads import (
+    minimal_path_feature_length,
+    prime_cycle_family,
+)
+from repro.core.ghw_sep import ghw_separable
+
+from harness import report, timed
+
+PRIME_SETS = ((2, 3), (2, 3, 5), (2, 3, 5, 7))
+
+
+def test_feature_size_blowup(benchmark):
+    rows = []
+    sizes = []
+    lengths = []
+    for primes in PRIME_SETS:
+        training = prime_cycle_family(
+            list(primes), positive_indices=range(len(primes))
+        )
+        size = len(training.database)
+        decision_seconds, decision = timed(
+            lambda t=training: ghw_separable(t, 1)
+        )
+        assert decision
+        length = minimal_path_feature_length(training)
+        assert length == lcm(*primes) - 1
+        sizes.append(size)
+        lengths.append(length)
+        rows.append(
+            (
+                str(primes),
+                size,
+                f"{decision_seconds * 1e3:.1f} ms",
+                length,
+                f"{length / size:.1f}x",
+            )
+        )
+    report(
+        "E9_blowup_ghw",
+        ("primes", "|D|", "SEP time", "min feature atoms", "atoms/|D|"),
+        rows,
+    )
+    # Super-linear growth of feature size relative to database size.
+    assert lengths[-1] / sizes[-1] > lengths[0] / sizes[0]
+
+    benchmark(
+        lambda: minimal_path_feature_length(
+            prime_cycle_family([2, 3, 5], positive_indices=[0, 1, 2])
+        )
+    )

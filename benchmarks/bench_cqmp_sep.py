@@ -1,0 +1,71 @@
+"""E8 — Prop 4.3: CQ[m, p]-SEP is in PTIME.
+
+Bounding variable occurrences caps the feature pool polynomially even when
+atoms and arity grow together; the bench contrasts the CQ[m] and CQ[m, p]
+pool sizes and shows the occurrence-bounded solve time scaling politely.
+"""
+
+from __future__ import annotations
+
+from repro.cq.parser import parse_cq
+from repro.data.schema import EntitySchema
+from repro.workloads import random_training_database
+from repro.core.separability import cqm_separability, feature_pool
+
+from harness import growth_exponent, report, timed
+
+SCHEMA = EntitySchema.from_arities({"E": 2})
+CONCEPT = parse_cq("q(x) :- eta(x), E(x, y)")
+
+
+def test_cqmp_pool_and_scaling(benchmark):
+    training = random_training_database(
+        SCHEMA, CONCEPT, 12, 20, n_entities=6, seed=0
+    )
+    pool_rows = []
+    for m in (1, 2, 3):
+        full = len(feature_pool(training, m, dedupe="isomorphism"))
+        bounded = len(
+            feature_pool(training, m, 1, dedupe="isomorphism")
+        )
+        pool_rows.append((m, full, bounded))
+    report(
+        "E8_cqmp_pools",
+        ("m", "|CQ[m]| (iso)", "|CQ[m,1]| (iso)"),
+        pool_rows,
+    )
+    # The occurrence bound must prune the pool increasingly hard.
+    assert pool_rows[-1][2] < pool_rows[-1][1]
+
+    sizes = (10, 20, 40, 80)
+    times = []
+    time_rows = []
+    for size in sizes:
+        instance = random_training_database(
+            SCHEMA,
+            CONCEPT,
+            size,
+            2 * size,
+            n_entities=size // 2,
+            seed=size,
+        )
+        seconds, result = timed(
+            lambda t=instance: cqm_separability(t, 2, max_occurrences=2)
+        )
+        times.append(seconds)
+        assert result.separable
+        time_rows.append((size, f"{seconds * 1e3:.1f} ms"))
+    exponent = growth_exponent(sizes, times)
+    time_rows.append(("slope", f"{exponent:.2f}"))
+    report("E8_cqmp_scaling", ("elements", "CQ[2,2]-SEP time"), time_rows)
+    assert exponent < 4.0
+
+    benchmark(
+        lambda: cqm_separability(
+            random_training_database(
+                SCHEMA, CONCEPT, 20, 40, n_entities=10, seed=20
+            ),
+            2,
+            max_occurrences=2,
+        )
+    )

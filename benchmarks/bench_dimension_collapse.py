@@ -1,0 +1,124 @@
+"""E19 — Theorem 8.4 / Cor 8.5 / Theorem 8.7: collapse vs unbounded dimension.
+
+Two measurements:
+
+1. The Theorem 8.4 definability condition — closure of
+   ``{q(D), η(D)\\q(D)}`` under intersection — checked on the realizable
+   dichotomy families: it FAILS for CQ on Example 6.2 (no collapse) and
+   HOLDS for the FO-style family of unions of isomorphism classes.
+2. Theorem 8.7's unbounded-dimension property: the minimal separating
+   dimension on the linear chain family grows linearly with the number of
+   label alternations (and matches the alternation lower bound).
+"""
+
+from __future__ import annotations
+
+from repro.fo.dimension_properties import (
+    alternation_lower_bound,
+    closed_under_intersection,
+    intersection_closure_witness,
+    is_linear_family,
+)
+from repro.fo.isomorphism import isomorphism_classes
+from repro.workloads import chain_family, clique_family, example_6_2
+from repro.core.dimension import min_dimension, realizable_dichotomies
+from repro.core.languages import CQ_ALL, BoundedAtomsCQ
+
+from harness import report, timed
+
+
+def _fo_family(training):
+    """Unions of isomorphism classes: the FO-realizable entity sets."""
+    from itertools import combinations
+
+    classes = isomorphism_classes(
+        training.database, sorted(training.entities, key=repr)
+    )
+    family = []
+    for r in range(len(classes) + 1):
+        for chosen in combinations(classes, r):
+            family.append(
+                frozenset(e for cls in chosen for e in cls)
+            )
+    return family
+
+
+def test_collapse_condition(benchmark):
+    training = example_6_2()
+    cq_family = realizable_dichotomies(training, CQ_ALL)
+    fo_family = _fo_family(training)
+    rows = [
+        (
+            "CQ",
+            len(cq_family),
+            closed_under_intersection(cq_family, training.entities),
+            "no collapse (needs dim 2)",
+        ),
+        (
+            "FO",
+            len(fo_family),
+            closed_under_intersection(fo_family, training.entities),
+            "collapse (dim 1 suffices)",
+        ),
+    ]
+    report(
+        "E19_collapse_condition",
+        ("class", "|family|", "closed under ∩", "consequence"),
+        rows,
+    )
+    assert rows[0][2] is False and rows[1][2] is True
+    assert intersection_closure_witness(
+        cq_family, training.entities
+    ) is not None
+
+    # Unbounded dimension on the chain family.
+    dim_rows = []
+    for length in (1, 2, 3, 4):
+        training = chain_family(length)
+        chain = tuple(f"v{i}" for i in range(length + 1))
+        language = BoundedAtomsCQ(length)
+        dichotomies = realizable_dichotomies(training, language)
+        assert is_linear_family(dichotomies)
+        seconds, dimension = timed(
+            lambda t=training, l=language: min_dimension(t, l)
+        )
+        bound = alternation_lower_bound(training, chain)
+        assert dimension is not None and dimension >= bound
+        dim_rows.append(
+            (
+                length,
+                bound,
+                dimension,
+                f"{seconds * 1e3:.1f} ms",
+            )
+        )
+    report(
+        "E19_unbounded_dimension",
+        ("chain length", "alternations", "min dimension", "search time"),
+        dim_rows,
+    )
+    assert dim_rows[-1][2] > dim_rows[0][2]
+
+    # The same phenomenon over Theorem 3.2's minimal schema (one binary
+    # relation): disjoint symmetric cliques give nested threshold sets.
+    clique_rows = []
+    for n in (2, 3, 4):
+        training = clique_family(n)
+        dichotomies = realizable_dichotomies(training, CQ_ALL)
+        assert is_linear_family(dichotomies)
+        seconds, dimension = timed(
+            lambda t=training: min_dimension(t, CQ_ALL)
+        )
+        clique_rows.append(
+            (n, len(dichotomies), dimension, f"{seconds * 1e3:.1f} ms")
+        )
+    report(
+        "E19_clique_family",
+        ("cliques", "thresholds", "min dimension", "time"),
+        clique_rows,
+    )
+    assert clique_rows[-1][2] > clique_rows[0][2]
+
+    benchmark(
+        lambda: min_dimension(chain_family(3), BoundedAtomsCQ(3))
+    )

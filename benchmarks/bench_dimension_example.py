@@ -1,0 +1,44 @@
+"""E13 — Example 6.2 and the (L, ℓ)-separability test (Lemma 6.3).
+
+Reproduces the paper's Example 6.2 across feature classes — dimension 1
+fails, dimension 2 succeeds, for CQ, GHW(1), and CQ[1] alike — and sweeps
+the test's cost over ℓ.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import example_6_2
+from repro.core.dimension import bounded_dimension_separable, min_dimension
+from repro.core.languages import CQ_ALL, BoundedAtomsCQ, GhwClass
+
+from harness import report, timed
+
+
+def test_example_6_2_dimensions(benchmark):
+    training = example_6_2()
+    rows = []
+    for language in (CQ_ALL, GhwClass(1), BoundedAtomsCQ(1)):
+        for ell in (1, 2):
+            seconds, result = timed(
+                lambda l=language, e=ell: bounded_dimension_separable(
+                    training, e, l
+                )
+            )
+            rows.append(
+                (repr(language), ell, bool(result), f"{seconds * 1e3:.1f} ms")
+            )
+    report(
+        "E13_example_6_2",
+        ("class", "ell", "separable", "time"),
+        rows,
+    )
+    # The paper's claim: one feature never suffices, two always do.
+    for language_index in range(3):
+        assert rows[2 * language_index][2] is False
+        assert rows[2 * language_index + 1][2] is True
+
+    assert min_dimension(training, CQ_ALL) == 2
+
+    benchmark(
+        lambda: bounded_dimension_separable(training, 2, CQ_ALL)
+    )

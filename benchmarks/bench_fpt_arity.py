@@ -1,0 +1,61 @@
+"""E7 — Cor 4.2: CQ[m]-SEP is FPT in the schema arity.
+
+Prop 4.1 bounds the running time by ``|D|^c · 2^{q(k)}``: polynomial in the
+data, exponential only in the maximal arity k.  The bench separates the two
+factors — the feature-pool size (the ``2^{q(k)}`` part) as arity grows with
+the data fixed, and the solve time as data grows with arity fixed.
+"""
+
+from __future__ import annotations
+
+from repro.cq.enumeration import enumerate_feature_queries
+from repro.data.schema import EntitySchema
+from repro.workloads import plant_concept_labeling
+from repro.workloads.random_db import random_database
+from repro.cq.parser import parse_cq
+from repro.core.separability import cqm_separability
+
+from harness import report, timed
+
+
+def test_pool_exponential_in_arity(benchmark):
+    rows = []
+    pool_sizes = []
+    for arity in (1, 2, 3):
+        schema = EntitySchema.from_arities({"R": arity})
+        seconds, pool = timed(
+            lambda s=schema: enumerate_feature_queries(
+                s, 2, dedupe="isomorphism"
+            )
+        )
+        pool_sizes.append(len(pool))
+        rows.append((arity, len(pool), f"{seconds * 1e3:.1f} ms"))
+    # Exponential-in-arity shape: super-linear growth of the pool.
+    assert pool_sizes[2] - pool_sizes[1] > pool_sizes[1] - pool_sizes[0]
+    report(
+        "E7_fpt_arity_pool",
+        ("arity", "|CQ[2]| (iso)", "enumeration time"),
+        rows,
+    )
+
+    # Data scaling at fixed arity 2 stays polynomial (the |D|^c part).
+    schema = EntitySchema.from_arities({"R": 2})
+    concept = parse_cq("q(x) :- eta(x), R(x, y)")
+    data_rows = []
+    for size in (10, 20, 40):
+        database = random_database(
+            schema, size, 2 * size, n_entities=size // 2, seed=size
+        )
+        training = plant_concept_labeling(database, concept)
+        seconds, result = timed(
+            lambda t=training: cqm_separability(t, 2)
+        )
+        assert result.separable
+        data_rows.append((size, f"{seconds * 1e3:.1f} ms"))
+    report("E7_fpt_arity_data", ("elements", "solve time"), data_rows)
+
+    benchmark(
+        lambda: enumerate_feature_queries(
+            EntitySchema.from_arities({"R": 2}), 2, dedupe="isomorphism"
+        )
+    )

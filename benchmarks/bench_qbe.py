@@ -1,0 +1,83 @@
+"""E12 — Theorem 6.1: QBE cost profiles for CQ, GHW(k), and CQ[m].
+
+The CQ-QBE product grows as ``|D|^{|S+|}``; GHW(k)-QBE pays the same
+product but answers with the polynomial ``→_k`` game; CQ[m]-QBE enumerates
+a schema-bounded pool.  The bench grows |S+| one example at a time and
+reports product sizes and solve times for all three solvers on the same
+instances (answers must agree where the classes allow).
+"""
+
+from __future__ import annotations
+
+from repro.data import Database
+from repro.core.qbe import (
+    cq_qbe,
+    cqm_qbe,
+    ghw_qbe,
+    positive_example_product,
+)
+
+from harness import report, timed
+
+
+def _database() -> Database:
+    return Database.from_tuples(
+        {"E": [(0, 1), (1, 2), (2, 3), (3, 4), (8, 9)]}
+    )
+
+
+def test_qbe_cost_profiles(benchmark):
+    database = _database()
+    rows = []
+    previous_size = None
+    for n_positives in (1, 2, 3):
+        positives = list(range(n_positives))  # all start 2-paths
+        negatives = [8]
+        product, _ = positive_example_product(database, positives)
+        growth = (
+            len(product) / previous_size if previous_size else float("nan")
+        )
+        previous_size = len(product)
+
+        cq_seconds, cq_answer = timed(
+            lambda p=positives: cq_qbe(database, p, negatives)
+        )
+        ghw_seconds, ghw_answer = timed(
+            lambda p=positives: ghw_qbe(database, p, negatives, 1)
+        )
+        cqm_seconds, cqm_answer = timed(
+            lambda p=positives: cqm_qbe(database, p, negatives, 2)
+        )
+        # A GHW(1) explanation is a CQ explanation; a CQ[2] one is both.
+        if ghw_answer:
+            assert cq_answer
+        if cqm_answer is not None:
+            assert cq_answer
+        rows.append(
+            (
+                n_positives,
+                len(product),
+                f"x{growth:.0f}" if growth == growth else "-",
+                f"{cq_seconds * 1e3:.1f} ms",
+                f"{ghw_seconds * 1e3:.1f} ms",
+                f"{cqm_seconds * 1e3:.1f} ms",
+                cq_answer,
+            )
+        )
+    report(
+        "E12_qbe",
+        (
+            "|S+|",
+            "product facts",
+            "growth",
+            "CQ time",
+            "GHW(1) time",
+            "CQ[2] time",
+            "explainable",
+        ),
+        rows,
+    )
+    # The product is the exponential object: 5 -> 25 -> 125 facts.
+    assert rows[1][1] == rows[0][1] ** 2
+
+    benchmark(lambda: cq_qbe(database, [0, 1], [8]))

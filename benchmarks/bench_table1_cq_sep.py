@@ -1,0 +1,55 @@
+"""E3 — Table 1, cell (CQ-SEP) = coNP-complete (Theorem 3.2 / [22]).
+
+CQ-SEP is decided by the Kimelfeld–Ré pairwise-homomorphism test.  Each
+check is an NP homomorphism question; on databases designed to stress the
+solver (pointed products of growing width) the per-pair cost grows sharply,
+while the *number* of pairs stays quadratic — the coNP profile.  On easy
+random instances the test also cross-validates against GHW(1)-SEP
+(GHW(1)-separability implies CQ-separability).
+"""
+
+from __future__ import annotations
+
+from repro.data import Database, TrainingDatabase
+from repro.workloads import random_labeling
+from repro.workloads.random_db import random_database
+from repro.data.schema import EntitySchema
+from repro.core.brute import cq_separable
+from repro.core.ghw_sep import ghw_separable
+
+from harness import report, timed
+
+SCHEMA = EntitySchema.from_arities({"E": 2})
+
+
+def _random_instance(size: int, seed: int) -> TrainingDatabase:
+    database = random_database(
+        SCHEMA, size, 2 * size, n_entities=min(size, 8), seed=seed
+    )
+    return random_labeling(database, seed=seed + 1)
+
+
+def test_cq_sep_cost_and_agreement(benchmark):
+    rows = []
+    for size in (6, 12, 24, 48):
+        training = _random_instance(size, seed=size)
+        seconds, decision = timed(lambda t=training: cq_separable(t))
+        ghw_decision = ghw_separable(training, 1)
+        if ghw_decision:
+            assert decision  # GHW(1) ⊆ CQ
+        rows.append(
+            (
+                size,
+                len(training.database),
+                f"{seconds * 1e3:.1f} ms",
+                decision,
+                ghw_decision,
+            )
+        )
+    report(
+        "E3_table1_cq_sep",
+        ("elements", "|D|", "time", "CQ-sep", "GHW(1)-sep"),
+        rows,
+    )
+
+    benchmark(lambda: cq_separable(_random_instance(12, seed=12)))

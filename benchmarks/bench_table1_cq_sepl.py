@@ -1,0 +1,62 @@
+"""E4 — Table 1, cell (CQ-SEP[ℓ]) = coNEXPTIME-complete (Theorem 6.6).
+
+The (CQ, ℓ)-separability test enumerates entity dichotomies and answers
+each with a CQ-QBE oracle whose product grows as ``|D|^{|S+|}`` — doubly
+exponential overall.  The bench measures the total cost as the entity count
+grows by one at a time: the blow-up per added entity is the
+coNEXPTIME-completeness made visible (compare E2's flat GHW curve).
+"""
+
+from __future__ import annotations
+
+from repro.data import Database, TrainingDatabase
+from repro.core.dimension import bounded_dimension_separable
+from repro.core.languages import CQ_ALL
+
+from harness import report, timed
+
+
+def _instance(n_entities: int) -> TrainingDatabase:
+    """A path with the first ``n_entities`` nodes as alternating entities."""
+    edges = [(i, i + 1) for i in range(n_entities + 1)]
+    database = Database.from_tuples(
+        {
+            "E": edges,
+            "eta": [(i,) for i in range(n_entities)],
+        }
+    )
+    positives = [i for i in range(n_entities) if i % 2 == 0]
+    negatives = [i for i in range(n_entities) if i % 2 == 1]
+    return TrainingDatabase.from_examples(database, positives, negatives)
+
+
+def test_cq_sep_ell_exponential_cost(benchmark):
+    rows = []
+    previous = None
+    for n in (3, 4, 5, 6):
+        training = _instance(n)
+        seconds, result = timed(
+            lambda t=training: bounded_dimension_separable(t, 2, CQ_ALL)
+        )
+        ratio = seconds / previous if previous else float("nan")
+        previous = seconds
+        rows.append(
+            (
+                n,
+                f"{seconds * 1e3:.1f} ms",
+                f"x{ratio:.1f}" if ratio == ratio else "-",
+                bool(result),
+            )
+        )
+        # Dimension 2 stops sufficing once the alternating path has more
+        # than 5 entities — the Section 6/8 unbounded-dimension effect
+        # showing up inside the Table 1 cell.
+    report(
+        "E4_table1_cq_sepl",
+        ("entities", "time", "growth", "SEP[2]"),
+        rows,
+    )
+
+    benchmark(
+        lambda: bounded_dimension_separable(_instance(4), 2, CQ_ALL)
+    )

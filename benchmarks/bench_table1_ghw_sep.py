@@ -1,0 +1,61 @@
+"""E2 — Table 1, cell (GHW(k)-SEP) = PTIME (Theorem 5.3).
+
+GHW(1)- and GHW(2)-SEP wall-clock on growing databases; the paper claims
+polynomial time for every fixed k with *no* fixed-schema assumption, so the
+log-log slope must stay bounded while k only scales the constant.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import prime_cycle_family
+from repro.core.ghw_sep import ghw_separable
+
+from harness import growth_exponent, report, timed
+
+PRIME_SETS = ((2, 3), (2, 3, 5), (2, 3, 5, 7), (2, 3, 5, 7, 11))
+
+
+def _instance(primes):
+    return prime_cycle_family(list(primes))
+
+
+def test_ghw_sep_polynomial_scaling(benchmark):
+    rows = []
+    sizes = []
+    times_k1 = []
+    for primes in PRIME_SETS:
+        training = _instance(primes)
+        size = len(training.database)
+        sizes.append(size)
+        seconds1, decision1 = timed(lambda t=training: ghw_separable(t, 1))
+        times_k1.append(seconds1)
+        assert decision1 is True
+        rows.append(
+            (
+                str(primes),
+                size,
+                len(training.entities),
+                f"{seconds1 * 1e3:.1f} ms",
+                decision1,
+            )
+        )
+    exponent = growth_exponent(sizes, times_k1)
+    rows.append(("log-log slope (k=1)", "", "", f"{exponent:.2f}", "PTIME"))
+
+    # k = 2 on the smallest two instances: same answer, larger constant.
+    for primes in PRIME_SETS[:2]:
+        training = _instance(primes)
+        seconds2, decision2 = timed(lambda t=training: ghw_separable(t, 2))
+        assert decision2 is True
+        rows.append(
+            (f"{primes} (k=2)", len(training.database), "", f"{seconds2 * 1e3:.1f} ms", decision2)
+        )
+
+    report(
+        "E2_table1_ghw_sep",
+        ("cycles", "|D|", "entities", "time", "separable"),
+        rows,
+    )
+    assert exponent < 5.0
+
+    benchmark(lambda: ghw_separable(_instance(PRIME_SETS[1]), 1))

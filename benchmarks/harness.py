@@ -1,0 +1,75 @@
+"""Shared reporting utilities for the benchmark suite.
+
+Every benchmark regenerates one artifact of the paper (a Table 1 cell or a
+theorem's size/complexity shape).  Timings come from pytest-benchmark; the
+*paper-style rows* — who wins, what grows, where the crossover is — are
+printed by :func:`report` and collected into ``benchmarks/results/`` so that
+EXPERIMENTS.md can reference stable output files.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the rows
+inline).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Callable, List, Sequence, Tuple
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = ["report", "timed", "growth_exponent", "RESULTS_DIR"]
+
+
+def report(name: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print a paper-style table and persist it under benchmarks/results/."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    table = "\n".join(lines)
+    print(f"\n[{name}]\n{table}")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+
+def timed(function: Callable[[], object]) -> Tuple[float, object]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = function()
+    return time.perf_counter() - start, result
+
+
+def growth_exponent(
+    sizes: Sequence[float], times: Sequence[float]
+) -> float:
+    """Least-squares slope of log(time) against log(size).
+
+    A polynomial algorithm of degree d shows slope ≈ d; an exponential one
+    shows a slope that keeps increasing with the size range.  Zero-ish
+    times are clamped to a microsecond to keep the logs finite.
+    """
+    xs = [math.log(max(size, 1e-9)) for size in sizes]
+    ys = [math.log(max(t, 1e-6)) for t in times]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    numerator = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    )
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

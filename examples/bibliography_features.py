@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Relational feature engineering over a bibliographic database.
+
+The paper's motivating scenario [1, 24, 27]: entities are papers in a
+multi-relational database (authors, citations, awards) and the feature
+engineer wants join queries that linearly separate an unknown target
+concept.  Here the hidden concept is "has an award-winning author"; the
+pipeline discovers a separating statistic from CQ[2] alone, inspects the
+features the classifier actually uses, and measures generalization on a
+fresh sample from the same generator.
+
+Run:  python examples/bibliography_features.py
+"""
+
+from __future__ import annotations
+
+from repro.core import cqm_separability
+from repro.workloads import bibliography_database, bibliography_schema_concept
+
+
+def main() -> None:
+    training = bibliography_database(
+        n_papers=12, n_authors=6, n_awards=2, seed=7
+    )
+    print("Hidden concept:", bibliography_schema_concept())
+    print(f"Training: {len(training.entities)} papers, "
+          f"{len(training.positives)} positive")
+
+    # ------------------------------------------------------------------
+    # Try increasingly expressive feature classes (regularization knob m).
+    # ------------------------------------------------------------------
+    for m in (1, 2):
+        result = cqm_separability(training, m)
+        print(f"\nCQ[{m}]: pool of {result.statistic.dimension} features "
+              f"-> separable: {result.separable}")
+        if not result.separable:
+            continue
+        pair = result.separating_pair
+        used = [
+            (weight, query)
+            for query, weight in zip(
+                pair.statistic, pair.classifier.weights
+            )
+            if weight != 0
+        ]
+        print(f"  classifier touches {len(used)} features, e.g.:")
+        for weight, query in sorted(
+            used, key=lambda pair: -abs(pair[0])
+        )[:4]:
+            print(f"    {weight:+g}  {query}")
+
+    # ------------------------------------------------------------------
+    # Generalization: classify papers from a fresh database drawn from the
+    # same generator, and compare with the hidden concept's ground truth.
+    # ------------------------------------------------------------------
+    result = cqm_separability(training, 2)
+    pair = result.separating_pair
+    fresh = bibliography_database(
+        n_papers=14, n_authors=6, n_awards=2, seed=8
+    )
+    predicted = pair.classify(fresh.database)
+    correct = sum(
+        1
+        for paper in fresh.entities
+        if predicted[paper] == fresh.label(paper)
+    )
+    print(f"\nGeneralization to a fresh database: "
+          f"{correct}/{len(fresh.entities)} papers correct")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Classification without materializing the statistic (Theorem 5.8).
+
+The paper's most striking result: for GHW(k) features, deciding separability
+is polynomial (Theorem 5.3), materializing a separating statistic may
+require exponentially large queries (Theorem 5.7) — and yet new entities can
+be classified in polynomial time without ever writing those queries down
+(Algorithm 1).
+
+This script makes the gap visible on the prime-cycle family: the implicit
+classifier answers instantly while the smallest materializable path feature
+grows at lcm scale.
+
+Run:  python examples/classify_without_features.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import GhwClassifier, ghw_separable
+from repro.workloads import (
+    minimal_path_feature_length,
+    prime_cycle_family,
+)
+
+
+def main() -> None:
+    for primes in ([2, 3], [2, 3, 5], [2, 3, 5, 7]):
+        training = prime_cycle_family(
+            primes, positive_indices=range(len(primes))
+        )
+        size = len(training.database)
+
+        start = time.perf_counter()
+        separable = ghw_separable(training, 1)
+        sep_time = time.perf_counter() - start
+        assert separable
+
+        start = time.perf_counter()
+        device = GhwClassifier(training, 1)
+        labeling = device.classify(training.database)
+        cls_time = time.perf_counter() - start
+        consistent = all(
+            labeling[e] == training.label(e) for e in training.entities
+        )
+
+        feature_length = minimal_path_feature_length(training)
+
+        print(f"primes {primes}: |D| = {size}")
+        print(f"  GHW(1)-SEP decided in {sep_time * 1e3:7.1f} ms")
+        print(f"  Algorithm 1 classified in {cls_time * 1e3:7.1f} ms "
+              f"(consistent: {consistent})")
+        print(f"  ... but the smallest path feature selecting all "
+              f"entities needs {feature_length} atoms "
+              f"(lcm{tuple(primes)} - 1)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,255 @@
+"""Command-line interface: separability checks and classification from files.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro separability train.json --language ghw --k 1
+    python -m repro separability train.json --language cqm --m 2 --epsilon 0.1
+    python -m repro classify train.json eval.facts --language ghw --k 1
+    python -m repro features train.json --language cqm --m 2
+    python -m repro qbe db.facts --positives a,b --negatives c --language cq
+
+Training databases are the JSON documents of
+:func:`repro.data.io.training_database_to_json`; evaluation databases and
+plain QBE databases use the line-oriented fact syntax of
+:func:`repro.data.io.database_from_text`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.data.io import (
+    database_from_text,
+    labeling_to_text,
+    training_database_from_json,
+)
+from repro.exceptions import ReproError
+from repro.core.languages import CQ_ALL, BoundedAtomsCQ, GhwClass, QueryClass
+from repro.core.pipeline import FeatureEngineeringSession
+from repro.core.qbe import cq_qbe, cqm_qbe, ghw_qbe
+
+__all__ = ["main", "build_parser"]
+
+
+def _language_from_args(args: argparse.Namespace) -> QueryClass:
+    if args.language == "cq":
+        return CQ_ALL
+    if args.language == "ghw":
+        return GhwClass(args.k)
+    if args.language == "cqm":
+        return BoundedAtomsCQ(args.m, args.p)
+    raise ReproError(f"unknown language {args.language!r}")
+
+
+def _add_language_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--language",
+        choices=("cq", "ghw", "cqm"),
+        default="ghw",
+        help="feature-query class (default: ghw)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=1, help="ghw bound for --language ghw"
+    )
+    parser.add_argument(
+        "--m", type=int, default=2, help="atom bound for --language cqm"
+    )
+    parser.add_argument(
+        "--p",
+        type=int,
+        default=None,
+        help="per-variable occurrence bound for --language cqm",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        help="allowed misclassification fraction (Section 7)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regularized conjunctive-feature separability and "
+            "classification (PODS 2019 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    separability = commands.add_parser(
+        "separability", help="decide L-SEP / L-ApxSep on a training database"
+    )
+    separability.add_argument("training", help="training database JSON file")
+    _add_language_options(separability)
+
+    classify = commands.add_parser(
+        "classify", help="label an evaluation database (L-CLS)"
+    )
+    classify.add_argument("training", help="training database JSON file")
+    classify.add_argument("evaluation", help="evaluation database fact file")
+    _add_language_options(classify)
+
+    features = commands.add_parser(
+        "features", help="materialize a separating statistic"
+    )
+    features.add_argument("training", help="training database JSON file")
+    _add_language_options(features)
+
+    info = commands.add_parser(
+        "info", help="profile a training database (sizes, labels, arity)"
+    )
+    info.add_argument("training", help="training database JSON file")
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="separability across the regularization ladder "
+        "(CQ[m], GHW(k), CQ, FO)",
+    )
+    profile_cmd.add_argument("training", help="training database JSON file")
+    profile_cmd.add_argument(
+        "--max-atoms",
+        type=int,
+        default=2,
+        help="largest CQ[m] class to include (default 2)",
+    )
+    profile_cmd.add_argument(
+        "--no-fo",
+        action="store_true",
+        help="skip the FO (isomorphism) row",
+    )
+
+    qbe = commands.add_parser(
+        "qbe", help="query-by-example over a plain database"
+    )
+    qbe.add_argument("database", help="database fact file")
+    qbe.add_argument(
+        "--positives", required=True, help="comma-separated S+ elements"
+    )
+    qbe.add_argument(
+        "--negatives", default="", help="comma-separated S- elements"
+    )
+    _add_language_options(qbe)
+
+    return parser
+
+
+def _load_training(path: str):
+    with open(path) as handle:
+        return training_database_from_json(handle.read())
+
+
+def _load_database(path: str):
+    with open(path) as handle:
+        return database_from_text(handle.read())
+
+
+def _parse_elements(raw: str) -> List:
+    from repro.data.io import _element_from_str
+
+    return [
+        _element_from_str(token)
+        for token in raw.split(",")
+        if token.strip()
+    ]
+
+
+def _run_separability(args: argparse.Namespace) -> int:
+    training = _load_training(args.training)
+    session = FeatureEngineeringSession(
+        training, _language_from_args(args), args.epsilon
+    )
+    print(session.report())
+    return 0 if session.separable else 1
+
+
+def _run_classify(args: argparse.Namespace) -> int:
+    training = _load_training(args.training)
+    evaluation = _load_database(args.evaluation)
+    session = FeatureEngineeringSession(
+        training, _language_from_args(args), args.epsilon
+    )
+    labeling = session.classify(evaluation)
+    sys.stdout.write(labeling_to_text(labeling))
+    return 0
+
+
+def _run_features(args: argparse.Namespace) -> int:
+    training = _load_training(args.training)
+    session = FeatureEngineeringSession(
+        training, _language_from_args(args), args.epsilon
+    )
+    pair = session.materialize()
+    print(f"# dimension {pair.statistic.dimension}, "
+          f"threshold {pair.classifier.threshold:g}")
+    for query, weight in zip(pair.statistic, pair.classifier.weights):
+        print(f"{weight:+g}  {query}")
+    return 0
+
+
+def _run_info(args: argparse.Namespace) -> int:
+    from repro.data.stats import profile
+
+    training = _load_training(args.training)
+    print(profile(training.database, training))
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    from repro.core.report import separability_profile
+
+    training = _load_training(args.training)
+    profile = separability_profile(
+        training,
+        max_atoms=tuple(range(1, args.max_atoms + 1)),
+        include_fo=not args.no_fo,
+    )
+    print(profile)
+    best = profile.best_exact()
+    if best is not None:
+        print(f"\nmost regularized exact separator: {best.language}")
+    return 0
+
+
+def _run_qbe(args: argparse.Namespace) -> int:
+    database = _load_database(args.database)
+    positives = _parse_elements(args.positives)
+    negatives = _parse_elements(args.negatives)
+    if args.language == "cq":
+        answer = cq_qbe(database, positives, negatives)
+        witness = None
+    elif args.language == "ghw":
+        answer = ghw_qbe(database, positives, negatives, args.k)
+        witness = None
+    else:
+        witness = cqm_qbe(database, positives, negatives, args.m, args.p)
+        answer = witness is not None
+    print(f"explainable: {answer}")
+    if witness is not None:
+        print(f"explanation: {witness}")
+    return 0 if answer else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "separability": _run_separability,
+        "classify": _run_classify,
+        "features": _run_features,
+        "info": _run_info,
+        "profile": _run_profile,
+        "qbe": _run_qbe,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

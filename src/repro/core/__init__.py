@@ -1,0 +1,131 @@
+"""The paper's algorithms: separability, generation, classification."""
+
+from repro.core.approx import (
+    CqmApproxResult,
+    cqm_approx_classify,
+    cqm_approx_separability,
+)
+from repro.core.cq_generate import (
+    CqClassifier,
+    canonical_feature,
+    cq_classify,
+    generate_cq_statistic,
+)
+from repro.core.dimension import (
+    BoundedDimensionResult,
+    bounded_dimension_separable,
+    materialize_bounded_pair,
+    min_dimension,
+    realizable_dichotomies,
+)
+from repro.core.ghw_approx import (
+    GhwApproximation,
+    ghw_approx_classify,
+    ghw_approx_separable,
+    ghw_best_relabeling,
+)
+from repro.core.ghw_classify import GhwClassifier, ghw_classify
+from repro.core.ghw_generate import generate_ghw_statistic
+from repro.core.ghw_sep import GhwSeparability, ghw_separability, ghw_separable
+from repro.core.languages import (
+    CQ_ALL,
+    AllCQ,
+    BoundedAtomsCQ,
+    GhwClass,
+    QueryClass,
+)
+from repro.core.qbe import (
+    cq_qbe,
+    cq_qbe_explanation,
+    cqm_qbe,
+    ghw_qbe,
+    is_explanation,
+    positive_example_product,
+)
+from repro.core.report import (
+    ProfileRow,
+    SeparabilityProfile,
+    separability_profile,
+)
+from repro.core.reductions import (
+    PaddedInstance,
+    pad_for_approximation,
+    qbe_to_bounded_dimension,
+)
+from repro.core.generalization import (
+    HoldoutResult,
+    holdout_evaluation,
+    split_entities,
+)
+from repro.core.minimize import (
+    exact_minimize,
+    greedy_minimize,
+    prune_zero_weights,
+    sparse_minimize,
+)
+from repro.core.pipeline import (
+    FeatureEngineeringSession,
+    SessionReport,
+)
+from repro.core.separability import (
+    SeparabilityResult,
+    cqm_separability,
+    feature_pool,
+)
+from repro.core.statistic import SeparatingPair, Statistic
+
+__all__ = [
+    "FeatureEngineeringSession",
+    "SessionReport",
+    "ProfileRow",
+    "SeparabilityProfile",
+    "separability_profile",
+    "HoldoutResult",
+    "holdout_evaluation",
+    "split_entities",
+    "prune_zero_weights",
+    "sparse_minimize",
+    "greedy_minimize",
+    "exact_minimize",
+    "Statistic",
+    "SeparatingPair",
+    "SeparabilityResult",
+    "cqm_separability",
+    "feature_pool",
+    "GhwSeparability",
+    "ghw_separability",
+    "ghw_separable",
+    "GhwClassifier",
+    "ghw_classify",
+    "CqClassifier",
+    "cq_classify",
+    "generate_cq_statistic",
+    "canonical_feature",
+    "generate_ghw_statistic",
+    "GhwApproximation",
+    "ghw_best_relabeling",
+    "ghw_approx_separable",
+    "ghw_approx_classify",
+    "CqmApproxResult",
+    "cqm_approx_separability",
+    "cqm_approx_classify",
+    "QueryClass",
+    "AllCQ",
+    "GhwClass",
+    "BoundedAtomsCQ",
+    "CQ_ALL",
+    "cq_qbe",
+    "cq_qbe_explanation",
+    "ghw_qbe",
+    "cqm_qbe",
+    "is_explanation",
+    "positive_example_product",
+    "BoundedDimensionResult",
+    "bounded_dimension_separable",
+    "materialize_bounded_pair",
+    "min_dimension",
+    "realizable_dichotomies",
+    "PaddedInstance",
+    "pad_for_approximation",
+    "qbe_to_bounded_dimension",
+]

@@ -1,0 +1,265 @@
+"""Brute-force reference implementations for differential testing.
+
+Nothing here is meant to be fast: each function re-decides a problem solved
+elsewhere in the library by the most literal method available, so the test
+suite can compare answers on small instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.cq.evaluation import evaluate_unary
+from repro.cq.homomorphism import pointed_has_homomorphism
+from repro.cq.query import CQ
+from repro.data.database import Database, Fact
+from repro.data.labeling import TrainingDatabase
+from repro.exceptions import SeparabilityError
+from repro.hypergraph.ghw import ghw_at_most
+from repro.linsep.lp import is_linearly_separable
+
+__all__ = [
+    "cover_game_holds_reference",
+    "cq_indistinguishable",
+    "cq_separable",
+    "ghw_separable_lower_bound",
+    "min_pool_dimension",
+]
+
+Element = Any
+_Position = Tuple[FrozenSet[Element], Tuple[Tuple[Element, Element], ...]]
+
+
+def cover_game_holds_reference(
+    source: Database,
+    source_tuple: Sequence[Element],
+    target: Database,
+    target_tuple: Sequence[Element],
+    k: int,
+) -> bool:
+    """The k-cover game decided literally from its definition.
+
+    Positions are *all* k-coverable pebble configurations with *all* their
+    partial homomorphisms; the greatest fixpoint removes positions violating
+    the single-pebble forth property or whose one-pebble restrictions died.
+    Exponentially slower than :func:`repro.covergame.game.cover_game_holds`
+    but a direct transcription of Section 5's definition.
+    """
+    anchor: Dict[Element, Element] = {}
+    for element, image in zip(source_tuple, target_tuple):
+        if anchor.get(element, image) != image:
+            return False
+        anchor[element] = image
+    anchor_elements = frozenset(anchor)
+
+    # All k-coverable configurations: subsets of unions of ≤ k facts.
+    fact_sets = sorted(
+        {fact.elements for fact in source.facts},
+        key=lambda s: sorted(map(repr, s)),
+    )
+    coverable: Set[FrozenSet[Element]] = {frozenset()}
+    for size in range(1, min(k, len(fact_sets)) + 1):
+        for combo in combinations(fact_sets, size):
+            union = frozenset().union(*combo)
+            elements = sorted(union, key=repr)
+            for r in range(len(elements) + 1):
+                for subset in combinations(elements, r):
+                    coverable.add(frozenset(subset))
+
+    target_domain = sorted(target.domain, key=repr)
+
+    def is_partial_hom(mapping: Dict[Element, Element]) -> bool:
+        defined = set(mapping) | anchor_elements
+        combined = dict(anchor)
+        combined.update(mapping)
+        for fact in source.facts:
+            if all(element in defined for element in fact.arguments):
+                image = Fact(
+                    fact.relation,
+                    tuple(combined[element] for element in fact.arguments),
+                )
+                if image not in target:
+                    return False
+        return True
+
+    if not is_partial_hom({}):
+        return False
+
+    positions: Set[_Position] = set()
+    for config in coverable:
+        elements = sorted(config, key=repr)
+        free = [e for e in elements if e not in anchor]
+
+        def assignments(index: int, current: Dict[Element, Element]) -> None:
+            if index == len(free):
+                mapping = {
+                    element: (
+                        anchor[element]
+                        if element in anchor
+                        else current[element]
+                    )
+                    for element in elements
+                }
+                if is_partial_hom(mapping):
+                    positions.add(
+                        (config, tuple(sorted(mapping.items(), key=repr)))
+                    )
+                return
+            for value in target_domain:
+                current[free[index]] = value
+                assignments(index + 1, current)
+            current.pop(free[index], None)
+
+        assignments(0, {})
+
+    def survives(position: _Position, alive: Set[_Position]) -> bool:
+        config, items = position
+        mapping = dict(items)
+        # Forth: every coverable one-element extension has an answer.
+        for element in source.domain:
+            if element in config:
+                continue
+            extended = config | {element}
+            if not any(extended <= cover for cover in coverable):
+                continue
+            found = False
+            for value in target_domain:
+                new_mapping = dict(mapping)
+                new_mapping[element] = value
+                candidate = (
+                    extended,
+                    tuple(sorted(new_mapping.items(), key=repr)),
+                )
+                if candidate in alive:
+                    found = True
+                    break
+            if not found:
+                return False
+        # Back: every one-pebble removal must itself be alive.
+        for element in config:
+            reduced = config - {element}
+            reduced_mapping = {
+                key: value for key, value in items if key != element
+            }
+            candidate = (
+                reduced,
+                tuple(sorted(reduced_mapping.items(), key=repr)),
+            )
+            if candidate not in alive:
+                return False
+        return True
+
+    alive = set(positions)
+    changed = True
+    while changed:
+        changed = False
+        for position in list(alive):
+            if not survives(position, alive):
+                alive.discard(position)
+                changed = True
+    return (frozenset(), ()) in alive
+
+
+def cq_indistinguishable(
+    database: Database, left: Element, right: Element
+) -> bool:
+    """Whether no CQ at all separates the two elements.
+
+    ``left`` and ``right`` agree on every CQ iff ``(D, left) → (D, right)``
+    and vice versa (the canonical query of the whole pointed database is
+    itself a CQ).
+    """
+    return pointed_has_homomorphism(
+        database, (left,), database, (right,)
+    ) and pointed_has_homomorphism(database, (right,), database, (left,))
+
+
+def cq_separable(training: TrainingDatabase) -> bool:
+    """CQ-SEP by the Kimelfeld–Ré characterization.
+
+    A training database is CQ-separable iff no two differently-labeled
+    entities are CQ-indistinguishable (CQ is closed under conjunction, so
+    distinguishability implies linear separability by the staircase
+    construction).  Each check is a pair of NP homomorphism tests — this is
+    the coNP procedure behind Theorem 3.2.
+    """
+    entities = sorted(training.entities, key=repr)
+    database = training.database
+    for i, left in enumerate(entities):
+        for right in entities[i + 1:]:
+            if training.label(left) == training.label(right):
+                continue
+            if cq_indistinguishable(database, left, right):
+                return False
+    return True
+
+
+def ghw_separable_lower_bound(
+    training: TrainingDatabase,
+    k: int,
+    max_atoms: int,
+) -> Optional[bool]:
+    """A one-sided GHW(k)-SEP check via small-feature enumeration.
+
+    Enumerates all feature queries with at most ``max_atoms`` atoms, keeps
+    those of ghw ≤ k, and checks exact linear separability of the resulting
+    vectors.  Returns ``True`` when they separate (then the database is
+    certainly GHW(k)-separable) and ``None`` otherwise (larger features
+    might still separate — see Theorem 5.7).
+    """
+    from repro.core.separability import feature_pool
+
+    pool = [
+        query
+        for query in feature_pool(training, max_atoms)
+        if ghw_at_most(query, k)
+    ]
+    entities = sorted(training.entities, key=repr)
+    labels = [training.label(entity) for entity in entities]
+    answers = [
+        evaluate_unary(query, training.database) for query in pool
+    ]
+    vectors = [
+        tuple(1 if entity in answer else -1 for answer in answers)
+        for entity in entities
+    ]
+    if is_linearly_separable(vectors, labels):
+        return True
+    return None
+
+
+def min_pool_dimension(
+    training: TrainingDatabase, pool: Sequence[CQ]
+) -> Optional[int]:
+    """Minimal number of pool features whose vectors separate the labels."""
+    entities = sorted(training.entities, key=repr)
+    labels = [training.label(entity) for entity in entities]
+    if all(label == labels[0] for label in labels):
+        return 0
+    answers = [evaluate_unary(query, training.database) for query in pool]
+    distinct = sorted(
+        {
+            frozenset(answer & set(entities))
+            for answer in answers
+        },
+        key=lambda s: (len(s), sorted(map(repr, s))),
+    )
+    for size in range(1, len(distinct) + 1):
+        for chosen in combinations(distinct, size):
+            vectors = [
+                tuple(1 if entity in d else -1 for d in chosen)
+                for entity in entities
+            ]
+            if is_linearly_separable(vectors, labels):
+                return size
+    return None

@@ -1,0 +1,227 @@
+"""Constructive CQ-separability: the Kimelfeld–Ré staircase for plain CQ.
+
+The unrestricted analogue of Section 5's machinery: over the class of *all*
+CQs, the canonical feature of an entity ``e`` is the whole pointed database
+``(D, e)`` read as a unary query — it selects exactly the entities ``f``
+with ``(D, e) → (D', f)``.  The hom-preorder ``e ≼ e' iff (D, e) → (D, e')``
+plays the role of ``→_k``; its equivalence classes, topological sort, and
+geometric-weight staircase classifier give:
+
+- :func:`generate_cq_statistic` — an explicit separating pair whose features
+  have only ``|D|`` atoms each (unlike GHW(k), plain-CQ generation is
+  *small*; what is hard here is evaluation, an NP homomorphism test); and
+- :class:`CqClassifier` / :func:`cq_classify` — CQ-CLS without
+  materializing anything, one pointed homomorphism test per (class, entity).
+
+Everything mirrors :mod:`repro.core.ghw_classify` with ``→`` in place of
+``→_k``; by Theorem 3.2 the pair test behind it is the coNP procedure for
+CQ-SEP.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cq.homomorphism import pointed_has_homomorphism
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.data.database import Database
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.exceptions import NotSeparableError
+from repro.linsep.classifier import LinearClassifier
+from repro.core.statistic import SeparatingPair, Statistic
+
+__all__ = ["CqClassifier", "cq_classify", "generate_cq_statistic",
+           "canonical_feature"]
+
+Element = Any
+
+
+def canonical_feature(database: Database, entity: Element) -> CQ:
+    """The pointed database ``(D, e)`` as a unary feature query.
+
+    Elements become variables; ``e`` becomes the free variable ``x``.  On
+    any database D', the query selects exactly ``{f : (D, e) → (D', f)}``
+    — the most specific CQ satisfied by ``e`` in D.
+    """
+    if entity not in database.domain:
+        raise NotSeparableError(f"entity {entity!r} not in dom(D)")
+    index = {
+        element: i
+        for i, element in enumerate(sorted(database.domain, key=repr))
+    }
+    free = Variable("x")
+
+    def variable_for(element: Element) -> Variable:
+        if element == entity:
+            return free
+        return Variable(f"c{index[element]}")
+
+    atoms = [
+        Atom(fact.relation, tuple(variable_for(a) for a in fact.arguments))
+        for fact in database.facts
+    ]
+    return CQ.feature(atoms, free, database.entity_symbol)
+
+
+class _HomPreorder:
+    """``e ≼ e' iff (D, e) → (D, e')`` over the entities."""
+
+    def __init__(self, database: Database) -> None:
+        self.elements: Tuple[Element, ...] = tuple(
+            sorted(database.entities(), key=repr)
+        )
+        self._leq: Dict[Tuple[Element, Element], bool] = {}
+        for left in self.elements:
+            for right in self.elements:
+                self._leq[(left, right)] = left == right or (
+                    pointed_has_homomorphism(
+                        database, (left,), database, (right,)
+                    )
+                )
+
+    def leq(self, left: Element, right: Element) -> bool:
+        return self._leq[(left, right)]
+
+    def equivalent(self, left: Element, right: Element) -> bool:
+        return self.leq(left, right) and self.leq(right, left)
+
+    def sorted_classes(self) -> List[FrozenSet[Element]]:
+        classes: List[List[Element]] = []
+        for element in self.elements:
+            for existing in classes:
+                if self.equivalent(element, existing[0]):
+                    existing.append(element)
+                    break
+            else:
+                classes.append([element])
+        frozen = [frozenset(cls) for cls in classes]
+        representatives = [sorted(cls, key=repr)[0] for cls in frozen]
+        remaining = list(range(len(frozen)))
+        order: List[int] = []
+        while remaining:
+            for candidate in remaining:
+                below = any(
+                    other != candidate
+                    and self.leq(
+                        representatives[other], representatives[candidate]
+                    )
+                    and not self.leq(
+                        representatives[candidate], representatives[other]
+                    )
+                    for other in remaining
+                )
+                if not below:
+                    remaining.remove(candidate)
+                    order.append(candidate)
+                    break
+            else:  # pragma: no cover - a preorder has minimal elements
+                raise AssertionError("no minimal class found")
+        return [frozen[index] for index in order]
+
+
+class CqClassifier:
+    """CQ-CLS: classify via pointed homomorphism tests (no statistic built).
+
+    Construction requires the training database to be CQ-separable (the
+    Kimelfeld–Ré condition: no differently-labeled hom-equivalent pair);
+    prediction on an entity ``f`` of D' runs one ``(D, e_i) → (D', f)``
+    test per equivalence class.
+    """
+
+    def __init__(self, training: TrainingDatabase) -> None:
+        preorder = _HomPreorder(training.database)
+        for i, left in enumerate(preorder.elements):
+            for right in preorder.elements[i + 1:]:
+                if training.label(left) != training.label(
+                    right
+                ) and preorder.equivalent(left, right):
+                    raise NotSeparableError(
+                        f"training database is not CQ-separable; "
+                        f"witness pair: ({left!r}, {right!r})"
+                    )
+        self._training = training
+        classes = preorder.sorted_classes()
+        self._classes: Tuple[FrozenSet[Element], ...] = tuple(classes)
+        self._representatives: Tuple[Element, ...] = tuple(
+            sorted(cls, key=repr)[0] for cls in classes
+        )
+        class_labels = [training.label(next(iter(cls))) for cls in classes]
+        weights = tuple(
+            float(label * 3 ** (index + 1))
+            for index, label in enumerate(class_labels)
+        )
+        self._classifier = LinearClassifier(weights, 2.0 - sum(weights))
+
+    @property
+    def training(self) -> TrainingDatabase:
+        return self._training
+
+    @property
+    def representatives(self) -> Tuple[Element, ...]:
+        return self._representatives
+
+    @property
+    def classes(self) -> Tuple[FrozenSet[Element], ...]:
+        return self._classes
+
+    @property
+    def classifier(self) -> LinearClassifier:
+        return self._classifier
+
+    @property
+    def dimension(self) -> int:
+        return len(self._representatives)
+
+    def feature_vector(
+        self, database: Database, entity: Element
+    ) -> Tuple[int, ...]:
+        return tuple(
+            1
+            if pointed_has_homomorphism(
+                self._training.database,
+                (representative,),
+                database,
+                (entity,),
+            )
+            else -1
+            for representative in self._representatives
+        )
+
+    def predict(self, database: Database, entity: Element) -> int:
+        return self._classifier.predict(self.feature_vector(database, entity))
+
+    def classify(self, database: Database) -> Labeling:
+        return Labeling(
+            {
+                entity: self.predict(database, entity)
+                for entity in sorted(database.entities(), key=repr)
+            }
+        )
+
+
+def cq_classify(
+    training: TrainingDatabase, evaluation: Database
+) -> Labeling:
+    """CQ-CLS: label the evaluation database (requires CQ-separability)."""
+    return CqClassifier(training).classify(evaluation)
+
+
+def generate_cq_statistic(training: TrainingDatabase) -> SeparatingPair:
+    """An explicit CQ separating pair with ``|D|``-atom canonical features.
+
+    Unlike the GHW(k) case (Theorem 5.7's blowup), plain-CQ feature
+    generation is cheap: each feature is the training database itself,
+    pointed at a class representative.
+    """
+    device = CqClassifier(training)
+    features = [
+        canonical_feature(training.database, representative)
+        for representative in device.representatives
+    ]
+    pair = SeparatingPair(Statistic(features), device.classifier)
+    if not pair.separates(training):  # pragma: no cover - staircase theorem
+        raise NotSeparableError(
+            "canonical statistic fails on its own training data"
+        )
+    return pair

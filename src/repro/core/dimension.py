@@ -1,0 +1,233 @@
+"""Separability with statistics of bounded dimension (paper, Section 6).
+
+``L-SEP[ℓ]`` asks for a separating statistic with at most ℓ features.  The
+(L, ℓ)-separability test of Lemma 6.3 guesses the entity dichotomy of each
+feature and validates it with an L-QBE oracle; here the guess is replaced by
+exhaustive enumeration of the *realizable* dichotomies (the sets
+``q(D) ∩ η(D)`` for ``q ∈ L``, computed via QBE or, for finite classes,
+direct pool evaluation) followed by a search over ℓ-subsets with an exact
+linear-separability check.
+
+Because adding a feature never destroys separability (give it weight 0), the
+decision for "at most ℓ" only needs subsets of size exactly
+``min(ℓ, #dichotomies)``; :func:`min_dimension` searches sizes increasingly
+to report the exact minimum (used for the unbounded-dimension experiments of
+Section 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.data.labeling import TrainingDatabase
+from repro.exceptions import SeparabilityError
+from repro.linsep.classifier import LinearClassifier
+from repro.linsep.lp import find_separator, is_linearly_separable
+from repro.core.languages import QueryClass
+
+__all__ = [
+    "BoundedDimensionResult",
+    "realizable_dichotomies",
+    "bounded_dimension_separable",
+    "min_dimension",
+    "materialize_bounded_pair",
+]
+
+Element = Any
+
+
+@dataclass(frozen=True)
+class BoundedDimensionResult:
+    """Outcome of the (L, ℓ)-separability test.
+
+    On success, ``dichotomies`` are the entity sets selected by the ℓ chosen
+    features and ``classifier`` separates the induced ±1 vectors.
+    """
+
+    separable: bool
+    dimension: int
+    dichotomies: Tuple[FrozenSet[Element], ...]
+    classifier: Optional[LinearClassifier]
+
+    def __bool__(self) -> bool:
+        return self.separable
+
+
+def realizable_dichotomies(
+    training: TrainingDatabase, language: QueryClass
+) -> List[FrozenSet[Element]]:
+    """All entity sets of the form ``q(D) ∩ η(D)`` for ``q`` in the class."""
+    entities = sorted(training.entities, key=repr)
+    return language.entity_dichotomies(training.database, entities)
+
+
+def _vectors_for(
+    entities: Sequence[Element],
+    dichotomies: Sequence[FrozenSet[Element]],
+) -> List[Tuple[int, ...]]:
+    return [
+        tuple(1 if entity in d else -1 for d in dichotomies)
+        for entity in entities
+    ]
+
+
+def bounded_dimension_separable(
+    training: TrainingDatabase,
+    max_dimension: int,
+    language: QueryClass,
+) -> BoundedDimensionResult:
+    """``L-SEP[ℓ]`` / ``L-SEP[*]``: separability with at most ℓ features.
+
+    Runs the Lemma 6.3 test with exhaustive dichotomy enumeration.  The
+    search is exponential in the number of entities (through the dichotomy
+    enumeration) and in ℓ (through subset choice), as the problem's
+    completeness results say it must be in general.
+    """
+    if max_dimension < 1:
+        raise SeparabilityError("the statistic needs at least one feature")
+    entities = sorted(training.entities, key=repr)
+    labels = [training.label(entity) for entity in entities]
+    if all(label == labels[0] for label in labels):
+        # A constant classifier needs no features at all; report dimension 0
+        # with the trivial all-entities dichotomy left out.
+        constant = LinearClassifier.constant(0, labels[0] if labels else 1)
+        return BoundedDimensionResult(True, 0, (), constant)
+
+    dichotomies = realizable_dichotomies(training, language)
+    size = min(max_dimension, len(dichotomies))
+    for chosen in combinations(dichotomies, size):
+        vectors = _vectors_for(entities, chosen)
+        classifier = find_separator(vectors, labels)
+        if classifier is not None:
+            return BoundedDimensionResult(
+                True, len(chosen), tuple(chosen), classifier
+            )
+    return BoundedDimensionResult(False, max_dimension, (), None)
+
+
+def _is_ghw_class(language: QueryClass) -> bool:
+    from repro.core.languages import GhwClass
+
+    return isinstance(language, GhwClass)
+
+
+def materialize_bounded_pair(
+    training: TrainingDatabase,
+    max_dimension: int,
+    language: QueryClass,
+):
+    """``L-CLS[ℓ]``: an explicit ℓ-feature separating pair, or ``None``.
+
+    Runs the (L, ℓ)-separability test, then recovers a *witness query* for
+    each chosen dichotomy:
+
+    - for the finite CQ[m] classes, a pool query whose answer set realizes
+      the dichotomy;
+    - for CQ (and GHW(k)) the product query of the dichotomy's positive
+      side (the canonical QBE explanation — exponential, per Thm 6.7's
+      blowup), via :func:`repro.core.qbe.cq_qbe_explanation`.
+
+    The returned pair separates ``training`` and can classify evaluation
+    databases (Prop 6.8's constructive claim, and its expensive CQ cousin).
+    """
+    from repro.cq.evaluation import evaluate_unary
+    from repro.core.languages import BoundedAtomsCQ
+    from repro.core.qbe import cq_qbe_explanation
+    from repro.core.statistic import SeparatingPair, Statistic
+
+    result = bounded_dimension_separable(training, max_dimension, language)
+    if not result.separable:
+        return None
+    entities = sorted(training.entities, key=repr)
+    entity_set = set(entities)
+    labels = [training.label(entity) for entity in entities]
+
+    queries = []
+    if result.dimension == 0:
+        from repro.cq.query import CQ
+
+        trivial = CQ.entity_only(
+            entity_symbol=training.database.entity_symbol
+        )
+        statistic = Statistic([trivial])
+        vectors, labels, _ = statistic.training_collection(training)
+        classifier = find_separator(vectors, labels)
+        assert classifier is not None
+        return SeparatingPair(statistic, classifier)
+
+    if isinstance(language, BoundedAtomsCQ):
+        pool = language._pool(training.database)
+        answer_map = {}
+        for query in pool:
+            answer = frozenset(
+                evaluate_unary(query, training.database) & entity_set
+            )
+            answer_map.setdefault(answer, query)
+        for dichotomy in result.dichotomies:
+            queries.append(answer_map[dichotomy])
+    elif _is_ghw_class(language):
+        # A faithful GHW(k) witness: unravel the positive-example product —
+        # its →_k shadow is the most specific GHW(k) query over S+, and the
+        # dichotomy was certified GHW(k)-realizable.
+        from repro.covergame.unravel import generate_equivalent_feature
+        from repro.core.qbe import pointed_component_product
+
+        for dichotomy in result.dichotomies:
+            product, point = pointed_component_product(
+                training.database, sorted(dichotomy, key=repr)
+            )
+            witness, _depth = generate_equivalent_feature(
+                product,
+                point,
+                language.k,  # type: ignore[attr-defined]
+                evaluation_databases=[training.database],
+            )
+            queries.append(witness)
+    else:
+        for dichotomy in result.dichotomies:
+            negatives = sorted(entity_set - dichotomy, key=repr)
+            witness = cq_qbe_explanation(
+                training.database, sorted(dichotomy, key=repr), negatives
+            )
+            assert witness is not None  # the dichotomy was QBE-realizable
+            queries.append(witness)
+
+    statistic = Statistic(queries)
+    vectors, labels, _ = statistic.training_collection(training)
+    classifier = find_separator(vectors, labels)
+    if classifier is None:  # pragma: no cover - dichotomies separated
+        raise SeparabilityError(
+            "materialized witnesses lost linear separability"
+        )
+    return SeparatingPair(statistic, classifier)
+
+
+def min_dimension(
+    training: TrainingDatabase,
+    language: QueryClass,
+    max_dimension: Optional[int] = None,
+) -> Optional[int]:
+    """The minimal statistic dimension separating the training database.
+
+    Returns ``None`` when no statistic of dimension ≤ ``max_dimension``
+    (default: the number of realizable dichotomies) separates it.  Used to
+    exhibit the unbounded-dimension property (Theorem 8.7) empirically.
+    """
+    entities = sorted(training.entities, key=repr)
+    labels = [training.label(entity) for entity in entities]
+    if all(label == labels[0] for label in labels):
+        return 0
+    dichotomies = realizable_dichotomies(training, language)
+    ceiling = (
+        len(dichotomies)
+        if max_dimension is None
+        else min(max_dimension, len(dichotomies))
+    )
+    for size in range(1, ceiling + 1):
+        for chosen in combinations(dichotomies, size):
+            vectors = _vectors_for(entities, chosen)
+            if is_linearly_separable(vectors, labels):
+                return size
+    return None

@@ -1,0 +1,123 @@
+"""Holdout generalization experiments (the paper's PAC future-work angle).
+
+Section 9 points to PAC-style learning over databases (Grohe et al. [14,
+15]) as the natural next step.  This module provides the empirical
+scaffolding: split a training database's entities into train/test folds,
+fit a separating pair (or Algorithm 1 device) on the visible fold only, and
+measure accuracy on the held-out entities.
+
+Splitting keeps the *database* intact — features may inspect all facts —
+and hides only the held-out labels, matching the transductive setting of
+the paper's L-CLS problem (the evaluation database shares the schema and
+here shares the data).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional, Tuple
+
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.exceptions import SeparabilityError
+from repro.core.languages import BoundedAtomsCQ, GhwClass, QueryClass
+from repro.core.pipeline import FeatureEngineeringSession
+
+__all__ = ["HoldoutResult", "split_entities", "holdout_evaluation"]
+
+Element = Any
+
+
+@dataclass(frozen=True)
+class HoldoutResult:
+    """Accuracy of a session trained on one fold, tested on the other."""
+
+    language: str
+    train_entities: int
+    test_entities: int
+    train_separable: bool
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        if self.test_entities == 0:
+            return 1.0
+        return self.correct / self.test_entities
+
+
+def split_entities(
+    training: TrainingDatabase,
+    test_fraction: float,
+    seed: int = 0,
+) -> Tuple[FrozenSet[Element], FrozenSet[Element]]:
+    """A deterministic (train, test) split of the entity set.
+
+    Both folds are nonempty whenever the database has ≥ 2 entities and the
+    fraction is strictly inside (0, 1).
+    """
+    if not 0 < test_fraction < 1:
+        raise SeparabilityError("test_fraction must lie strictly in (0, 1)")
+    entities = sorted(training.entities, key=repr)
+    if len(entities) < 2:
+        raise SeparabilityError("need at least two entities to split")
+    rng = random.Random(seed)
+    shuffled = list(entities)
+    rng.shuffle(shuffled)
+    n_test = min(
+        max(1, round(test_fraction * len(entities))), len(entities) - 1
+    )
+    test = frozenset(shuffled[:n_test])
+    train = frozenset(shuffled[n_test:])
+    return train, test
+
+
+def _restrict_to_fold(
+    training: TrainingDatabase, fold: FrozenSet[Element]
+) -> TrainingDatabase:
+    """The same facts, with only the fold's elements declared entities."""
+    entity_symbol = training.database.entity_symbol
+    from repro.data.database import Database, Fact
+
+    facts = [
+        fact
+        for fact in training.database.facts
+        if fact.relation != entity_symbol
+    ]
+    facts.extend(
+        Fact(entity_symbol, (entity,)) for entity in sorted(fold, key=repr)
+    )
+    database = Database(facts, schema=training.database.schema)
+    labels = {entity: training.label(entity) for entity in fold}
+    return TrainingDatabase(database, Labeling(labels))
+
+
+def holdout_evaluation(
+    training: TrainingDatabase,
+    language: QueryClass,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    epsilon: float = 0.0,
+) -> HoldoutResult:
+    """Train on a fold, classify the held-out entities, count agreements.
+
+    A non-separable training fold yields ``train_separable=False`` and zero
+    correct answers (callers may retry with an ``epsilon`` budget).
+    """
+    train_fold, test_fold = split_entities(training, test_fraction, seed)
+    visible = _restrict_to_fold(training, train_fold)
+    hidden = _restrict_to_fold(training, test_fold)
+
+    session = FeatureEngineeringSession(visible, language, epsilon)
+    if not session.separable:
+        return HoldoutResult(
+            repr(language), len(train_fold), len(test_fold), False, 0
+        )
+    predicted = session.classify(hidden.database)
+    correct = sum(
+        1
+        for entity in test_fold
+        if predicted[entity] == training.label(entity)
+    )
+    return HoldoutResult(
+        repr(language), len(train_fold), len(test_fold), True, correct
+    )

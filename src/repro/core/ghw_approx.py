@@ -1,0 +1,100 @@
+"""Algorithm 2: approximate GHW(k)-separability (paper, Section 7.2).
+
+Theorem 7.4: relabeling every ``→_k``-equivalence class by its majority
+label yields, in polynomial time, the GHW(k)-separable labeling closest to
+the input labeling.  Corollary 7.5 then solves GHW(k)-ApxSep (compare the
+minimal disagreement against the budget ``ε·|η(D)|``) and GHW(k)-ApxCls
+(classify with Algorithm 1 under the repaired labeling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple
+
+from repro.covergame.equivalence import CoverPreorder
+from repro.data.database import Database
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.exceptions import SeparabilityError
+from repro.core.ghw_classify import GhwClassifier
+
+__all__ = [
+    "GhwApproximation",
+    "ghw_best_relabeling",
+    "ghw_approx_separable",
+    "ghw_approx_classify",
+]
+
+Element = Any
+
+
+@dataclass(frozen=True)
+class GhwApproximation:
+    """The optimal GHW(k)-separable repair of a labeling.
+
+    ``disagreement`` is the minimal number of entities any GHW(k)-separable
+    labeling must flip (Theorem 7.4's optimality), and ``relabeled`` is the
+    witness produced by majority vote per equivalence class.
+    """
+
+    relabeled: Labeling
+    disagreement: int
+    classes: Tuple[FrozenSet[Element], ...]
+
+    def error_rate(self) -> float:
+        total = len(self.relabeled)
+        return self.disagreement / total if total else 0.0
+
+
+def ghw_best_relabeling(
+    training: TrainingDatabase, k: int
+) -> GhwApproximation:
+    """Algorithm 2: majority relabeling per ``→_k``-equivalence class."""
+    preorder = CoverPreorder(
+        training.database, sorted(training.entities, key=repr), k
+    )
+    labels = {}
+    for cls in preorder.equivalence_classes():
+        vote = sum(training.label(entity) for entity in cls)
+        majority = 1 if vote >= 0 else -1
+        for entity in cls:
+            labels[entity] = majority
+    relabeled = Labeling(labels)
+    disagreement = relabeled.disagreement(training.labeling)
+    return GhwApproximation(
+        relabeled, disagreement, tuple(preorder.equivalence_classes())
+    )
+
+
+def ghw_approx_separable(
+    training: TrainingDatabase, k: int, epsilon: float
+) -> bool:
+    """GHW(k)-ApxSep: separable with an ε fraction of errors (Cor 7.5)?"""
+    if not 0 <= epsilon < 1:
+        raise SeparabilityError("epsilon must lie in [0, 1)")
+    approximation = ghw_best_relabeling(training, k)
+    return approximation.disagreement <= epsilon * len(training.entities)
+
+
+def ghw_approx_classify(
+    training: TrainingDatabase,
+    evaluation: Database,
+    k: int,
+    epsilon: float,
+) -> Labeling:
+    """GHW(k)-ApxCls: classify an evaluation database under ε noise.
+
+    Repairs the training labeling optimally (Theorem 7.4), checks it meets
+    the error budget, then runs Algorithm 1 on the repaired labeling.
+    """
+    if not 0 <= epsilon < 1:
+        raise SeparabilityError("epsilon must lie in [0, 1)")
+    approximation = ghw_best_relabeling(training, k)
+    if approximation.disagreement > epsilon * len(training.entities):
+        raise SeparabilityError(
+            f"training database is not GHW({k})-separable with error "
+            f"{epsilon}: minimal disagreement is "
+            f"{approximation.disagreement}/{len(training.entities)}"
+        )
+    repaired = training.relabel(approximation.relabeled)
+    return GhwClassifier(repaired, k).classify(evaluation)

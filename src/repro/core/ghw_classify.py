@@ -1,0 +1,141 @@
+"""Algorithm 1: GHW(k)-classification without materializing the statistic.
+
+Theorem 5.8: given a GHW(k)-separable training database ``(D, λ)`` and an
+evaluation database ``D'``, a labeling λ' of ``D'`` consistent with *some*
+separating pair of ``(D, λ)`` is computable in polynomial time — even
+though materializing that pair's statistic may take exponential space
+(Theorem 5.7).
+
+The implicit statistic is ``Π = (q_{e_1}, ..., q_{e_m})`` for representatives
+``e_i`` of the topologically-sorted ``→_k``-equivalence classes; the key
+facts are:
+
+- ``f ∈ q_{e_i}(D')  iff  (D, e_i) →_k (D', f)`` (Lemma 5.4 + Prop 5.2), so
+  feature values are cover-game calls, not query evaluations; and
+- the vectors have a staircase structure — an entity of class ``E_i`` gets
+  value −1 on every feature ``j > i`` — so geometric weights
+  ``w_j = λ(E_j)·3^j`` make the highest-index positive feature dominate, and
+  the classifier is written down directly from the class labels (the
+  construction the paper imports from Kimelfeld & Ré [22]).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.covergame.equivalence import CoverPreorder
+from repro.covergame.game import cover_game_holds
+from repro.data.database import Database
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.exceptions import NotSeparableError
+from repro.linsep.classifier import LinearClassifier
+from repro.core.ghw_sep import ghw_separability
+
+__all__ = ["GhwClassifier", "ghw_classify"]
+
+Element = Any
+
+
+class GhwClassifier:
+    """The classification device of Algorithm 1.
+
+    Holds the class representatives ``e_1, ..., e_m`` (in topological order)
+    and the linear classifier over the implicit statistic; prediction on a
+    new entity computes the m game values ``(D, e_i) →_k (D', f)``.
+    """
+
+    def __init__(self, training: TrainingDatabase, k: int) -> None:
+        result = ghw_separability(training, k)
+        if not result.separable:
+            raise NotSeparableError(
+                f"training database is not GHW({k})-separable; "
+                f"witness pairs: {result.violations[:3]}"
+            )
+        self._training = training
+        self._k = k
+        preorder = result.preorder
+        classes = preorder.sorted_classes()
+        self._classes: Tuple[FrozenSet[Element], ...] = tuple(classes)
+        self._representatives: Tuple[Element, ...] = tuple(
+            sorted(cls, key=repr)[0] for cls in classes
+        )
+        # λ is constant on each class (that is what separability means);
+        # geometric weights let the last positive feature decide.
+        class_labels = [
+            training.label(next(iter(cls))) for cls in classes
+        ]
+        weights = tuple(
+            float(label * 3 ** (index + 1))
+            for index, label in enumerate(class_labels)
+        )
+        # Λ(v) = 1 iff Σ w_j v_j ≥ 2 − Σ w_j  (equivalently Σ w_j u_j ≥ 1
+        # for u_j = (v_j + 1)/2 ∈ {0, 1}).
+        threshold = 2.0 - sum(weights)
+        self._classifier = LinearClassifier(weights, threshold)
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def training(self) -> TrainingDatabase:
+        return self._training
+
+    @property
+    def representatives(self) -> Tuple[Element, ...]:
+        """The ``e_i`` of the implicit statistic, topologically sorted."""
+        return self._representatives
+
+    @property
+    def classes(self) -> Tuple[FrozenSet[Element], ...]:
+        return self._classes
+
+    @property
+    def classifier(self) -> LinearClassifier:
+        """The explicit ``Λ_w̄`` over the implicit statistic."""
+        return self._classifier
+
+    @property
+    def dimension(self) -> int:
+        return len(self._representatives)
+
+    def feature_vector(
+        self, database: Database, entity: Element
+    ) -> Tuple[int, ...]:
+        """``Π^{D'}(f)`` without materializing Π: m cover-game calls."""
+        return tuple(
+            1
+            if cover_game_holds(
+                self._training.database,
+                (representative,),
+                database,
+                (entity,),
+                self._k,
+            )
+            else -1
+            for representative in self._representatives
+        )
+
+    def predict(self, database: Database, entity: Element) -> int:
+        """The label of one evaluation entity."""
+        return self._classifier.predict(self.feature_vector(database, entity))
+
+    def classify(self, database: Database) -> Labeling:
+        """Labels for every entity of the evaluation database."""
+        return Labeling(
+            {
+                entity: self.predict(database, entity)
+                for entity in sorted(database.entities(), key=repr)
+            }
+        )
+
+
+def ghw_classify(
+    training: TrainingDatabase, evaluation: Database, k: int
+) -> Labeling:
+    """GHW(k)-CLS (Theorem 5.8): label the evaluation database's entities.
+
+    Raises :class:`~repro.exceptions.NotSeparableError` when the training
+    database is not GHW(k)-separable (the problem's promise).
+    """
+    return GhwClassifier(training, k).classify(evaluation)

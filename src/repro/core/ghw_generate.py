@@ -1,0 +1,67 @@
+"""Feature generation for GHW(k) statistics (paper, Section 5.2).
+
+Prop 5.6: if ``(D, λ)`` is GHW(k)-separable, a separating statistic with one
+feature per ``→_k``-equivalence class — each an (at most exponentially
+large) GHW(k) query — is constructible in exponential time.  The features
+are k-cover unravelings of the class representatives, deepened until they
+agree with the game semantics of the canonical features ``q_{e_i}`` on the
+training database (and any evaluation databases supplied up front).
+
+Theorem 5.7 shows the exponential size is unavoidable in the worst case;
+:func:`repro.workloads.hard_instances` provides families exhibiting the
+blowup and the benchmarks measure it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.covergame.unravel import generate_equivalent_feature
+from repro.data.database import Database
+from repro.data.labeling import TrainingDatabase
+from repro.exceptions import NotSeparableError
+from repro.core.ghw_classify import GhwClassifier
+from repro.core.statistic import SeparatingPair, Statistic
+
+__all__ = ["generate_ghw_statistic"]
+
+Element = Any
+
+
+def generate_ghw_statistic(
+    training: TrainingDatabase,
+    k: int,
+    evaluation_databases: Sequence[Database] = (),
+    max_depth: int = 12,
+    max_nodes: int = 50_000,
+) -> SeparatingPair:
+    """A materialized separating pair of GHW(k) features (Prop 5.6).
+
+    The statistic has one unraveling feature per equivalence class and the
+    staircase classifier of Algorithm 1; the pair separates ``training`` and
+    agrees with :class:`~repro.core.ghw_classify.GhwClassifier` on every
+    database listed in ``evaluation_databases``.
+
+    Raises :class:`~repro.exceptions.NotSeparableError` when the training
+    database is not GHW(k)-separable, and
+    :class:`~repro.exceptions.QueryError` if the unravelings exceed the node
+    budget before stabilizing — the Theorem 5.7 blowup made tangible.
+    """
+    device = GhwClassifier(training, k)  # raises NotSeparableError if needed
+    features = []
+    for representative in device.representatives:
+        feature, _depth = generate_equivalent_feature(
+            training.database,
+            representative,
+            k,
+            evaluation_databases=evaluation_databases,
+            max_depth=max_depth,
+            max_nodes=max_nodes,
+        )
+        features.append(feature)
+    pair = SeparatingPair(Statistic(features), device.classifier)
+    if not pair.separates(training):  # pragma: no cover - construction bug
+        raise NotSeparableError(
+            "generated statistic fails to separate its training database"
+        )
+    return pair

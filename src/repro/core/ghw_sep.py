@@ -1,0 +1,60 @@
+"""GHW(k)-separability in polynomial time (paper, Section 5.1).
+
+Theorem 5.3 / Prop 5.5: a training database ``(D, λ)`` is GHW(k)-separable
+iff no two entities with different labels are ``→_k``-equivalent.  The test
+runs the existential k-cover game between every pair of differently-labeled
+entities (Prop 5.1 makes each game polynomial for fixed k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Tuple
+
+from repro.covergame.equivalence import CoverPreorder
+from repro.data.labeling import TrainingDatabase
+
+__all__ = ["GhwSeparability", "ghw_separability", "ghw_separable"]
+
+Element = Any
+
+
+@dataclass(frozen=True)
+class GhwSeparability:
+    """Outcome of the GHW(k)-separability test.
+
+    ``violations`` lists the pairs of differently-labeled entities that are
+    GHW(k)-indistinguishable — the witnesses of non-separability (empty iff
+    separable).  ``preorder`` carries the full ``→_k`` matrix for reuse by
+    classification (Algorithm 1) and approximation (Algorithm 2).
+    """
+
+    separable: bool
+    violations: Tuple[Tuple[Element, Element], ...]
+    preorder: CoverPreorder
+
+    def __bool__(self) -> bool:
+        return self.separable
+
+
+def ghw_separability(
+    training: TrainingDatabase, k: int
+) -> GhwSeparability:
+    """Run the GHW(k)-separability test of Prop 5.5."""
+    preorder = CoverPreorder(
+        training.database, sorted(training.entities, key=repr), k
+    )
+    violations: List[Tuple[Element, Element]] = []
+    entities = preorder.elements
+    for i, left in enumerate(entities):
+        for right in entities[i + 1:]:
+            if training.label(left) == training.label(right):
+                continue
+            if preorder.equivalent(left, right):
+                violations.append((left, right))
+    return GhwSeparability(not violations, tuple(violations), preorder)
+
+
+def ghw_separable(training: TrainingDatabase, k: int) -> bool:
+    """GHW(k)-SEP: the decision problem of Theorem 5.3."""
+    return ghw_separability(training, k).separable

@@ -1,0 +1,181 @@
+"""Feature-query language descriptors: CQ, GHW(k), CQ[m], CQ[m, p].
+
+The bounded-dimension separability algorithms (Section 6) are parameterized
+by a class L of CQs; these descriptors bundle the two capabilities those
+algorithms need:
+
+- solving L-QBE over a database (the oracle of Lemma 6.3's test), and
+- when the class is finite for a fixed schema (the CQ[m] family),
+  enumerating the realizable entity dichotomies directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.cq.evaluation import evaluate_unary
+from repro.data.database import Database
+from repro.exceptions import SeparabilityError
+
+__all__ = ["QueryClass", "AllCQ", "GhwClass", "BoundedAtomsCQ", "CQ_ALL"]
+
+Element = Any
+
+
+class QueryClass:
+    """Base descriptor of a class of (unary) conjunctive queries."""
+
+    name: str = "L"
+
+    def qbe(
+        self,
+        database: Database,
+        positives: Iterable[Element],
+        negatives: Iterable[Element],
+    ) -> bool:
+        """Decide L-QBE on ``(database, positives, negatives)``."""
+        raise NotImplementedError
+
+    def entity_dichotomies(
+        self, database: Database, entities: Sequence[Element]
+    ) -> List[FrozenSet[Element]]:
+        """All sets ``q(D) ∩ entities`` for ``q`` in the class.
+
+        The generic implementation tests every nonempty subset with the QBE
+        oracle (2^n oracle calls); finite classes override it with direct
+        evaluation of their query pool.
+        """
+        if len(entities) > 16:
+            raise SeparabilityError(
+                f"dichotomy enumeration over {len(entities)} entities is "
+                "too large (limit 16)"
+            )
+        entity_list = list(entities)
+        realizable: List[FrozenSet[Element]] = []
+        for mask in range(1, 2 ** len(entity_list)):
+            chosen = frozenset(
+                entity
+                for index, entity in enumerate(entity_list)
+                if mask & (1 << index)
+            )
+            rest = [e for e in entity_list if e not in chosen]
+            if self.qbe(database, chosen, rest):
+                realizable.append(chosen)
+        return realizable
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class AllCQ(QueryClass):
+    """The unrestricted class CQ of all conjunctive queries."""
+
+    name: str = "CQ"
+
+    def qbe(
+        self,
+        database: Database,
+        positives: Iterable[Element],
+        negatives: Iterable[Element],
+    ) -> bool:
+        from repro.core.qbe import cq_qbe
+
+        return cq_qbe(database, positives, negatives)
+
+
+@dataclass(frozen=True, repr=False)
+class GhwClass(QueryClass):
+    """GHW(k): CQs of generalized hypertree width at most k."""
+
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise SeparabilityError("GHW(k) requires k >= 1")
+        object.__setattr__(self, "name", f"GHW({self.k})")
+
+    def qbe(
+        self,
+        database: Database,
+        positives: Iterable[Element],
+        negatives: Iterable[Element],
+    ) -> bool:
+        from repro.core.qbe import ghw_qbe
+
+        return ghw_qbe(database, positives, negatives, self.k)
+
+
+@dataclass(frozen=True, repr=False)
+class BoundedAtomsCQ(QueryClass):
+    """CQ[m] / CQ[m, p]: at most m atoms, optionally ≤ p occurrences per variable.
+
+    In the separability setting atoms are counted without the entity atom
+    ``η(x)``; set ``count_entity_atom=False`` (the default) accordingly, or
+    ``True`` for the generic-QBE convention where no atom is free.
+    """
+
+    max_atoms: int = 1
+    max_occurrences: Optional[int] = None
+    count_entity_atom: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_atoms < 1:
+            raise SeparabilityError("CQ[m] requires m >= 1")
+        suffix = (
+            f"{self.max_atoms}"
+            if self.max_occurrences is None
+            else f"{self.max_atoms},{self.max_occurrences}"
+        )
+        object.__setattr__(self, "name", f"CQ[{suffix}]")
+
+    def _pool(self, database: Database):
+        if self.count_entity_atom:
+            from repro.cq.enumeration import enumerate_unary_queries
+
+            return enumerate_unary_queries(
+                database.schema,
+                self.max_atoms,
+                max_occurrences=self.max_occurrences,
+            )
+        from repro.data.labeling import Labeling, TrainingDatabase
+        from repro.core.separability import feature_pool
+
+        entities = database.entities()
+        training = TrainingDatabase(
+            database, Labeling({entity: 1 for entity in entities})
+        )
+        return feature_pool(
+            training, self.max_atoms, self.max_occurrences
+        )
+
+    def qbe(
+        self,
+        database: Database,
+        positives: Iterable[Element],
+        negatives: Iterable[Element],
+    ) -> bool:
+        positive_set = set(positives)
+        negative_set = set(negatives)
+        for query in self._pool(database):
+            answers = evaluate_unary(query, database)
+            if positive_set <= answers and not answers & negative_set:
+                return True
+        return False
+
+    def entity_dichotomies(
+        self, database: Database, entities: Sequence[Element]
+    ) -> List[FrozenSet[Element]]:
+        entity_set = set(entities)
+        seen: Set[FrozenSet[Element]] = set()
+        for query in self._pool(database):
+            answers = frozenset(
+                evaluate_unary(query, database) & entity_set
+            )
+            seen.add(answers)
+        return sorted(seen, key=lambda s: (len(s), sorted(map(repr, s))))
+
+
+#: Shared instance of the unrestricted class.
+CQ_ALL = AllCQ()

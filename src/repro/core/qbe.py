@@ -1,0 +1,214 @@
+"""Query-By-Example solvers (paper, Section 6.1).
+
+``L-QBE``: given a database D and disjoint unary relations S+ and S−, decide
+whether some query q in L satisfies ``S+ ⊆ q(D)`` and ``q(D) ∩ S− = ∅``.
+
+- **CQ-QBE** uses the product-homomorphism method of ten Cate & Dalmau [32]:
+  the direct product ``P = Π_{a ∈ S+} (D, a)`` (as a unary canonical query)
+  is the most specific query selecting every positive example, so an
+  explanation exists iff ``(P, ā) ↛ (D, b)`` for every ``b ∈ S−``.  The
+  product is exponential in ``|S+|``, matching the problem's
+  coNEXPTIME-completeness (Theorem 6.1).
+- **GHW(k)-QBE** replaces ``→`` by ``→_k``: because GHW(k) is closed under
+  conjunction and ``→_k`` captures GHW(k)-query transfer (Prop 5.2), an
+  explanation exists iff ``(P, ā) ↛_k (D, b)`` for every negative example —
+  an EXPTIME procedure, again matching Theorem 6.1.
+- **CQ[m]-QBE** (and CQ[m, p]-QBE) enumerates the finite query class
+  (Prop 6.11 shows even CQ[1]-QBE is NP-complete when the schema is not
+  fixed; enumeration is exponential in the schema, polynomial for a fixed
+  one).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.covergame.game import cover_game_holds
+from repro.cq.enumeration import enumerate_unary_queries
+from repro.cq.evaluation import evaluate_unary
+from repro.cq.homomorphism import has_homomorphism
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.data.database import Database
+from repro.data.product import pointed_product
+from repro.exceptions import SeparabilityError
+
+__all__ = [
+    "positive_example_product",
+    "pointed_component_product",
+    "cq_qbe",
+    "cq_qbe_explanation",
+    "ghw_qbe",
+    "cqm_qbe",
+    "is_explanation",
+]
+
+Element = Any
+
+#: Refuse to materialize product queries with more facts than this.
+_MAX_PRODUCT_FACTS = 200_000
+
+
+def _validate_examples(
+    database: Database,
+    positives: Iterable[Element],
+    negatives: Iterable[Element],
+) -> Tuple[Tuple[Element, ...], Tuple[Element, ...]]:
+    positive_tuple = tuple(sorted(set(positives), key=repr))
+    negative_tuple = tuple(sorted(set(negatives), key=repr))
+    if not positive_tuple:
+        raise SeparabilityError("QBE requires at least one positive example")
+    overlap = set(positive_tuple) & set(negative_tuple)
+    if overlap:
+        raise SeparabilityError(
+            f"examples {sorted(map(repr, overlap))} are both positive "
+            "and negative"
+        )
+    domain = database.domain
+    for example in positive_tuple + negative_tuple:
+        if example not in domain:
+            raise SeparabilityError(
+                f"example {example!r} is not in dom(D)"
+            )
+    return positive_tuple, negative_tuple
+
+
+def positive_example_product(
+    database: Database, positives: Sequence[Element]
+) -> Tuple[Database, Element]:
+    """``Π_{a ∈ S+} (D, a)``: the canonical QBE candidate, as a pointed DB."""
+    product, point = pointed_product(
+        [(database, example) for example in positives]
+    )
+    return product, point
+
+
+def pointed_component_product(
+    database: Database, positives: Sequence[Element]
+) -> Tuple[Database, Element]:
+    """The point's connected component of ``Π_{a ∈ S+} (D, a)``.
+
+    Equivalent to the full product for every pointed decision made here
+    (every component of a self-product maps into D by projection, so only
+    the point's component constrains ``(P, ā) → (D, b)`` and — through
+    Prop 5.2 — ``(P, ā) →_k (D, b)``), but avoids materializing the
+    unary-relation fact explosion of the full product.
+    """
+    from repro.data.product import pointed_product_component
+
+    return pointed_product_component(
+        [(database, example) for example in positives]
+    )
+
+
+def cq_qbe(
+    database: Database,
+    positives: Iterable[Element],
+    negatives: Iterable[Element],
+) -> bool:
+    """CQ-QBE decision by the product-homomorphism method."""
+    positive_tuple, negative_tuple = _validate_examples(
+        database, positives, negatives
+    )
+    product, point = pointed_component_product(database, positive_tuple)
+    return not any(
+        has_homomorphism(product, database, {point: negative})
+        for negative in negative_tuple
+    )
+
+
+def cq_qbe_explanation(
+    database: Database,
+    positives: Iterable[Element],
+    negatives: Iterable[Element],
+    max_facts: int = _MAX_PRODUCT_FACTS,
+) -> Optional[CQ]:
+    """A materialized CQ explanation (the product query), or ``None``.
+
+    The product's elements become variables; only the connected component of
+    the distinguished point is kept (disconnected parts assert only the
+    existence of facts D itself provides, so dropping them preserves the
+    explanation property over D).
+    """
+    positive_tuple, negative_tuple = _validate_examples(
+        database, positives, negatives
+    )
+    if not cq_qbe(database, positive_tuple, negative_tuple):
+        return None
+    product, point = pointed_component_product(database, positive_tuple)
+    if len(product) > max_facts:
+        raise SeparabilityError(
+            f"product query has {len(product)} facts, over max_facts="
+            f"{max_facts}"
+        )
+
+    component = {point}
+    changed = True
+    facts = list(product.facts)
+    while changed:
+        changed = False
+        for fact in facts:
+            fact_elements = set(fact.arguments)
+            if fact_elements & component and not fact_elements <= component:
+                component |= fact_elements
+                changed = True
+    names = {
+        element: Variable(f"p{index}") if element != point else Variable("x")
+        for index, element in enumerate(sorted(component, key=repr))
+    }
+    atoms = [
+        Atom(fact.relation, tuple(names[a] for a in fact.arguments))
+        for fact in facts
+        if set(fact.arguments) <= component
+    ]
+    return CQ(atoms, (Variable("x"),))
+
+
+def ghw_qbe(
+    database: Database,
+    positives: Iterable[Element],
+    negatives: Iterable[Element],
+    k: int,
+) -> bool:
+    """GHW(k)-QBE decision: the product under ``→_k`` instead of ``→``."""
+    positive_tuple, negative_tuple = _validate_examples(
+        database, positives, negatives
+    )
+    product, point = pointed_component_product(database, positive_tuple)
+    return not any(
+        cover_game_holds(product, (point,), database, (negative,), k)
+        for negative in negative_tuple
+    )
+
+
+def cqm_qbe(
+    database: Database,
+    positives: Iterable[Element],
+    negatives: Iterable[Element],
+    max_atoms: int,
+    max_occurrences: Optional[int] = None,
+) -> Optional[CQ]:
+    """CQ[m]-QBE by enumeration; returns an explanation or ``None``."""
+    positive_tuple, negative_tuple = _validate_examples(
+        database, positives, negatives
+    )
+    positive_set = set(positive_tuple)
+    negative_set = set(negative_tuple)
+    for query in enumerate_unary_queries(
+        database.schema, max_atoms, max_occurrences=max_occurrences
+    ):
+        answers = evaluate_unary(query, database)
+        if positive_set <= answers and not answers & negative_set:
+            return query
+    return None
+
+
+def is_explanation(
+    query: CQ,
+    database: Database,
+    positives: Iterable[Element],
+    negatives: Iterable[Element],
+) -> bool:
+    """Verify the explanation property ``S+ ⊆ q(D)`` and ``q(D) ∩ S− = ∅``."""
+    answers = evaluate_unary(query, database)
+    return set(positives) <= answers and not answers & set(negatives)

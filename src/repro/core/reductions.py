@@ -1,0 +1,149 @@
+"""The paper's polynomial-time reductions (Lemma 6.5 and Prop 7.1).
+
+Both reductions are implemented as *instance transformations*, so the test
+suite and benchmarks can validate them end-to-end: solve the source
+instance, transform, solve the target instance, compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.data.database import Database, Fact
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.data.schema import ENTITY_SYMBOL, EntitySchema, RelationSymbol
+from repro.exceptions import SeparabilityError
+
+__all__ = [
+    "qbe_to_bounded_dimension",
+    "pad_for_approximation",
+    "PaddedInstance",
+]
+
+Element = Any
+
+
+def qbe_to_bounded_dimension(
+    database: Database,
+    positives: Iterable[Element],
+    negatives: Iterable[Element],
+    ell: int,
+    entity_symbol: str = ENTITY_SYMBOL,
+) -> TrainingDatabase:
+    """Lemma 6.5: reduce restricted L-QBE to L-SEP[ℓ].
+
+    Input must satisfy the lemma's restriction: ``S+`` and ``S−`` are
+    nonempty and partition ``dom(D)``.  The output training database extends
+    D with fresh constants ``c⁻, c_1, ..., c_{ℓ−1}``, fresh unary relations
+    ``kappa_i`` holding the ``c_i``, entity facts for every element, and the
+    labeling that sends ``S+ ∪ {c_1..c_{ℓ−1}}`` to +1 and ``S− ∪ {c⁻}`` to
+    −1.  Per the lemma, the result is L-separable by an ℓ-feature statistic
+    iff the QBE instance has an L-explanation.
+    """
+    if ell < 1:
+        raise SeparabilityError("the reduction requires ell >= 1")
+    positive_set = set(positives)
+    negative_set = set(negatives)
+    if not positive_set or not negative_set:
+        raise SeparabilityError(
+            "the Lemma 6.5 reduction requires nonempty S+ and S-"
+        )
+    if positive_set | negative_set != set(database.domain) or (
+        positive_set & negative_set
+    ):
+        raise SeparabilityError(
+            "the Lemma 6.5 reduction requires S+ and S- to partition dom(D)"
+        )
+    if entity_symbol in database.schema:
+        raise SeparabilityError(
+            f"database already uses the entity symbol {entity_symbol!r}"
+        )
+
+    fresh_negative = ("c-", "lemma65")
+    fresh_markers = [(f"c{i}", "lemma65") for i in range(1, ell)]
+
+    facts = list(database.facts)
+    for index, marker in enumerate(fresh_markers, start=1):
+        facts.append(Fact(f"kappa{index}", (marker,)))
+    for element in database.domain:
+        facts.append(Fact(entity_symbol, (element,)))
+    facts.append(Fact(entity_symbol, (fresh_negative,)))
+    for marker in fresh_markers:
+        facts.append(Fact(entity_symbol, (marker,)))
+
+    symbols = list(database.schema.symbols)
+    symbols.append(RelationSymbol(entity_symbol, 1))
+    for index in range(1, ell):
+        symbols.append(RelationSymbol(f"kappa{index}", 1))
+    schema = EntitySchema(symbols, entity_symbol=entity_symbol)
+
+    labels: Dict[Element, int] = {}
+    for element in positive_set:
+        labels[element] = 1
+    for element in negative_set:
+        labels[element] = -1
+    labels[fresh_negative] = -1
+    for marker in fresh_markers:
+        labels[marker] = 1
+
+    return TrainingDatabase(Database(facts, schema=schema), Labeling(labels))
+
+
+@dataclass(frozen=True)
+class PaddedInstance:
+    """Result of the Prop 7.1 padding reduction.
+
+    ``forced_errors`` is the number M of planted indistinguishable pairs;
+    any classifier errs on at least M padding entities, and M errors suffice
+    there, so the padded instance is L-separable with error ε iff the
+    original is (exactly) L-separable.
+    """
+
+    training: TrainingDatabase
+    epsilon: float
+    forced_errors: int
+    padding_entities: Tuple[Element, ...]
+
+
+def pad_for_approximation(
+    training: TrainingDatabase, epsilon: float
+) -> PaddedInstance:
+    """Prop 7.1: reduce exact L-SEP to (L, ε)-ApxSep for fixed ε ∈ [0, ½).
+
+    Adds M fresh entities of each label, all with only their entity fact and
+    hence mutually indistinguishable by every CQ; M is chosen as the least
+    integer with ``⌊ε·(n + 2M)⌋ = M``, making the planted class consume the
+    entire error budget.  The construction works uniformly for every class
+    L of CQs (the padding entities satisfy exactly the features with no
+    condition on x beyond ``η(x)``).
+    """
+    if not 0 <= epsilon < 0.5:
+        raise SeparabilityError(
+            "the padding reduction requires epsilon in [0, 1/2)"
+        )
+    n = len(training.entities)
+    m = 0
+    while int(epsilon * (n + 2 * m)) != m:
+        m += 1
+        if m > 10 * n + 10:  # pragma: no cover - g(M) = ⌊ε(n+2M)⌋−M hits 0
+            raise SeparabilityError("failed to balance the padding size")
+
+    builder = training.database.builder()
+    entity_symbol = training.database.entity_symbol
+    padding = []
+    labels = training.labeling.as_dict()
+    for index in range(m):
+        positive = (f"pad_pos_{index}", "prop71")
+        negative = (f"pad_neg_{index}", "prop71")
+        builder.add(entity_symbol, positive)
+        builder.add(entity_symbol, negative)
+        labels[positive] = 1
+        labels[negative] = -1
+        padding.extend([positive, negative])
+
+    padded = TrainingDatabase(
+        builder.build(schema=training.database.schema),
+        Labeling(labels),
+    )
+    return PaddedInstance(padded, epsilon, m, tuple(padding))

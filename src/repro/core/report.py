@@ -1,0 +1,156 @@
+"""Separability profiles: one training database across all query classes.
+
+A *profile* answers the practitioner's first question — which regularized
+feature class is rich enough for my data, and at what cost?  It runs the
+appropriate decision procedure for each class (Prop 4.1 LP for CQ[m],
+Theorem 5.3's game for GHW(k), the Kimelfeld–Ré pair test for CQ,
+isomorphism classes for FO) and tabulates decisions, dimensions, and
+minimal error counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.data.labeling import TrainingDatabase
+from repro.core.ghw_approx import ghw_best_relabeling
+from repro.core.separability import cqm_separability
+
+__all__ = ["ProfileRow", "SeparabilityProfile", "separability_profile"]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One query class's verdict on the training database."""
+
+    language: str
+    separable: bool
+    min_errors: int
+    dimension: Optional[int]
+    seconds: float
+
+
+@dataclass(frozen=True)
+class SeparabilityProfile:
+    """The full table of verdicts, renderable as text."""
+
+    rows: Tuple[ProfileRow, ...]
+
+    def __str__(self) -> str:
+        header = (
+            f"{'class':10s} {'separable':>9s} {'min errors':>10s} "
+            f"{'dimension':>9s} {'time':>9s}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            dimension = "-" if row.dimension is None else str(row.dimension)
+            lines.append(
+                f"{row.language:10s} {str(row.separable):>9s} "
+                f"{row.min_errors:>10d} {dimension:>9s} "
+                f"{row.seconds * 1e3:>7.1f}ms"
+            )
+        return "\n".join(lines)
+
+    def best_exact(self) -> Optional[ProfileRow]:
+        """The first (most regularized) class that separates exactly."""
+        for row in self.rows:
+            if row.separable:
+                return row
+        return None
+
+
+def separability_profile(
+    training: TrainingDatabase,
+    max_atoms: Sequence[int] = (1, 2),
+    ghw_bounds: Sequence[int] = (1,),
+    include_cq: bool = True,
+    include_fo: bool = True,
+) -> SeparabilityProfile:
+    """Decide separability across the regularization ladder.
+
+    Rows appear from most to least regularized: CQ[1], CQ[2], ...,
+    GHW(1), ..., CQ, FO.  ``min_errors`` is 0 when exactly separable; for
+    GHW(k) it is the exact Theorem 7.4 optimum, for CQ[m] the exact
+    branch-and-bound optimum (when affordable), else a sentinel upper
+    bound.
+    """
+    rows: List[ProfileRow] = []
+
+    for m in max_atoms:
+        start = time.perf_counter()
+        result = cqm_separability(training, m)
+        errors = 0
+        if not result.separable:
+            from repro.exceptions import SolverError
+            from repro.linsep.approx import min_errors_exact
+
+            vectors = [
+                result.vectors[entity]
+                for entity in sorted(training.entities, key=repr)
+            ]
+            labels = [
+                training.label(entity)
+                for entity in sorted(training.entities, key=repr)
+            ]
+            try:
+                errors = min_errors_exact(vectors, labels).errors
+            except SolverError:
+                from repro.linsep.approx import min_errors_greedy
+
+                errors = min_errors_greedy(vectors, labels).errors
+        rows.append(
+            ProfileRow(
+                f"CQ[{m}]",
+                result.separable,
+                errors,
+                result.statistic.dimension,
+                time.perf_counter() - start,
+            )
+        )
+
+    for k in ghw_bounds:
+        start = time.perf_counter()
+        approximation = ghw_best_relabeling(training, k)
+        rows.append(
+            ProfileRow(
+                f"GHW({k})",
+                approximation.disagreement == 0,
+                approximation.disagreement,
+                len(approximation.classes),
+                time.perf_counter() - start,
+            )
+        )
+
+    if include_cq:
+        from repro.core.brute import cq_separable
+
+        start = time.perf_counter()
+        separable = cq_separable(training)
+        rows.append(
+            ProfileRow(
+                "CQ",
+                separable,
+                0 if separable else -1,
+                None,
+                time.perf_counter() - start,
+            )
+        )
+
+    if include_fo:
+        from repro.fo.separability import fo_separability
+
+        start = time.perf_counter()
+        result = fo_separability(training)
+        rows.append(
+            ProfileRow(
+                "FO",
+                result.separable,
+                0 if result.separable else len(result.violations),
+                1 if result.separable else None,
+                time.perf_counter() - start,
+            )
+        )
+
+    return SeparabilityProfile(tuple(rows))

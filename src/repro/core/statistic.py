@@ -1,0 +1,177 @@
+"""Statistics: sequences of feature queries (paper, Section 3).
+
+A statistic ``Π = (q1, ..., qn)`` maps every entity ``e`` of a database to
+the ±1 vector ``Π^D(e) = (1_{q1(D)}(e), ..., 1_{qn(D)}(e))``.  Together with
+a linear classifier it forms a *separating pair*.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.cq.evaluation import evaluate_unary
+from repro.cq.query import CQ
+from repro.data.database import Database
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.exceptions import QueryError, SeparabilityError
+from repro.linsep.classifier import LinearClassifier
+
+__all__ = ["Statistic", "SeparatingPair"]
+
+Element = Any
+
+
+class Statistic:
+    """An immutable sequence of unary feature queries."""
+
+    __slots__ = ("_queries",)
+
+    def __init__(self, queries: Iterable[CQ]) -> None:
+        query_tuple = tuple(queries)
+        for query in query_tuple:
+            if not query.is_unary:
+                raise QueryError(
+                    f"statistics consist of unary feature queries, got {query}"
+                )
+        self._queries = query_tuple
+
+    @property
+    def queries(self) -> Tuple[CQ, ...]:
+        return self._queries
+
+    @property
+    def dimension(self) -> int:
+        """The number of feature queries (the regularized quantity of §6)."""
+        return len(self._queries)
+
+    def max_atoms(self) -> int:
+        """The largest body size among the feature queries."""
+        return max(
+            (query.atom_count() for query in self._queries), default=0
+        )
+
+    def __iter__(self) -> Iterator[CQ]:
+        return iter(self._queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __getitem__(self, index: int) -> CQ:
+        return self._queries[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Statistic):
+            return NotImplemented
+        return self._queries == other._queries
+
+    def __hash__(self) -> int:
+        return hash(self._queries)
+
+    def __repr__(self) -> str:
+        return f"Statistic(dimension={self.dimension})"
+
+    # ------------------------------------------------------------------
+
+    def vector(self, database: Database, entity: Element) -> Tuple[int, ...]:
+        """``Π^D(e)`` for a single entity."""
+        return tuple(
+            1 if entity in evaluate_unary(query, database) else -1
+            for query in self._queries
+        )
+
+    def vectors(
+        self, database: Database, entities: Optional[Sequence[Element]] = None
+    ) -> Dict[Element, Tuple[int, ...]]:
+        """``Π^D`` over all (or the given) entities, evaluated batch-wise.
+
+        Each feature query is evaluated once over the database, so the cost
+        is ``dimension`` query evaluations rather than ``dimension × n``
+        pointed checks.
+        """
+        if entities is None:
+            entities = sorted(database.entities(), key=repr)
+        answers: List[FrozenSet[Element]] = [
+            evaluate_unary(query, database) for query in self._queries
+        ]
+        return {
+            entity: tuple(
+                1 if entity in answer else -1 for answer in answers
+            )
+            for entity in entities
+        }
+
+    def training_collection(
+        self, training: TrainingDatabase
+    ) -> Tuple[List[Tuple[int, ...]], List[int], List[Element]]:
+        """``(Π^D(e), λ(e))`` rows in a deterministic entity order."""
+        entities = sorted(training.entities, key=repr)
+        vector_map = self.vectors(training.database, entities)
+        vectors = [vector_map[entity] for entity in entities]
+        labels = [training.label(entity) for entity in entities]
+        return vectors, labels, entities
+
+
+class SeparatingPair:
+    """A statistic together with a linear classifier, ``(Π, Λ_w̄)``."""
+
+    __slots__ = ("_statistic", "_classifier")
+
+    def __init__(
+        self, statistic: Statistic, classifier: LinearClassifier
+    ) -> None:
+        if classifier.arity != statistic.dimension:
+            raise SeparabilityError(
+                f"classifier arity {classifier.arity} does not match "
+                f"statistic dimension {statistic.dimension}"
+            )
+        self._statistic = statistic
+        self._classifier = classifier
+
+    @property
+    def statistic(self) -> Statistic:
+        return self._statistic
+
+    @property
+    def classifier(self) -> LinearClassifier:
+        return self._classifier
+
+    def predict(self, database: Database, entity: Element) -> int:
+        """``Λ_w̄(Π^D(e))``."""
+        return self._classifier.predict(
+            self._statistic.vector(database, entity)
+        )
+
+    def classify(self, database: Database) -> Labeling:
+        """The labeling of all entities of an evaluation database."""
+        vector_map = self._statistic.vectors(database)
+        return Labeling(
+            {
+                entity: self._classifier.predict(vector)
+                for entity, vector in vector_map.items()
+            }
+        )
+
+    def errors(self, training: TrainingDatabase) -> int:
+        """Number of training entities classified against their label."""
+        vectors, labels, _ = self._statistic.training_collection(training)
+        return self._classifier.errors(vectors, labels)
+
+    def separates(self, training: TrainingDatabase) -> bool:
+        """Whether the pair classifies every training entity correctly."""
+        return self.errors(training) == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SeparatingPair(dimension={self._statistic.dimension}, "
+            f"classifier={self._classifier!r})"
+        )

@@ -1,0 +1,16 @@
+"""The existential k-cover game: the ``→_k`` preorder and unravelings."""
+
+from repro.covergame.covers import cover_facts, enumerate_covers
+from repro.covergame.equivalence import CoverPreorder
+from repro.covergame.game import CoverGameSolver, cover_game_holds
+from repro.covergame.unravel import generate_equivalent_feature, unraveling
+
+__all__ = [
+    "enumerate_covers",
+    "cover_facts",
+    "cover_game_holds",
+    "CoverGameSolver",
+    "CoverPreorder",
+    "unraveling",
+    "generate_equivalent_feature",
+]

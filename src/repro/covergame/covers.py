@@ -1,0 +1,67 @@
+"""Enumeration of k-fact covers of a database (paper, Section 5).
+
+In the existential k-cover game, Spoiler's pebbled elements must at all
+times be contained in the union of at most k facts of the left database.
+A *cover* here is the element set of such a union; subsets of covers are
+exactly the legal pebble configurations.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Dict, FrozenSet, List, Tuple
+
+from repro.data.database import Database, Fact
+
+__all__ = ["enumerate_covers", "cover_facts"]
+
+Element = Any
+
+
+def enumerate_covers(database: Database, k: int) -> List[FrozenSet[Element]]:
+    """Element sets of unions of at most ``k`` facts, deduplicated.
+
+    Covers that are subsets of other covers are *kept*: distinct covers play
+    distinct roles as game positions only through their element sets, so
+    dominated covers are redundant — a position on a sub-cover is reachable
+    from the super-cover — and are dropped to shrink the state space.
+    """
+    if k < 1:
+        return []
+    fact_sets = sorted(
+        {fact.elements for fact in database.facts},
+        key=lambda s: sorted(map(repr, s)),
+    )
+    unions = set()
+    for size in range(1, min(k, len(fact_sets)) + 1):
+        for combo in combinations(fact_sets, size):
+            union = frozenset().union(*combo)
+            unions.add(union)
+    # Drop covers strictly contained in another cover: any hom on the larger
+    # cover restricts to one on the smaller, and Spoiler moves through the
+    # larger cover subsume moves through the smaller.
+    maximal = [
+        union
+        for union in unions
+        if not any(union < other for other in unions)
+    ]
+    return sorted(maximal, key=lambda u: (len(u), sorted(map(repr, u))))
+
+
+def cover_facts(
+    database: Database,
+    cover: FrozenSet[Element],
+    anchor_elements: FrozenSet[Element],
+) -> Tuple[Fact, ...]:
+    """Facts whose elements all lie in ``cover ∪ anchor_elements``.
+
+    These are exactly the facts the partial-homomorphism condition constrains
+    when the pebbles sit on ``cover`` and the distinguished tuple covers
+    ``anchor_elements``.
+    """
+    allowed = cover | anchor_elements
+    return tuple(
+        fact
+        for fact in sorted(database.facts, key=repr)
+        if all(element in allowed for element in fact.arguments)
+    )

@@ -1,0 +1,155 @@
+"""The ``→_k`` preorder over entities and its equivalence classes.
+
+For a database D and entities e, e', the paper (via Prop 5.2) reduces
+"e and e' agree on every GHW(k) feature query" to the two-way cover-game
+condition ``(D, e) →_k (D, e')`` and ``(D, e') →_k (D, e)``.  The preorder
+``e ≼ e'  iff  (D, e) →_k (D, e')`` (note: e' then satisfies every GHW(k)
+query that e satisfies), its equivalence classes, and a topological sort of
+the classes are the combinatorial skeleton of Lemma 5.4, Algorithm 1, and
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.covergame.game import cover_game_holds
+from repro.data.database import Database
+
+__all__ = ["CoverPreorder"]
+
+Element = Any
+
+
+class CoverPreorder:
+    """The relation ``e ≼ e' iff (D, e) →_k (D, e')`` over chosen elements.
+
+    All pairwise games are solved eagerly at construction (O(n²) cover-game
+    calls); the resulting matrix backs the equivalence classes and the
+    topological sort used by the Section 5 algorithms.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        elements: Optional[Sequence[Element]] = None,
+        k: int = 1,
+        use_transitivity: bool = True,
+    ) -> None:
+        if elements is None:
+            elements = sorted(database.entities(), key=repr)
+        self._database = database
+        self._elements: Tuple[Element, ...] = tuple(elements)
+        self._k = k
+        self._leq: Dict[Tuple[Element, Element], bool] = {}
+        self.games_played = 0
+        self.games_inferred = 0
+        for left in self._elements:
+            for right in self._elements:
+                if left == right:
+                    self._leq[(left, right)] = True
+                    continue
+                if use_transitivity and self._implied(left, right):
+                    self._leq[(left, right)] = True
+                    self.games_inferred += 1
+                    continue
+                self.games_played += 1
+                self._leq[(left, right)] = cover_game_holds(
+                    database, (left,), database, (right,), k
+                )
+
+    def _implied(self, left: Element, right: Element) -> bool:
+        """Whether ``left ≼ right`` follows transitively from known pairs.
+
+        ``≼`` is a preorder (Prop 5.2 makes it query-transfer containment),
+        so a known path of positive answers implies the pair without
+        running the game.  Only positive answers propagate; negatives are
+        never inferred.
+        """
+        for middle in self._elements:
+            if middle in (left, right):
+                continue
+            if self._leq.get((left, middle)) and self._leq.get(
+                (middle, right)
+            ):
+                return True
+        return False
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def elements(self) -> Tuple[Element, ...]:
+        return self._elements
+
+    def leq(self, left: Element, right: Element) -> bool:
+        """``left ≼ right``: every GHW(k) query selecting ``left`` selects ``right``."""
+        return self._leq[(left, right)]
+
+    def equivalent(self, left: Element, right: Element) -> bool:
+        """Indistinguishability by every GHW(k) feature query."""
+        return self.leq(left, right) and self.leq(right, left)
+
+    def distinguishable(self, left: Element, right: Element) -> bool:
+        return not self.equivalent(left, right)
+
+    def equivalence_classes(self) -> List[FrozenSet[Element]]:
+        """The partition of the elements into ``→_k``-equivalence classes."""
+        classes: List[List[Element]] = []
+        for element in self._elements:
+            for existing in classes:
+                if self.equivalent(element, existing[0]):
+                    existing.append(element)
+                    break
+            else:
+                classes.append([element])
+        return [frozenset(cls) for cls in classes]
+
+    def sorted_classes(self) -> List[FrozenSet[Element]]:
+        """Equivalence classes, topologically sorted by ``≼``.
+
+        If class ``E`` precedes class ``F`` in the output, then ``F ⋠ E``
+        (no element of F is below an element of E unless E = F).  This is
+        the sort used in Lemma 5.4: the representative query ``q_{e_i}`` of
+        the i-th class selects its own class and everything above it, hence
+        no class sorted later.
+        """
+        classes = self.equivalence_classes()
+        representatives = [next(iter(sorted(cls, key=repr))) for cls in classes]
+        remaining = list(range(len(classes)))
+        order: List[int] = []
+        while remaining:
+            # A minimal class: one with no other remaining class strictly
+            # below it.
+            for candidate in remaining:
+                below = any(
+                    other != candidate
+                    and self.leq(
+                        representatives[other], representatives[candidate]
+                    )
+                    and not self.leq(
+                        representatives[candidate], representatives[other]
+                    )
+                    for other in remaining
+                )
+                if not below:
+                    remaining.remove(candidate)
+                    order.append(candidate)
+                    break
+            else:  # pragma: no cover - ≼ is a preorder, a minimum exists
+                raise AssertionError("preorder has no minimal class")
+        return [classes[index] for index in order]
+
+    def class_of(self, element: Element) -> FrozenSet[Element]:
+        """The ``[e]`` equivalence class of ``element``."""
+        members = [
+            other
+            for other in self._elements
+            if self.equivalent(element, other)
+        ]
+        return frozenset(members)

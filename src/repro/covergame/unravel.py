@@ -1,0 +1,167 @@
+"""k-cover unravelings: GHW(k) feature queries from pointed databases.
+
+This implements the constructive side of Prop 5.6 (following Chen & Dalmau):
+for a pointed database ``(D, e)`` the *depth-d k-cover unraveling* is a
+tree-shaped CQ ``U_d(x)`` of ghw ≤ k such that for every pointed database
+``(D', f)``::
+
+    f ∈ U_d(D')   iff   Duplicator survives d rounds of the k-cover game
+                        from (D, e) to (D', f).
+
+Hence for d beyond the game's convergence depth, ``U_d`` is equivalent to
+the (possibly exponentially large) canonical feature ``q_e`` of Lemma 5.4 on
+the databases of interest.  The unraveling has ``O(|covers|^d)`` atoms —
+exponential, exactly as Theorem 5.7 proves any such feature must be in the
+worst case.
+
+Tree structure: nodes are sequences of covers; the node for
+``(V_1, ..., V_t)`` carries one variable per element of ``V_t`` (the entity
+``e`` is globally identified with the free variable ``x``), shares the
+variables of elements in ``V_{t-1} ∩ V_t`` with its parent, and contains one
+atom per fact of D inside ``V_t ∪ {e}``.  Each node's bag is covered by the
+(copies of the) ≤ k facts whose union is its cover, so ghw ≤ k by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.covergame.covers import cover_facts, enumerate_covers
+from repro.covergame.game import cover_game_holds
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.data.database import Database
+from repro.exceptions import QueryError
+
+__all__ = ["unraveling", "generate_equivalent_feature"]
+
+Element = Any
+
+#: Refuse to build unravelings with more than this many nodes.
+_DEFAULT_MAX_NODES = 50_000
+
+
+def unraveling(
+    database: Database,
+    entity: Element,
+    k: int,
+    depth: int,
+    free_variable: Variable = Variable("x"),
+    max_nodes: int = _DEFAULT_MAX_NODES,
+) -> CQ:
+    """The depth-``depth`` k-cover unraveling of ``(database, entity)``.
+
+    The result is a unary CQ with free variable ``x`` standing for the
+    entity.  Requires ``entity ∈ dom(database)``.
+    """
+    if entity not in database.domain:
+        raise QueryError(f"entity {entity!r} not in dom(D)")
+    if depth < 0:
+        raise QueryError("unraveling depth must be nonnegative")
+
+    covers = enumerate_covers(database, k)
+    anchor_elements = frozenset({entity})
+    element_index = {
+        element: index
+        for index, element in enumerate(sorted(database.domain, key=repr))
+    }
+
+    atoms: List[Atom] = []
+    node_count = 0
+
+    def variable_for(
+        node_id: int, element: Element, inherited: Dict[Element, Variable]
+    ) -> Variable:
+        if element == entity:
+            return free_variable
+        existing = inherited.get(element)
+        if existing is not None:
+            return existing
+        return Variable(f"u{node_id}_e{element_index[element]}")
+
+    def build(
+        cover: FrozenSet[Element],
+        inherited: Dict[Element, Variable],
+        remaining_depth: int,
+    ) -> None:
+        nonlocal node_count
+        node_id = node_count
+        node_count += 1
+        if node_count > max_nodes:
+            raise QueryError(
+                f"unraveling exceeds max_nodes={max_nodes}; "
+                "reduce depth or raise the limit"
+            )
+        local: Dict[Element, Variable] = {}
+        for element in cover:
+            local[element] = variable_for(node_id, element, inherited)
+        for fact in cover_facts(database, cover, anchor_elements):
+            arguments = tuple(
+                free_variable if element == entity else local[element]
+                for element in fact.arguments
+            )
+            atoms.append(Atom(fact.relation, arguments))
+        if remaining_depth > 1:
+            for child_cover in covers:
+                shared = {
+                    element: local[element]
+                    for element in cover & child_cover
+                    if element != entity
+                }
+                build(child_cover, shared, remaining_depth - 1)
+
+    if depth >= 1:
+        for cover in covers:
+            build(cover, {}, depth)
+
+    return CQ.feature(atoms, free_variable)
+
+
+def generate_equivalent_feature(
+    database: Database,
+    entity: Element,
+    k: int,
+    evaluation_databases: Sequence[Database] = (),
+    max_depth: int = 12,
+    max_nodes: int = _DEFAULT_MAX_NODES,
+) -> Tuple[CQ, int]:
+    """A GHW(k) feature equivalent to ``q_e`` on the given databases.
+
+    Increases the unraveling depth until, on ``database`` and on every
+    database in ``evaluation_databases``, the unraveling selects exactly the
+    elements ``f`` with ``(D, e) →_k (D', f)`` — the semantics of the
+    canonical feature ``q_e`` (Lemma 5.4 together with Prop 5.2).  Returns
+    the feature and the depth at which it stabilized.
+
+    Raises :class:`~repro.exceptions.QueryError` if no depth up to
+    ``max_depth`` suffices within the node budget.
+    """
+    from repro.cq.evaluation import selects  # local import to avoid a cycle
+
+    targets = [database, *evaluation_databases]
+    expected: List[Tuple[Database, Element, bool]] = []
+    for target in targets:
+        for candidate in sorted(target.entities(), key=repr):
+            expected.append(
+                (
+                    target,
+                    candidate,
+                    cover_game_holds(
+                        database, (entity,), target, (candidate,), k
+                    ),
+                )
+            )
+
+    for depth in range(1, max_depth + 1):
+        query = unraveling(
+            database, entity, k, depth, max_nodes=max_nodes
+        )
+        if all(
+            selects(query, target, candidate) == outcome
+            for target, candidate, outcome in expected
+        ):
+            return query, depth
+    raise QueryError(
+        f"unraveling did not stabilize within max_depth={max_depth}"
+    )

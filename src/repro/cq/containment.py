@@ -1,0 +1,33 @@
+"""Containment and equivalence of conjunctive queries.
+
+By the Chandra–Merlin theorem, ``q1 ⊆ q2`` (the answers of q1 are contained
+in those of q2 over every database) iff there is a homomorphism
+``(D_{q2}, x̄2) → (D_{q1}, x̄1)``.
+"""
+
+from __future__ import annotations
+
+from repro.cq.homomorphism import pointed_has_homomorphism
+from repro.cq.query import CQ
+from repro.exceptions import QueryError
+
+__all__ = ["is_contained_in", "are_equivalent"]
+
+
+def is_contained_in(query: CQ, container: CQ) -> bool:
+    """Whether ``query ⊆ container`` holds over all databases."""
+    if len(query.free_variables) != len(container.free_variables):
+        raise QueryError(
+            "containment requires queries of the same output arity"
+        )
+    return pointed_has_homomorphism(
+        container.canonical_database,
+        container.free_variables,
+        query.canonical_database,
+        query.free_variables,
+    )
+
+
+def are_equivalent(left: CQ, right: CQ) -> bool:
+    """Whether the two queries agree on every database."""
+    return is_contained_in(left, right) and is_contained_in(right, left)

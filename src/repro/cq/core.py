@@ -1,0 +1,61 @@
+"""Cores of conjunctive queries.
+
+The *core* of a CQ is its unique (up to isomorphism) smallest equivalent
+subquery; it is the homomorphism-minimal retract of the canonical database
+that fixes the free variables.  Cores let the enumeration of Section 4
+deduplicate feature queries up to semantic equivalence, not just isomorphism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cq.homomorphism import find_homomorphism
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.data.database import Database
+
+__all__ = ["core_of"]
+
+
+def _proper_retraction(
+    canonical: Database, fixed: Dict[Variable, Variable]
+) -> Optional[Dict[Variable, Variable]]:
+    """An endomorphism fixing the free variables whose image avoids some element.
+
+    Returns ``None`` if the structure is already a core relative to the fixed
+    variables.
+    """
+    for dropped in sorted(canonical.domain):
+        if dropped in fixed:
+            continue
+        target = canonical.restrict_to_elements(canonical.domain - {dropped})
+        mapping = find_homomorphism(canonical, target, fixed)
+        if mapping is not None:
+            return mapping
+    return None
+
+
+def core_of(query: CQ) -> CQ:
+    """The core of ``query`` (an equivalent CQ with a minimal set of atoms).
+
+    Free variables are preserved verbatim; the result is equivalent to the
+    input on every database.
+    """
+    fixed = {variable: variable for variable in query.free_variables}
+    canonical = query.canonical_database
+    while True:
+        retraction = _proper_retraction(canonical, fixed)
+        if retraction is None:
+            break
+        canonical = Database(
+            fact.__class__(
+                fact.relation,
+                tuple(retraction[a] for a in fact.arguments),
+            )
+            for fact in canonical.facts
+        )
+    atoms = tuple(
+        Atom(fact.relation, fact.arguments) for fact in canonical.facts
+    )
+    return CQ(atoms, query.free_variables)

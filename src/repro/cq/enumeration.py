@@ -1,0 +1,248 @@
+"""Enumeration of the classes ``CQ[m]`` and ``CQ[m, p]`` (paper, Section 4).
+
+``CQ[m]`` is the class of feature queries with at most ``m`` atoms, not
+counting the mandatory entity atom ``η(x)``; ``CQ[m, p]`` further restricts
+each variable to at most ``p`` occurrences across those atoms.  For a fixed
+schema the class is finite up to renaming of existential variables, which is
+what makes Prop 4.1's all-features statistic computable.
+
+Enumeration proceeds atom by atom with canonical introduction of new
+variables and deduplicates through :meth:`repro.cq.query.CQ.canonical_form`
+(isomorphism level) or cores + canonical forms (equivalence level).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.cq.core import core_of
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.data.schema import ENTITY_SYMBOL, Schema
+from repro.exceptions import QueryError
+
+__all__ = [
+    "enumerate_feature_queries",
+    "enumerate_unary_queries",
+    "count_feature_queries",
+]
+
+
+def _argument_tuples(
+    arity: int,
+    available: Sequence[Variable],
+    next_fresh_index: int,
+) -> Iterator[Tuple[Variable, ...]]:
+    """All argument tuples over available plus canonically-named fresh variables.
+
+    Fresh variables are introduced in index order at their first occurrence
+    inside the tuple, which removes renaming duplicates within a single atom.
+    """
+
+    known = set(available)
+
+    def extend(
+        prefix: List[Variable], fresh_used: int
+    ) -> Iterator[Tuple[Variable, ...]]:
+        if len(prefix) == arity:
+            yield tuple(prefix)
+            return
+        # Fresh variables already introduced earlier in this atom are
+        # reusable in later positions.
+        introduced = []
+        seen_in_prefix = set()
+        for variable in prefix:
+            if variable not in known and variable not in seen_in_prefix:
+                introduced.append(variable)
+                seen_in_prefix.add(variable)
+        for variable in list(available) + introduced:
+            prefix.append(variable)
+            yield from extend(prefix, fresh_used)
+            prefix.pop()
+        fresh = Variable(f"v{next_fresh_index + fresh_used}")
+        prefix.append(fresh)
+        yield from extend(prefix, fresh_used + 1)
+        prefix.pop()
+
+    yield from extend([], 0)
+
+
+def _max_occurrences(atoms: Sequence[Atom]) -> int:
+    counts: Dict[Variable, int] = {}
+    for atom in atoms:
+        for variable in atom.arguments:
+            counts[variable] = counts.get(variable, 0) + 1
+    return max(counts.values(), default=0)
+
+
+def enumerate_feature_queries(
+    schema: Schema,
+    max_atoms: int,
+    max_occurrences: Optional[int] = None,
+    free_variable: Variable = Variable("x"),
+    entity_symbol: str = ENTITY_SYMBOL,
+    dedupe: str = "equivalence",
+) -> List[CQ]:
+    """All feature queries of ``CQ[m]`` (or ``CQ[m, p]``) over a schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema whose relation symbols may appear in atom bodies.  The
+        entity symbol is usable in the body like any other unary relation.
+    max_atoms:
+        The bound ``m`` on body atoms (the entity atom ``η(x)`` is free).
+    max_occurrences:
+        Optional bound ``p`` of ``CQ[m, p]`` on per-variable occurrences
+        across the body atoms (the implicit ``η(x)`` does not count).
+    dedupe:
+        ``"isomorphism"`` deduplicates up to renaming of existential
+        variables; ``"equivalence"`` (default) additionally reduces every
+        query to its core and deduplicates semantically equivalent queries.
+
+    Returns
+    -------
+    list[CQ]
+        Feature queries in a deterministic order, each containing ``η(x)``.
+        The trivial query ``q(x) :- η(x)`` is always first.
+    """
+    if max_atoms < 0:
+        raise QueryError("max_atoms must be nonnegative")
+    if max_occurrences is not None and max_occurrences < 1:
+        raise QueryError("max_occurrences must be positive when given")
+    if dedupe not in ("isomorphism", "equivalence"):
+        raise QueryError(f"unknown dedupe mode {dedupe!r}")
+
+    relations = sorted(schema, key=lambda symbol: (symbol.name, symbol.arity))
+    results: List[CQ] = []
+    seen: Set[Tuple] = set()
+
+    def register(atoms: Tuple[Atom, ...]) -> None:
+        query = CQ.feature(atoms, free_variable, entity_symbol)
+        if dedupe == "equivalence":
+            query = core_of(query)
+        form = query.canonical_form()
+        if form in seen:
+            return
+        seen.add(form)
+        results.append(query.standardized())
+
+    def grow(atoms: List[Atom], fresh_count: int) -> None:
+        register(tuple(atoms))
+        if len(atoms) == max_atoms:
+            return
+        used_variables: List[Variable] = [free_variable]
+        for atom in atoms:
+            for variable in atom.arguments:
+                if variable not in used_variables:
+                    used_variables.append(variable)
+        for symbol in relations:
+            for arguments in _argument_tuples(
+                symbol.arity, used_variables, fresh_count
+            ):
+                candidate = Atom(symbol.name, arguments)
+                if candidate in atoms:
+                    continue
+                atoms.append(candidate)
+                if (
+                    max_occurrences is None
+                    or _max_occurrences(atoms) <= max_occurrences
+                ):
+                    new_fresh = sum(
+                        1
+                        for variable in set(arguments)
+                        if variable not in used_variables
+                    )
+                    grow(atoms, fresh_count + new_fresh)
+                atoms.pop()
+
+    grow([], 0)
+    return results
+
+
+def enumerate_unary_queries(
+    schema: Schema,
+    max_atoms: int,
+    max_occurrences: Optional[int] = None,
+    free_variable: Variable = Variable("x"),
+    dedupe: str = "equivalence",
+) -> List[CQ]:
+    """All unary CQs ``q(x)`` with at most ``max_atoms`` atoms over a schema.
+
+    Unlike :func:`enumerate_feature_queries`, no entity atom is assumed: the
+    free variable simply must occur in at least one atom.  This is the query
+    pool of the generic Query-By-Example problem (Section 6.1), where the
+    schema need not be an entity schema.
+    """
+    if max_atoms < 1:
+        raise QueryError("enumerate_unary_queries requires max_atoms >= 1")
+    if max_occurrences is not None and max_occurrences < 1:
+        raise QueryError("max_occurrences must be positive when given")
+    if dedupe not in ("isomorphism", "equivalence"):
+        raise QueryError(f"unknown dedupe mode {dedupe!r}")
+
+    relations = sorted(schema, key=lambda symbol: (symbol.name, symbol.arity))
+    results: List[CQ] = []
+    seen: Set[Tuple] = set()
+
+    def register(atoms: Tuple[Atom, ...]) -> None:
+        if not any(free_variable in atom.arguments for atom in atoms):
+            return
+        query = CQ(atoms, (free_variable,))
+        if dedupe == "equivalence":
+            query = core_of(query)
+        form = query.canonical_form()
+        if form in seen:
+            return
+        seen.add(form)
+        results.append(query.standardized())
+
+    def grow(atoms: List[Atom], fresh_count: int) -> None:
+        if atoms:
+            register(tuple(atoms))
+        if len(atoms) == max_atoms:
+            return
+        used_variables: List[Variable] = [free_variable]
+        for atom in atoms:
+            for variable in atom.arguments:
+                if variable not in used_variables:
+                    used_variables.append(variable)
+        for symbol in relations:
+            for arguments in _argument_tuples(
+                symbol.arity, used_variables, fresh_count
+            ):
+                candidate = Atom(symbol.name, arguments)
+                if candidate in atoms:
+                    continue
+                atoms.append(candidate)
+                if (
+                    max_occurrences is None
+                    or _max_occurrences(atoms) <= max_occurrences
+                ):
+                    new_fresh = sum(
+                        1
+                        for variable in set(arguments)
+                        if variable not in used_variables
+                    )
+                    grow(atoms, fresh_count + new_fresh)
+                atoms.pop()
+
+    grow([], 0)
+    return results
+
+
+def count_feature_queries(
+    schema: Schema,
+    max_atoms: int,
+    max_occurrences: Optional[int] = None,
+    dedupe: str = "equivalence",
+) -> int:
+    """``|CQ[m]|`` (resp. ``|CQ[m, p]|``) over the schema, up to ``dedupe``."""
+    return len(
+        enumerate_feature_queries(
+            schema,
+            max_atoms,
+            max_occurrences=max_occurrences,
+            dedupe=dedupe,
+        )
+    )

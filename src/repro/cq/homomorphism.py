@@ -1,0 +1,244 @@
+"""Homomorphisms between databases (paper, Section 2).
+
+A homomorphism from ``D`` to ``D'`` is a map ``h : dom(D) → dom(D')`` with
+``R(h(ā)) ∈ D'`` for every fact ``R(ā) ∈ D``.  The pointed variant
+``(D, ā) → (D', b̄)`` additionally requires ``h(ā) = b̄``.
+
+The search is a backtracking constraint solver over the *facts* of the source
+database: facts are ordered to maximize connectivity with already-assigned
+elements, and positional-occurrence candidate sets provide a cheap
+arc-consistency-style prefilter.  Deciding existence is NP-complete in
+general; the instances in this library are small by design.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.data.database import Database, Fact
+from repro.exceptions import DatabaseError
+
+__all__ = [
+    "find_homomorphism",
+    "has_homomorphism",
+    "all_homomorphisms",
+    "is_homomorphism",
+    "pointed_has_homomorphism",
+    "homomorphic_image",
+]
+
+Element = Any
+Assignment = Dict[Element, Element]
+
+
+def _positional_candidates(
+    source: Database, target: Database
+) -> Optional[Dict[Element, Set[Element]]]:
+    """For each source element, the targets allowed by positional occurrence.
+
+    If a source element occurs at position ``i`` of relation ``R``, its image
+    must occur at position ``i`` of some ``R``-fact of the target.  Returns
+    ``None`` if some source element has no candidate at all (no homomorphism
+    exists).
+    """
+    target_positions: Dict[Tuple[str, int], Set[Element]] = {}
+    for fact in target.facts:
+        for index, element in enumerate(fact.arguments):
+            target_positions.setdefault((fact.relation, index), set()).add(
+                element
+            )
+
+    candidates: Dict[Element, Set[Element]] = {}
+    for fact in source.facts:
+        for index, element in enumerate(fact.arguments):
+            allowed = target_positions.get((fact.relation, index))
+            if allowed is None:
+                return None
+            if element in candidates:
+                candidates[element] &= allowed
+                if not candidates[element]:
+                    return None
+            else:
+                candidates[element] = set(allowed)
+    return candidates
+
+
+def _order_facts(source: Database, seeded: Set[Element]) -> List[Fact]:
+    """Greedy fact ordering: most already-touched elements first.
+
+    Keeps the search connected so assignments propagate early; ties are
+    broken toward facts over rarer relations deterministically.
+    """
+    remaining = sorted(source.facts, key=repr)
+    ordered: List[Fact] = []
+    touched = set(seeded)
+    while remaining:
+        best_index = 0
+        best_key: Optional[Tuple[int, int]] = None
+        for index, fact in enumerate(remaining):
+            overlap = sum(1 for a in fact.elements if a in touched)
+            new_elements = len(fact.elements) - overlap
+            key = (-overlap, new_elements)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        fact = remaining.pop(best_index)
+        ordered.append(fact)
+        touched.update(fact.elements)
+    return ordered
+
+
+def all_homomorphisms(
+    source: Database,
+    target: Database,
+    fixed: Optional[Mapping[Element, Element]] = None,
+) -> Iterator[Assignment]:
+    """Yield every homomorphism from ``source`` to ``target`` extending ``fixed``.
+
+    The yielded dictionaries are fresh copies covering all of ``dom(source)``
+    plus any extra keys provided in ``fixed``.
+    """
+    assignment: Assignment = dict(fixed) if fixed else {}
+
+    candidates = _positional_candidates(source, target)
+    if candidates is None:
+        return
+    for element, image in assignment.items():
+        allowed = candidates.get(element)
+        if allowed is not None and image not in allowed:
+            return
+
+    facts = _order_facts(source, set(assignment))
+    target_by_relation = {
+        relation: target.facts_of(relation)
+        for relation in source.relation_names
+    }
+
+    # Iterative depth-first search (an explicit stack: recursion depth would
+    # equal the fact count, which product databases can push past Python's
+    # recursion limit).  stack[level] = (next target-fact index, newly bound
+    # elements at this level).
+    n_facts = len(facts)
+    if n_facts == 0:
+        yield dict(assignment)
+        return
+    stack: List[Tuple[int, List[Element]]] = [(0, [])]
+    while stack:
+        level = len(stack) - 1
+        index, bound_here = stack[-1]
+        for element in bound_here:
+            del assignment[element]
+        bound_here.clear()
+        fact = facts[level]
+        options = target_by_relation[fact.relation]
+        advanced = False
+        while index < len(options):
+            target_fact = options[index]
+            index += 1
+            newly_bound: List[Element] = []
+            consistent = True
+            for element, image in zip(fact.arguments, target_fact.arguments):
+                bound = assignment.get(element)
+                if bound is not None:
+                    if bound != image:
+                        consistent = False
+                        break
+                elif image not in candidates.get(element, ()):
+                    consistent = False
+                    break
+                else:
+                    assignment[element] = image
+                    newly_bound.append(element)
+            if consistent:
+                if level + 1 == n_facts:
+                    yield dict(assignment)
+                    for bound in newly_bound:
+                        del assignment[bound]
+                    continue  # leaf level: try the next option directly
+                stack[-1] = (index, newly_bound)
+                stack.append((0, []))
+                advanced = True
+                break
+            for bound in newly_bound:
+                del assignment[bound]
+        if not advanced:
+            stack.pop()
+
+
+def find_homomorphism(
+    source: Database,
+    target: Database,
+    fixed: Optional[Mapping[Element, Element]] = None,
+) -> Optional[Assignment]:
+    """The first homomorphism found, or ``None`` if none exists."""
+    for assignment in all_homomorphisms(source, target, fixed):
+        return assignment
+    return None
+
+
+def has_homomorphism(
+    source: Database,
+    target: Database,
+    fixed: Optional[Mapping[Element, Element]] = None,
+) -> bool:
+    """Whether ``source → target`` (extending ``fixed`` if given)."""
+    return find_homomorphism(source, target, fixed) is not None
+
+
+def pointed_has_homomorphism(
+    source: Database,
+    source_tuple: Sequence[Element],
+    target: Database,
+    target_tuple: Sequence[Element],
+) -> bool:
+    """Whether ``(D, ā) → (D', b̄)`` holds."""
+    if len(source_tuple) != len(target_tuple):
+        raise DatabaseError(
+            "pointed homomorphism requires equal-length tuples"
+        )
+    fixed: Assignment = {}
+    for element, image in zip(source_tuple, target_tuple):
+        existing = fixed.get(element)
+        if existing is not None and existing != image:
+            return False
+        fixed[element] = image
+    return has_homomorphism(source, target, fixed)
+
+
+def is_homomorphism(
+    mapping: Mapping[Element, Element],
+    source: Database,
+    target: Database,
+) -> bool:
+    """Check that ``mapping`` is a homomorphism from ``source`` to ``target``."""
+    for element in source.domain:
+        if element not in mapping:
+            return False
+    for fact in source.facts:
+        image = Fact(
+            fact.relation, tuple(mapping[a] for a in fact.arguments)
+        )
+        if image not in target:
+            return False
+    return True
+
+
+def homomorphic_image(
+    mapping: Mapping[Element, Element], source: Database
+) -> Database:
+    """The image database ``h(D)`` (facts mapped through ``mapping``)."""
+    return Database(
+        Fact(fact.relation, tuple(mapping[a] for a in fact.arguments))
+        for fact in source.facts
+    )

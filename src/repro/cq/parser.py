@@ -1,0 +1,60 @@
+"""Datalog-style textual syntax for conjunctive queries.
+
+The grammar is the usual rule syntax::
+
+    q(x) :- eta(x), edge(x, y), edge(y, z)
+
+Head variables are the free variables; every other variable is existential.
+Relation and variable names are word characters (``\\w+``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.exceptions import ParseError
+
+__all__ = ["parse_cq"]
+
+_RULE_RE = re.compile(
+    r"^\s*(\w+)\s*\(\s*([^)]*)\s*\)\s*:-\s*(.+?)\s*\.?\s*$", re.DOTALL
+)
+_ATOM_RE = re.compile(r"(\w+)\s*\(\s*([^)]*)\s*\)")
+
+
+def _split_variables(inner: str, context: str) -> Tuple[Variable, ...]:
+    tokens = [token.strip() for token in inner.split(",")] if inner.strip() else []
+    if not tokens:
+        raise ParseError(f"{context}: empty argument list")
+    for token in tokens:
+        if not re.fullmatch(r"\w+", token):
+            raise ParseError(f"{context}: invalid variable name {token!r}")
+    return tuple(Variable(token) for token in tokens)
+
+
+def parse_cq(text: str) -> CQ:
+    """Parse a rule of the form ``q(x, y) :- R(x, z), S(z, y)`` into a CQ."""
+    match = _RULE_RE.match(text)
+    if match is None:
+        raise ParseError(f"cannot parse CQ rule: {text!r}")
+    _head_name, head_inner, body = match.groups()
+    free = _split_variables(head_inner, "head")
+
+    atoms: List[Atom] = []
+    consumed = 0
+    for atom_match in _ATOM_RE.finditer(body):
+        between = body[consumed:atom_match.start()].strip().strip(",").strip()
+        if between:
+            raise ParseError(f"unexpected text in body: {between!r}")
+        relation, inner = atom_match.groups()
+        atoms.append(Atom(relation, _split_variables(inner, f"atom {relation}")))
+        consumed = atom_match.end()
+    trailing = body[consumed:].strip().strip(",").strip()
+    if trailing:
+        raise ParseError(f"unexpected text in body: {trailing!r}")
+    if not atoms:
+        raise ParseError("CQ body must contain at least one atom")
+    return CQ(atoms, free)

@@ -1,0 +1,58 @@
+"""Variables and atoms of conjunctive queries (paper, Section 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.exceptions import QueryError
+
+__all__ = ["Variable", "Atom"]
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("variable name must be nonempty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """An atom ``R(x1, ..., xk)`` over variables only (CQs without constants)."""
+
+    relation: str
+    arguments: Tuple[Variable, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arguments", tuple(self.arguments))
+        if not self.relation:
+            raise QueryError("atom relation name must be nonempty")
+        if len(self.arguments) < 1:
+            raise QueryError(
+                f"atom over {self.relation!r} must have at least one argument"
+            )
+        for argument in self.arguments:
+            if not isinstance(argument, Variable):
+                raise QueryError(
+                    f"atom arguments must be Variables, got {argument!r}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(self.arguments)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(v) for v in self.arguments)
+        return f"{self.relation}({inner})"

@@ -1,0 +1,42 @@
+"""Relational data layer: schemas, databases, labelings, products, I/O."""
+
+from repro.data.database import Database, DatabaseBuilder, Fact
+from repro.data.labeling import (
+    NEGATIVE,
+    POSITIVE,
+    Labeling,
+    TrainingDatabase,
+)
+from repro.data.product import (
+    direct_product,
+    disjoint_union,
+    pointed_product,
+    power,
+)
+from repro.data.stats import DatabaseProfile, profile
+from repro.data.schema import (
+    ENTITY_SYMBOL,
+    EntitySchema,
+    RelationSymbol,
+    Schema,
+)
+
+__all__ = [
+    "Database",
+    "DatabaseBuilder",
+    "Fact",
+    "Labeling",
+    "TrainingDatabase",
+    "POSITIVE",
+    "NEGATIVE",
+    "RelationSymbol",
+    "Schema",
+    "EntitySchema",
+    "ENTITY_SYMBOL",
+    "DatabaseProfile",
+    "profile",
+    "direct_product",
+    "pointed_product",
+    "disjoint_union",
+    "power",
+]

@@ -1,0 +1,317 @@
+"""Facts and databases over relational schemas (paper, Section 2).
+
+A *fact* is an expression ``R(a1, ..., ak)`` where ``R`` is a k-ary relation
+symbol and the ``ai`` are universe elements (any hashable Python values).  A
+*database* is a finite set of facts; its *domain* is the set of elements
+occurring in its facts.
+
+:class:`Database` is immutable and hashable, indexes its facts by relation
+name for fast query evaluation, and knows about entity schemas (the paper's
+``η(D)`` set of entities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.data.schema import ENTITY_SYMBOL, EntitySchema, RelationSymbol, Schema
+from repro.exceptions import DatabaseError, SchemaError
+
+__all__ = ["Fact", "Database", "DatabaseBuilder"]
+
+Element = Any
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """A single fact ``relation(arguments)``.
+
+    ``arguments`` is stored as a tuple; elements may be any hashable values
+    (strings and integers in practice).
+    """
+
+    relation: str
+    arguments: Tuple[Element, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arguments", tuple(self.arguments))
+        if not self.relation:
+            raise DatabaseError("fact relation name must be nonempty")
+        if len(self.arguments) < 1:
+            raise DatabaseError(
+                f"fact over {self.relation!r} must have at least one argument"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+    @property
+    def elements(self) -> FrozenSet[Element]:
+        return frozenset(self.arguments)
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(a) if isinstance(a, str) else str(a)
+                          for a in self.arguments)
+        return f"{self.relation}({inner})"
+
+
+class Database:
+    """An immutable finite set of facts with per-relation indexes.
+
+    Parameters
+    ----------
+    facts:
+        The facts of the database.
+    schema:
+        Optional schema; when omitted, the schema is inferred from the facts.
+        When provided, every fact must fit it (known symbol, right arity).
+        Passing an :class:`~repro.data.schema.EntitySchema` makes the database
+        entity-aware (see :meth:`entities`).
+    """
+
+    __slots__ = ("_facts", "_schema", "_by_relation", "_domain", "_hash")
+
+    def __init__(
+        self,
+        facts: Iterable[Fact],
+        schema: Optional[Schema] = None,
+    ) -> None:
+        fact_set = frozenset(facts)
+        by_relation: Dict[str, List[Fact]] = {}
+        for fact in sorted(fact_set, key=repr):
+            by_relation.setdefault(fact.relation, []).append(fact)
+
+        if schema is None:
+            schema = Schema(
+                RelationSymbol(name, facts_for[0].arity)
+                for name, facts_for in by_relation.items()
+            )
+        for name, facts_for in by_relation.items():
+            try:
+                arity = schema.arity_of(name)
+            except SchemaError as exc:
+                raise DatabaseError(str(exc)) from exc
+            for fact in facts_for:
+                if fact.arity != arity:
+                    raise DatabaseError(
+                        f"fact {fact} does not match arity {arity} of "
+                        f"relation {name!r}"
+                    )
+
+        domain = frozenset(
+            element for fact in fact_set for element in fact.arguments
+        )
+        self._facts = fact_set
+        self._schema = schema
+        self._by_relation: Mapping[str, Tuple[Fact, ...]] = {
+            name: tuple(facts_for) for name, facts_for in by_relation.items()
+        }
+        self._domain = domain
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls,
+        tuples: Mapping[str, Iterable[Sequence[Element]]],
+        schema: Optional[Schema] = None,
+    ) -> "Database":
+        """Build a database from ``{relation: [tuple, ...]}``.
+
+        One-element tuples may be given as bare elements for convenience
+        *only* when wrapped in a 1-sequence; strings are treated as atomic
+        elements, never iterated.
+        """
+        facts = []
+        for relation, rows in tuples.items():
+            for row in rows:
+                if isinstance(row, (str, bytes)) or not isinstance(
+                    row, Sequence
+                ):
+                    row = (row,)
+                facts.append(Fact(relation, tuple(row)))
+        return cls(facts, schema=schema)
+
+    def builder(self) -> "DatabaseBuilder":
+        """A mutable builder pre-populated with this database's facts."""
+        builder = DatabaseBuilder(schema=self._schema)
+        for fact in self._facts:
+            builder.add_fact(fact)
+        return builder
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        return self._facts
+
+    @property
+    def domain(self) -> FrozenSet[Element]:
+        """``dom(D)``: the elements occurring in the facts of the database."""
+        return self._domain
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of relations with at least one fact, sorted."""
+        return tuple(sorted(self._by_relation))
+
+    def facts_of(self, relation: str) -> Tuple[Fact, ...]:
+        """All facts over the given relation (empty tuple if none)."""
+        return self._by_relation.get(relation, ())
+
+    def tuples_of(self, relation: str) -> Tuple[Tuple[Element, ...], ...]:
+        """Argument tuples of all facts over ``relation``."""
+        return tuple(fact.arguments for fact in self.facts_of(relation))
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._facts, key=repr))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._facts)
+        return self._hash
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(fact) for fact in list(self)[:6])
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"{type(self).__name__}({{{preview}{suffix}}})"
+
+    # ------------------------------------------------------------------
+    # Entity support (Section 3)
+    # ------------------------------------------------------------------
+
+    @property
+    def entity_symbol(self) -> str:
+        """The entity relation name (``eta`` unless the schema overrides it)."""
+        if isinstance(self._schema, EntitySchema):
+            return self._schema.entity_symbol
+        return ENTITY_SYMBOL
+
+    def entities(self) -> FrozenSet[Element]:
+        """``η(D)``: elements ``a`` with ``η(a)`` a fact of the database."""
+        return frozenset(
+            fact.arguments[0] for fact in self.facts_of(self.entity_symbol)
+        )
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Database") -> "Database":
+        """Set union of facts (schemas are merged; arities must agree)."""
+        return Database(
+            self._facts | other._facts,
+            schema=self._schema.union(other._schema),
+        )
+
+    def restrict_to_relations(self, names: Iterable[str]) -> "Database":
+        """Keep only facts over the given relation names."""
+        wanted = set(names)
+        return Database(
+            (fact for fact in self._facts if fact.relation in wanted),
+            schema=self._schema.restrict(wanted),
+        )
+
+    def restrict_to_elements(self, elements: Iterable[Element]) -> "Database":
+        """Keep only facts all of whose arguments lie in ``elements``."""
+        allowed = set(elements)
+        return Database(
+            (
+                fact
+                for fact in self._facts
+                if all(a in allowed for a in fact.arguments)
+            ),
+            schema=self._schema,
+        )
+
+    def rename_elements(
+        self, mapping: Mapping[Element, Element]
+    ) -> "Database":
+        """Apply an element renaming; unmapped elements are kept as-is."""
+        return Database(
+            (
+                Fact(
+                    fact.relation,
+                    tuple(mapping.get(a, a) for a in fact.arguments),
+                )
+                for fact in self._facts
+            ),
+            schema=self._schema,
+        )
+
+    def with_schema(self, schema: Schema) -> "Database":
+        """The same facts, revalidated under a (usually richer) schema."""
+        return Database(self._facts, schema=schema)
+
+
+class DatabaseBuilder:
+    """A mutable accumulator of facts, finalized into a :class:`Database`.
+
+    Useful in generators that add facts incrementally::
+
+        builder = DatabaseBuilder()
+        builder.add("edge", 1, 2).add("edge", 2, 3)
+        builder.add_entity("a")
+        database = builder.build()
+    """
+
+    def __init__(self, schema: Optional[Schema] = None) -> None:
+        self._facts: List[Fact] = []
+        self._schema = schema
+
+    def add(self, relation: str, *arguments: Element) -> "DatabaseBuilder":
+        self._facts.append(Fact(relation, tuple(arguments)))
+        return self
+
+    def add_fact(self, fact: Fact) -> "DatabaseBuilder":
+        self._facts.append(fact)
+        return self
+
+    def add_entity(
+        self, element: Element, entity_symbol: str = ENTITY_SYMBOL
+    ) -> "DatabaseBuilder":
+        """Declare ``element`` an entity by adding the fact ``η(element)``."""
+        return self.add(entity_symbol, element)
+
+    def extend(self, facts: Iterable[Fact]) -> "DatabaseBuilder":
+        self._facts.extend(facts)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def build(self, schema: Optional[Schema] = None) -> Database:
+        return Database(self._facts, schema=schema or self._schema)

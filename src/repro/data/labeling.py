@@ -1,0 +1,200 @@
+"""Labelings and training databases (paper, Section 3).
+
+A *labeling* of a database ``D`` maps every entity of ``η(D)`` to ``+1``
+(positive example) or ``-1`` (negative example).  A *training database* is a
+pair ``(D, λ)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from repro.data.database import Database
+from repro.exceptions import LabelingError
+
+__all__ = ["POSITIVE", "NEGATIVE", "Labeling", "TrainingDatabase"]
+
+Element = Any
+
+#: Label of positive examples.
+POSITIVE = 1
+#: Label of negative examples.
+NEGATIVE = -1
+
+_VALID_LABELS = (POSITIVE, NEGATIVE)
+
+
+class Labeling:
+    """An immutable mapping from entities to ``{+1, -1}``."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Mapping[Element, int]) -> None:
+        clean: Dict[Element, int] = {}
+        for entity, label in labels.items():
+            if label not in _VALID_LABELS:
+                raise LabelingError(
+                    f"label of {entity!r} must be +1 or -1, got {label!r}"
+                )
+            clean[entity] = label
+        self._labels: Mapping[Element, int] = clean
+
+    @classmethod
+    def from_examples(
+        cls,
+        positive: Iterable[Element],
+        negative: Iterable[Element],
+    ) -> "Labeling":
+        """Build a labeling from explicit positive/negative example sets."""
+        labels: Dict[Element, int] = {}
+        for entity in positive:
+            labels[entity] = POSITIVE
+        for entity in negative:
+            if labels.get(entity) == POSITIVE:
+                raise LabelingError(
+                    f"entity {entity!r} is both a positive and a negative example"
+                )
+            labels[entity] = NEGATIVE
+        return cls(labels)
+
+    def __getitem__(self, entity: Element) -> int:
+        try:
+            return self._labels[entity]
+        except KeyError:
+            raise LabelingError(f"entity {entity!r} has no label") from None
+
+    def __call__(self, entity: Element) -> int:
+        return self[entity]
+
+    def __contains__(self, entity: object) -> bool:
+        return entity in self._labels
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Labeling):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._labels.items()))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({dict(self._labels)!r})"
+
+    @property
+    def positives(self) -> FrozenSet[Element]:
+        return frozenset(e for e, y in self._labels.items() if y == POSITIVE)
+
+    @property
+    def negatives(self) -> FrozenSet[Element]:
+        return frozenset(e for e, y in self._labels.items() if y == NEGATIVE)
+
+    def items(self) -> Iterable[Tuple[Element, int]]:
+        return self._labels.items()
+
+    def as_dict(self) -> Dict[Element, int]:
+        return dict(self._labels)
+
+    def flip(self, entities: Iterable[Element]) -> "Labeling":
+        """A new labeling with the labels of ``entities`` negated."""
+        flipped = dict(self._labels)
+        for entity in entities:
+            flipped[entity] = -self[entity]
+        return Labeling(flipped)
+
+    def disagreement(self, other: "Labeling") -> int:
+        """Number of entities on which the two labelings differ.
+
+        Both labelings must be over the same entity set.
+        """
+        if set(self._labels) != set(other._labels):
+            raise LabelingError(
+                "cannot compare labelings over different entity sets"
+            )
+        return sum(
+            1 for entity, label in self._labels.items() if other[entity] != label
+        )
+
+
+class TrainingDatabase:
+    """A pair ``(D, λ)`` of a database and a labeling of its entities.
+
+    The labeling must assign a label to *every* entity of ``η(D)`` and to
+    nothing else.
+    """
+
+    __slots__ = ("_database", "_labeling")
+
+    def __init__(self, database: Database, labeling: Labeling) -> None:
+        entities = database.entities()
+        labeled = set(labeling)
+        if labeled != set(entities):
+            missing = sorted(map(repr, entities - labeled))
+            extra = sorted(map(repr, labeled - entities))
+            parts = []
+            if missing:
+                parts.append(f"unlabeled entities: {', '.join(missing)}")
+            if extra:
+                parts.append(f"labels for non-entities: {', '.join(extra)}")
+            raise LabelingError("; ".join(parts))
+        self._database = database
+        self._labeling = labeling
+
+    @classmethod
+    def from_examples(
+        cls,
+        database: Database,
+        positive: Iterable[Element],
+        negative: Iterable[Element],
+    ) -> "TrainingDatabase":
+        return cls(database, Labeling.from_examples(positive, negative))
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
+    def labeling(self) -> Labeling:
+        return self._labeling
+
+    @property
+    def entities(self) -> FrozenSet[Element]:
+        return self._database.entities()
+
+    @property
+    def positives(self) -> FrozenSet[Element]:
+        return self._labeling.positives
+
+    @property
+    def negatives(self) -> FrozenSet[Element]:
+        return self._labeling.negatives
+
+    def label(self, entity: Element) -> int:
+        return self._labeling[entity]
+
+    def relabel(self, labeling: Labeling) -> "TrainingDatabase":
+        """The same database under a different labeling."""
+        return TrainingDatabase(self._database, labeling)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrainingDatabase):
+            return NotImplemented
+        return (
+            self._database == other._database
+            and self._labeling == other._labeling
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._database, self._labeling))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(|D|={len(self._database)}, "
+            f"|eta|={len(self._labeling)}, "
+            f"+{len(self.positives)}/-{len(self.negatives)})"
+        )

@@ -1,0 +1,200 @@
+"""Direct products and disjoint unions of databases (paper, Section 6.1).
+
+The *direct product* ``D1 × D2`` has domain ``dom(D1) × dom(D2)`` and a fact
+``R((a1,b1), ..., (ak,bk))`` whenever ``R(a1,...,ak) ∈ D1`` and
+``R(b1,...,bk) ∈ D2``.  Products are the central tool of the
+product-homomorphism method for Query-By-Example (ten Cate & Dalmau [32]):
+the product of the positive examples is the most specific candidate
+explanation.
+
+Products of pointed databases multiply the distinguished points component-wise.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from itertools import product as iter_product
+from typing import Any, List, Sequence, Tuple
+
+from repro.data.database import Database, Fact
+from repro.exceptions import DatabaseError
+
+__all__ = [
+    "direct_product",
+    "pointed_product",
+    "pointed_product_component",
+    "disjoint_union",
+    "power",
+]
+
+Element = Any
+
+
+def direct_product(left: Database, right: Database) -> Database:
+    """The direct product of two databases over merged schemas.
+
+    Only relations present in both databases can contribute facts; elements of
+    the product are pairs ``(a, b)``.
+    """
+    facts: List[Fact] = []
+    shared = set(left.relation_names) & set(right.relation_names)
+    for relation in shared:
+        for fact_left in left.facts_of(relation):
+            for fact_right in right.facts_of(relation):
+                arguments = tuple(
+                    zip(fact_left.arguments, fact_right.arguments)
+                )
+                facts.append(Fact(relation, arguments))
+    return Database(facts, schema=left.schema.union(right.schema))
+
+
+def pointed_product(
+    pointed: Sequence[Tuple[Database, Element]],
+) -> Tuple[Database, Element]:
+    """The product of pointed databases ``(D_i, a_i)``.
+
+    Returns ``(P, ā)`` where ``P`` is the n-ary direct product and ``ā`` the
+    tuple of distinguished points.  Elements of ``P`` are n-tuples.  This is
+    the canonical QBE candidate for positive examples ``a_1, ..., a_n`` all
+    living in (copies of) their databases.
+    """
+    if not pointed:
+        raise DatabaseError("pointed_product requires at least one factor")
+    databases = [database for database, _ in pointed]
+    points = tuple(point for _, point in pointed)
+    for database, point in pointed:
+        if point not in database.domain:
+            raise DatabaseError(
+                f"distinguished point {point!r} not in dom(D)"
+            )
+    if len(databases) == 1:
+        # Normalize to 1-tuples so the element shape is uniform.
+        database = databases[0].rename_elements(
+            {element: (element,) for element in databases[0].domain}
+        )
+        return database, (points[0],)
+
+    schema = reduce(lambda s, d: s.union(d.schema), databases[1:],
+                    databases[0].schema)
+    shared = set(databases[0].relation_names)
+    for database in databases[1:]:
+        shared &= set(database.relation_names)
+
+    facts: List[Fact] = []
+    for relation in shared:
+        fact_lists = [database.facts_of(relation) for database in databases]
+        for combo in iter_product(*fact_lists):
+            arguments = tuple(
+                zip(*(fact.arguments for fact in combo))
+            )
+            facts.append(Fact(relation, arguments))
+    return Database(facts, schema=schema), points
+
+
+def pointed_product_component(
+    pointed: Sequence[Tuple[Database, Element]],
+) -> Tuple[Database, Element]:
+    """The connected component of the distinguished point of the product.
+
+    Built by breadth-first expansion from the point, so the (often
+    enormous) disconnected remainder of the product is never materialized.
+    Sound for homomorphism- and cover-game-based reasoning about the
+    pointed product: every component of a product of copies of the factors
+    maps into each factor by projection, so only the point's component
+    constrains ``(P, ā) → (D, b)`` — and, through Prop 5.2, ``→_k``.
+    """
+    if not pointed:
+        raise DatabaseError("pointed_product_component requires factors")
+    databases = [database for database, _ in pointed]
+    for database, point in pointed:
+        if point not in database.domain:
+            raise DatabaseError(
+                f"distinguished point {point!r} not in dom(D)"
+            )
+    points = tuple(point for _, point in pointed)
+    n = len(databases)
+    schema = reduce(
+        lambda s, d: s.union(d.schema), databases[1:], databases[0].schema
+    )
+    shared = set(databases[0].relation_names)
+    for database in databases[1:]:
+        shared &= set(database.relation_names)
+
+    # Per factor: (relation, position, element) -> facts.
+    indexes: List[dict] = []
+    for database in databases:
+        index: dict = {}
+        for relation in shared:
+            for fact in database.facts_of(relation):
+                for position, element in enumerate(fact.arguments):
+                    index.setdefault(
+                        (relation, position, element), []
+                    ).append(fact)
+        indexes.append(index)
+
+    seen_tuples = {points}
+    seen_facts = set()
+    facts: List[Fact] = []
+    frontier: List[Tuple[Element, ...]] = [points]
+    while frontier:
+        current = frontier.pop()
+        for relation in shared:
+            arity = databases[0].schema.arity_of(relation)
+            for position in range(arity):
+                fact_lists = [
+                    indexes[j].get((relation, position, current[j]), ())
+                    for j in range(n)
+                ]
+                if any(not facts_for for facts_for in fact_lists):
+                    continue
+                for combo in iter_product(*fact_lists):
+                    arguments = tuple(
+                        zip(*(fact.arguments for fact in combo))
+                    )
+                    product_fact = Fact(relation, arguments)
+                    if product_fact in seen_facts:
+                        continue
+                    seen_facts.add(product_fact)
+                    facts.append(product_fact)
+                    for argument in arguments:
+                        if argument not in seen_tuples:
+                            seen_tuples.add(argument)
+                            frontier.append(argument)
+    return Database(facts, schema=schema), points
+
+
+def power(database: Database, exponent: int) -> Database:
+    """The ``exponent``-fold direct product of a database with itself.
+
+    Elements are flat ``exponent``-tuples.
+    """
+    if exponent < 1:
+        raise DatabaseError("power requires a positive exponent")
+    facts: List[Fact] = []
+    for relation in database.relation_names:
+        rows = database.facts_of(relation)
+        for combo in iter_product(rows, repeat=exponent):
+            arguments = tuple(zip(*(fact.arguments for fact in combo)))
+            facts.append(Fact(relation, arguments))
+    return Database(facts, schema=database.schema)
+
+
+def disjoint_union(
+    left: Database,
+    right: Database,
+    tags: Tuple[str, str] = ("L", "R"),
+) -> Database:
+    """The disjoint union, with elements tagged to avoid collisions.
+
+    Every element ``a`` of the left database becomes ``(tags[0], a)`` and
+    similarly for the right; the tags must differ.
+    """
+    if tags[0] == tags[1]:
+        raise DatabaseError("disjoint_union tags must differ")
+    left_renamed = left.rename_elements(
+        {element: (tags[0], element) for element in left.domain}
+    )
+    right_renamed = right.rename_elements(
+        {element: (tags[1], element) for element in right.domain}
+    )
+    return left_renamed.union(right_renamed)

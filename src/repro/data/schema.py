@@ -1,0 +1,189 @@
+"""Relational schemas and entity schemas (paper, Section 2 and Section 3).
+
+A *schema* is a finite set of relation symbols, each with a positive arity.
+An *entity schema* additionally distinguishes one unary relation symbol
+(written ``eta`` / ``η`` in the paper) whose members are the entities to be
+classified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.exceptions import SchemaError
+
+__all__ = ["RelationSymbol", "Schema", "EntitySchema", "ENTITY_SYMBOL"]
+
+#: Conventional name of the distinguished entity relation (the paper's ``η``).
+ENTITY_SYMBOL = "eta"
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A named relation symbol with a fixed arity.
+
+    Two symbols are equal iff both their name and arity agree; a schema never
+    contains two symbols with the same name.
+    """
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation symbol name must be nonempty")
+        if self.arity < 1:
+            raise SchemaError(
+                f"relation symbol {self.name!r} must have positive arity, "
+                f"got {self.arity}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """An immutable finite set of relation symbols indexed by name."""
+
+    __slots__ = ("_symbols",)
+
+    def __init__(self, symbols: Iterable[RelationSymbol]) -> None:
+        by_name: Dict[str, RelationSymbol] = {}
+        for symbol in symbols:
+            existing = by_name.get(symbol.name)
+            if existing is not None and existing != symbol:
+                raise SchemaError(
+                    f"conflicting arities for relation {symbol.name!r}: "
+                    f"{existing.arity} and {symbol.arity}"
+                )
+            by_name[symbol.name] = symbol
+        self._symbols: Mapping[str, RelationSymbol] = dict(
+            sorted(by_name.items())
+        )
+
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "Schema":
+        """Build a schema from a ``{name: arity}`` mapping."""
+        return cls(RelationSymbol(name, arity) for name, arity in arities.items())
+
+    @property
+    def symbols(self) -> Tuple[RelationSymbol, ...]:
+        return tuple(self._symbols.values())
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._symbols.keys())
+
+    @property
+    def max_arity(self) -> int:
+        """The arity of the schema: the maximum arity of any symbol (0 if empty)."""
+        if not self._symbols:
+            return 0
+        return max(symbol.arity for symbol in self._symbols.values())
+
+    def arity_of(self, name: str) -> int:
+        return self[name].arity
+
+    def __getitem__(self, name: str) -> RelationSymbol:
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation symbol {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, RelationSymbol):
+            return self._symbols.get(name.name) == name
+        return name in self._symbols
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._symbols.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(symbol) for symbol in self._symbols.values())
+        return f"{type(self).__name__}({{{inner}}})"
+
+    def union(self, other: "Schema") -> "Schema":
+        """The smallest schema containing both operands (arities must agree)."""
+        return Schema(tuple(self.symbols) + tuple(other.symbols))
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """The sub-schema with only the given symbol names."""
+        wanted = set(names)
+        return Schema(symbol for symbol in self if symbol.name in wanted)
+
+
+class EntitySchema(Schema):
+    """A schema with a distinguished unary entity symbol (the paper's ``η``).
+
+    The entity symbol defaults to :data:`ENTITY_SYMBOL` and is added to the
+    schema automatically when absent.
+    """
+
+    __slots__ = ("_entity_symbol",)
+
+    def __init__(
+        self,
+        symbols: Iterable[RelationSymbol],
+        entity_symbol: str = ENTITY_SYMBOL,
+    ) -> None:
+        symbols = list(symbols)
+        names = {symbol.name for symbol in symbols}
+        if entity_symbol not in names:
+            symbols.append(RelationSymbol(entity_symbol, 1))
+        super().__init__(symbols)
+        if self[entity_symbol].arity != 1:
+            raise SchemaError(
+                f"entity symbol {entity_symbol!r} must be unary, "
+                f"got arity {self[entity_symbol].arity}"
+            )
+        self._entity_symbol = entity_symbol
+
+    @classmethod
+    def from_arities(
+        cls,
+        arities: Mapping[str, int],
+        entity_symbol: str = ENTITY_SYMBOL,
+    ) -> "EntitySchema":
+        return cls(
+            (RelationSymbol(name, arity) for name, arity in arities.items()),
+            entity_symbol=entity_symbol,
+        )
+
+    @property
+    def entity_symbol(self) -> str:
+        """Name of the distinguished unary relation of entities."""
+        return self._entity_symbol
+
+    @property
+    def non_entity_symbols(self) -> Tuple[RelationSymbol, ...]:
+        return tuple(s for s in self if s.name != self._entity_symbol)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntitySchema):
+            return NotImplemented
+        return (
+            self._entity_symbol == other._entity_symbol
+            and Schema.__eq__(self, other)
+        )
+
+    def __hash__(self) -> int:
+        return hash((Schema.__hash__(self), self._entity_symbol))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(symbol) for symbol in self)
+        return (
+            f"{type(self).__name__}({{{inner}}}, "
+            f"entity_symbol={self._entity_symbol!r})"
+        )

@@ -1,0 +1,88 @@
+"""Database profiling: sizes, arities, and entity statistics.
+
+Backs the CLI's ``info`` command and helps choosing regularization
+parameters: the schema arity bounds the CQ[m] pool (Prop 4.1's
+``2^{q(k)}`` factor), and the entity count bounds the GHW(k) statistic
+dimension (Prop 5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.data.database import Database
+from repro.data.labeling import TrainingDatabase
+
+__all__ = ["DatabaseProfile", "profile"]
+
+
+@dataclass(frozen=True)
+class DatabaseProfile:
+    """Summary statistics of a (possibly labeled) database."""
+
+    n_facts: int
+    n_elements: int
+    n_entities: int
+    max_arity: int
+    facts_per_relation: Tuple[Tuple[str, int], ...]
+    n_positive: Optional[int] = None
+    n_negative: Optional[int] = None
+
+    @property
+    def n_relations(self) -> int:
+        return len(self.facts_per_relation)
+
+    @property
+    def imbalance(self) -> Optional[float]:
+        """Fraction of positive entities, if labels are known."""
+        if self.n_positive is None or self.n_negative is None:
+            return None
+        total = self.n_positive + self.n_negative
+        return self.n_positive / total if total else 0.0
+
+    def __str__(self) -> str:
+        lines = [
+            f"facts:     {self.n_facts}",
+            f"elements:  {self.n_elements}",
+            f"entities:  {self.n_entities}",
+            f"max arity: {self.max_arity}",
+            "relations:",
+        ]
+        for relation, count in self.facts_per_relation:
+            lines.append(f"  {relation}: {count}")
+        if self.n_positive is not None:
+            lines.append(
+                f"labels:    +{self.n_positive} / -{self.n_negative}"
+            )
+        return "\n".join(lines)
+
+
+def profile(
+    database: Database, training: Optional[TrainingDatabase] = None
+) -> DatabaseProfile:
+    """Compute summary statistics; pass a training database for label counts."""
+    facts_per_relation = tuple(
+        (relation, len(database.facts_of(relation)))
+        for relation in database.relation_names
+    )
+    max_arity = max(
+        (
+            database.schema.arity_of(relation)
+            for relation in database.relation_names
+        ),
+        default=0,
+    )
+    n_positive = n_negative = None
+    if training is not None:
+        n_positive = len(training.positives)
+        n_negative = len(training.negatives)
+    return DatabaseProfile(
+        n_facts=len(database),
+        n_elements=len(database.domain),
+        n_entities=len(database.entities()),
+        max_arity=max_arity,
+        facts_per_relation=facts_per_relation,
+        n_positive=n_positive,
+        n_negative=n_negative,
+    )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch one base class to handle any failure produced by this package while
+letting genuine programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "DatabaseError",
+    "QueryError",
+    "ParseError",
+    "LabelingError",
+    "DecompositionError",
+    "SeparabilityError",
+    "NotSeparableError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or used inconsistently (wrong arity, unknown symbol)."""
+
+
+class DatabaseError(ReproError):
+    """A database is malformed or an operation received an incompatible database."""
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed (free variables, arity mismatch, ...)."""
+
+
+class ParseError(QueryError):
+    """The textual query/database syntax could not be parsed."""
+
+
+class LabelingError(ReproError):
+    """A labeling does not match the entities of its database."""
+
+
+class DecompositionError(ReproError):
+    """A tree decomposition is invalid for the query it claims to decompose."""
+
+
+class SeparabilityError(ReproError):
+    """A separability routine was invoked with inconsistent arguments."""
+
+
+class NotSeparableError(SeparabilityError):
+    """A generation/classification routine requires a separable input but got none."""
+
+
+class SolverError(ReproError):
+    """The underlying LP/optimization backend failed unexpectedly."""

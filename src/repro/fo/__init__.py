@@ -1,0 +1,43 @@
+"""First-order feature languages: FO-separability and dimension properties."""
+
+from repro.fo.dimension_properties import (
+    alternation_lower_bound,
+    closed_under_intersection,
+    intersection_closure_witness,
+    is_linear_family,
+)
+from repro.fo.fragments import (
+    EXISTENTIAL_POSITIVE,
+    FO,
+    ExistentialPositive,
+    FirstOrder,
+)
+from repro.fo.isomorphism import (
+    isomorphism_classes,
+    pointed_isomorphic,
+    to_colored_graph,
+)
+from repro.fo.separability import (
+    FoSeparability,
+    fo_classify,
+    fo_separability,
+    fo_separable,
+)
+
+__all__ = [
+    "FirstOrder",
+    "ExistentialPositive",
+    "FO",
+    "EXISTENTIAL_POSITIVE",
+    "pointed_isomorphic",
+    "isomorphism_classes",
+    "to_colored_graph",
+    "FoSeparability",
+    "fo_separability",
+    "fo_separable",
+    "fo_classify",
+    "closed_under_intersection",
+    "intersection_closure_witness",
+    "is_linear_family",
+    "alternation_lower_bound",
+]

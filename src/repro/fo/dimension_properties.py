@@ -1,0 +1,114 @@
+"""Dimension-collapse and unbounded-dimension properties (paper, Section 8).
+
+Theorem 8.4 characterizes the dimension-collapse property of a language L by
+a definability condition: for every database, the family
+``∪_{q ∈ L} {q(D), η(D) \\ q(D)}`` must be closed under intersection.  This
+module provides the finite checker for that condition (applied to the
+realizable dichotomies computed by :mod:`repro.core.dimension`), and the
+linear-family machinery of Prop 8.6 used to prove the unbounded-dimension
+property of CQ, GHW(k) and Σ⁺_k (Theorem 8.7).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.data.labeling import TrainingDatabase
+from repro.exceptions import SeparabilityError
+
+__all__ = [
+    "closed_under_intersection",
+    "intersection_closure_witness",
+    "is_linear_family",
+    "alternation_lower_bound",
+]
+
+Element = Any
+
+
+def _with_complements(
+    sets: Iterable[FrozenSet[Element]], universe: FrozenSet[Element]
+) -> Set[FrozenSet[Element]]:
+    family: Set[FrozenSet[Element]] = set()
+    for entity_set in sets:
+        family.add(frozenset(entity_set))
+        family.add(universe - entity_set)
+    return family
+
+
+def intersection_closure_witness(
+    sets: Iterable[FrozenSet[Element]],
+    universe: Iterable[Element],
+) -> Optional[Tuple[FrozenSet[Element], FrozenSet[Element]]]:
+    """A pair of family members whose intersection escapes the family.
+
+    The family is ``{q(D), η(D) \\ q(D) : q ∈ L}`` as in Theorem 8.4;
+    ``None`` means the family is closed under intersection on this database
+    (the collapse condition holds here).
+    """
+    universe_set = frozenset(universe)
+    family = _with_complements(sets, universe_set)
+    members = sorted(family, key=lambda s: (len(s), sorted(map(repr, s))))
+    for i, left in enumerate(members):
+        for right in members[i:]:
+            if left & right not in family:
+                return left, right
+    return None
+
+
+def closed_under_intersection(
+    sets: Iterable[FrozenSet[Element]],
+    universe: Iterable[Element],
+) -> bool:
+    """Theorem 8.4's condition, evaluated on one database's dichotomies."""
+    return intersection_closure_witness(sets, universe) is None
+
+
+def is_linear_family(sets: Iterable[FrozenSet[Element]]) -> bool:
+    """Whether the family is linear: any two members are ⊆-comparable.
+
+    Prop 8.6: if L realizes arbitrarily large linear families, then L has
+    the unbounded-dimension property.
+    """
+    members = sorted(set(map(frozenset, sets)), key=len)
+    for i, left in enumerate(members):
+        for right in members[i + 1:]:
+            if not left <= right:
+                return False
+    return True
+
+
+def alternation_lower_bound(
+    training: TrainingDatabase,
+    chain: Sequence[Element],
+) -> int:
+    """A lower bound on the separating dimension over a linear family.
+
+    If every realizable entity set is a prefix of ``chain`` (a linear
+    family ordered along the chain), then each feature vector coordinate is
+    a threshold function of the chain position, so a statistic of dimension
+    d yields scores that change at most d times along the chain: the number
+    of label alternations along ``chain`` divided by... precisely, at least
+    ``alternations`` thresholds are needed, where ``alternations`` is the
+    number of adjacent label changes minus... we report the simple bound
+    ``alternations`` (each sign change of the score consumes at least one
+    threshold).
+    """
+    labels = [training.label(entity) for entity in chain]
+    if len(labels) != len(set(chain)):
+        raise SeparabilityError("chain must enumerate distinct entities")
+    alternations = sum(
+        1
+        for left, right in zip(labels, labels[1:])
+        if left != right
+    )
+    return alternations

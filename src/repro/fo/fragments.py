@@ -1,0 +1,115 @@
+"""FO fragments as feature languages (paper, Section 8).
+
+Implements the language descriptors needed to *measure* the Section 8
+results over finite databases:
+
+- :class:`FirstOrder` — full FO.  Over a finite database the realizable
+  entity sets are exactly the unions of pointed-isomorphism classes (FO
+  defines each iso type), which makes FO-SEP[ℓ] computable and exhibits the
+  dimension-collapse property of Prop 8.1 concretely: the family is closed
+  under intersection (Theorem 8.4), so one feature always suffices.
+- :class:`ExistentialPositive` — ∃FO⁺.  By Prop 8.3(2) its separability
+  coincides with CQ's; dichotomies are delegated to the CQ machinery.
+
+Fragments in between (FOₖ, Σₖ) have the collapse property per Cor 8.5; over
+the finite databases this library manipulates, their realizable families
+coincide with full FO's once k exceeds the database size, so
+:class:`FirstOrder` doubles as their measurable proxy (documented rather
+than separately implemented).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, FrozenSet, Iterable, List, Sequence
+
+from repro.data.database import Database
+from repro.exceptions import SeparabilityError
+from repro.fo.isomorphism import isomorphism_classes
+
+__all__ = ["FirstOrder", "ExistentialPositive", "FO", "EXISTENTIAL_POSITIVE"]
+
+Element = Any
+
+
+class FirstOrder:
+    """Full first-order logic as a feature language (finite-model view)."""
+
+    name = "FO"
+    has_dimension_collapse = True  # Prop 8.1
+
+    def entity_dichotomies(
+        self, database: Database, entities: Sequence[Element]
+    ) -> List[FrozenSet[Element]]:
+        """All unions of pointed-isomorphism classes of the entities."""
+        classes = isomorphism_classes(database, entities)
+        if len(classes) > 16:
+            raise SeparabilityError(
+                "too many isomorphism classes to enumerate unions"
+            )
+        family: List[FrozenSet[Element]] = []
+        for r in range(len(classes) + 1):
+            for chosen in combinations(classes, r):
+                family.append(
+                    frozenset(
+                        element for cls in chosen for element in cls
+                    )
+                )
+        return family
+
+    def qbe(
+        self,
+        database: Database,
+        positives: Iterable[Element],
+        negatives: Iterable[Element],
+    ) -> bool:
+        """FO-QBE over a finite database: no positive/negative pair may be
+
+        pointed-isomorphic (then the disjunction of positive iso types is
+        an explanation; conversely FO cannot split an iso class)."""
+        from repro.fo.isomorphism import pointed_isomorphic
+
+        positive_list = list(positives)
+        negative_list = list(negatives)
+        return not any(
+            pointed_isomorphic(
+                database, (positive,), database, (negative,)
+            )
+            for positive in positive_list
+            for negative in negative_list
+        )
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class ExistentialPositive:
+    """∃FO⁺ — separability-equivalent to CQ (Prop 8.3(2))."""
+
+    name = "existential-positive FO"
+    has_dimension_collapse = False  # Theorem 8.7
+
+    def entity_dichotomies(
+        self, database: Database, entities: Sequence[Element]
+    ) -> List[FrozenSet[Element]]:
+        from repro.core.languages import CQ_ALL
+
+        return CQ_ALL.entity_dichotomies(database, entities)
+
+    def qbe(
+        self,
+        database: Database,
+        positives: Iterable[Element],
+        negatives: Iterable[Element],
+    ) -> bool:
+        from repro.core.qbe import cq_qbe
+
+        return cq_qbe(database, positives, negatives)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: Shared instances.
+FO = FirstOrder()
+EXISTENTIAL_POSITIVE = ExistentialPositive()

@@ -1,0 +1,112 @@
+"""Isomorphism of (pointed) relational structures (paper, Section 8).
+
+Over a *finite* database, two entities satisfy the same FO formulas iff the
+pointed structures are isomorphic — FO can axiomatize a finite structure up
+to isomorphism.  FO-SEP therefore reduces to pointed-structure isomorphism
+tests (and is GI-complete, Cor 8.2: Arenas & Díaz [4]).
+
+Databases are encoded as vertex-colored directed graphs — one node per
+element, one per fact, fact→element edges carrying the argument positions —
+and matched with NetworkX's VF2.  Distinguished tuple entries are encoded as
+extra element colors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import networkx as nx
+from networkx.algorithms import isomorphism as nx_iso
+
+from repro.data.database import Database
+from repro.exceptions import DatabaseError
+
+__all__ = [
+    "to_colored_graph",
+    "pointed_isomorphic",
+    "isomorphism_classes",
+]
+
+Element = Any
+
+
+def to_colored_graph(
+    database: Database, pointed: Sequence[Element] = ()
+) -> "nx.DiGraph":
+    """Encode a (pointed) database as a vertex-colored digraph.
+
+    Element nodes are colored by the positions at which they occur in the
+    distinguished tuple; fact nodes by their relation; edges by the argument
+    positions they represent.
+    """
+    graph = nx.DiGraph()
+    point_colors: Dict[Element, Tuple[int, ...]] = {}
+    for index, element in enumerate(pointed):
+        point_colors.setdefault(element, ())
+        point_colors[element] = point_colors[element] + (index,)
+    for element in database.domain:
+        graph.add_node(
+            ("element", element),
+            color=("element", point_colors.get(element, ())),
+        )
+    for fact_id, fact in enumerate(sorted(database.facts, key=repr)):
+        fact_node = ("fact", fact_id)
+        graph.add_node(fact_node, color=("fact", fact.relation))
+        positions: Dict[Element, Tuple[int, ...]] = {}
+        for position, element in enumerate(fact.arguments):
+            positions.setdefault(element, ())
+            positions[element] = positions[element] + (position,)
+        for element, position_tuple in positions.items():
+            graph.add_edge(
+                fact_node, ("element", element), positions=position_tuple
+            )
+    return graph
+
+
+def pointed_isomorphic(
+    left: Database,
+    left_tuple: Sequence[Element],
+    right: Database,
+    right_tuple: Sequence[Element],
+) -> bool:
+    """Whether ``(D, ā) ≅ (D', b̄)`` as pointed structures."""
+    if len(left_tuple) != len(right_tuple):
+        raise DatabaseError("pointed isomorphism requires equal-length tuples")
+    for element in left_tuple:
+        if element not in left.domain:
+            raise DatabaseError(f"{element!r} not in dom(D)")
+    for element in right_tuple:
+        if element not in right.domain:
+            raise DatabaseError(f"{element!r} not in dom(D')")
+    if len(left) != len(right) or len(left.domain) != len(right.domain):
+        return False
+    graph_left = to_colored_graph(left, left_tuple)
+    graph_right = to_colored_graph(right, right_tuple)
+    matcher = nx_iso.DiGraphMatcher(
+        graph_left,
+        graph_right,
+        node_match=lambda a, b: a["color"] == b["color"],
+        edge_match=lambda a, b: a["positions"] == b["positions"],
+    )
+    return matcher.is_isomorphic()
+
+
+def isomorphism_classes(
+    database: Database, elements: Sequence[Element]
+) -> List[Tuple[Element, ...]]:
+    """Partition elements by pointed isomorphism of ``(D, e)``.
+
+    These are exactly the FO-indistinguishability classes over the finite
+    database (Section 8).
+    """
+    classes: List[List[Element]] = []
+    for element in sorted(elements, key=repr):
+        for existing in classes:
+            if pointed_isomorphic(
+                database, (element,), database, (existing[0],)
+            ):
+                existing.append(element)
+                break
+        else:
+            classes.append([element])
+    return [tuple(cls) for cls in classes]

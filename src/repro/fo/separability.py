@@ -1,0 +1,96 @@
+"""FO-separability and FO-classification (paper, Section 8).
+
+Prop 8.1 (dimension collapse): a training database is FO-separable iff a
+*single* FO feature separates it.  Over a finite database, entities are
+FO-indistinguishable iff pointed-isomorphic, and the disjunction of the
+(FO-definable) isomorphism types of the positive entities is a separating
+single feature whenever no positive/negative pair shares a type.  Hence:
+
+    (D, λ) is FO-separable  iff  no differently-labeled pair of entities
+                                 has isomorphic pointed structures,
+
+which also yields FO-CLS: a new entity is positive iff its pointed
+evaluation structure is isomorphic to some positive training entity's
+(matching no training type defaults to negative — the disjunction formula
+is false there).  Cor 8.2's GI-completeness shows in the cost profile: each
+test is one graph-isomorphism instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.data.database import Database
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.exceptions import NotSeparableError
+from repro.fo.isomorphism import isomorphism_classes, pointed_isomorphic
+
+__all__ = ["FoSeparability", "fo_separability", "fo_separable", "fo_classify"]
+
+Element = Any
+
+
+@dataclass(frozen=True)
+class FoSeparability:
+    """Outcome of the FO-separability test with witnesses."""
+
+    separable: bool
+    violations: Tuple[Tuple[Element, Element], ...]
+    classes: Tuple[Tuple[Element, ...], ...]
+
+    def __bool__(self) -> bool:
+        return self.separable
+
+
+def fo_separability(training: TrainingDatabase) -> FoSeparability:
+    """The FO-SEP test: differently-labeled entities must differ in iso type."""
+    classes = isomorphism_classes(
+        training.database, sorted(training.entities, key=repr)
+    )
+    violations: List[Tuple[Element, Element]] = []
+    for cls in classes:
+        labels = {training.label(entity) for entity in cls}
+        if len(labels) > 1:
+            positive = next(e for e in cls if training.label(e) == 1)
+            negative = next(e for e in cls if training.label(e) == -1)
+            violations.append((positive, negative))
+    return FoSeparability(not violations, tuple(violations), tuple(classes))
+
+
+def fo_separable(training: TrainingDatabase) -> bool:
+    """FO-SEP (= FO-SEP[1] by dimension collapse, Prop 8.1)."""
+    return fo_separability(training).separable
+
+
+def fo_classify(
+    training: TrainingDatabase, evaluation: Database
+) -> Labeling:
+    """FO-CLS: label evaluation entities by the single type-disjunction feature.
+
+    An evaluation entity is positive iff ``(D', f) ≅ (D, e)`` for some
+    positive training entity ``e``; the implicit single FO feature is the
+    disjunction of the positive isomorphism types over the training
+    database.
+    """
+    result = fo_separability(training)
+    if not result.separable:
+        raise NotSeparableError(
+            f"training database is not FO-separable; witness pairs: "
+            f"{result.violations[:3]}"
+        )
+    positive_representatives = [
+        cls[0]
+        for cls in result.classes
+        if training.label(cls[0]) == 1
+    ]
+    labels = {}
+    for entity in sorted(evaluation.entities(), key=repr):
+        matches = any(
+            pointed_isomorphic(
+                evaluation, (entity,), training.database, (representative,)
+            )
+            for representative in positive_representatives
+        )
+        labels[entity] = 1 if matches else -1
+    return Labeling(labels)

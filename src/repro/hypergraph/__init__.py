@@ -1,0 +1,13 @@
+"""Hypergraphs, tree decompositions, and generalized hypertree width."""
+
+from repro.hypergraph.decomposition import TreeDecomposition
+from repro.hypergraph.ghw import decompose, ghw, ghw_at_most
+from repro.hypergraph.hypergraph import QueryHypergraph
+
+__all__ = [
+    "QueryHypergraph",
+    "TreeDecomposition",
+    "decompose",
+    "ghw",
+    "ghw_at_most",
+]

@@ -1,0 +1,137 @@
+"""Tree decompositions of conjunctive queries (paper, Section 5).
+
+A tree decomposition of ``q = ∃ȳ ∧ R_i(x̄_i)`` is a pair ``(T, χ)`` where T
+is a tree and χ assigns to each node a subset of the existential variables ȳ
+such that (1) each atom's existential variables fit in some bag and (2) each
+existential variable induces a connected subtree.  The width of a node is the
+minimal number of atoms covering its bag; the width of the decomposition is
+the maximum node width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.cq.query import CQ
+from repro.cq.terms import Variable
+from repro.exceptions import DecompositionError
+from repro.hypergraph.hypergraph import QueryHypergraph
+
+__all__ = ["TreeDecomposition"]
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """An explicit tree decomposition: bags per node, and tree edges.
+
+    Nodes are integers ``0..n-1``; ``edges`` is a set of unordered pairs.  A
+    single-node decomposition has no edges.  The decomposition validates
+    itself against its query at construction.
+    """
+
+    query: CQ
+    bags: Tuple[FrozenSet[Variable], ...]
+    edges: FrozenSet[Tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "edges",
+            frozenset(tuple(sorted(edge)) for edge in self.edges),
+        )
+        self.validate()
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`DecompositionError` unless this is a valid decomposition."""
+        n = len(self.bags)
+        if n == 0:
+            raise DecompositionError("a decomposition needs at least one node")
+        for left, right in self.edges:
+            if not (0 <= left < n and 0 <= right < n) or left == right:
+                raise DecompositionError(f"invalid tree edge ({left}, {right})")
+        if len(self.edges) != n - 1 or not self._is_connected():
+            raise DecompositionError("decomposition edges do not form a tree")
+
+        existential = self.query.existential_variables
+        for bag in self.bags:
+            if not bag <= existential:
+                raise DecompositionError(
+                    "bags may contain existential variables only"
+                )
+        for atom in self.query.atoms:
+            needed = frozenset(
+                v for v in atom.arguments if v in existential
+            )
+            if needed and not any(needed <= bag for bag in self.bags):
+                raise DecompositionError(
+                    f"atom {atom} is not covered by any bag"
+                )
+        for variable in existential:
+            nodes = [i for i, bag in enumerate(self.bags) if variable in bag]
+            if nodes and not self._induces_subtree(set(nodes)):
+                raise DecompositionError(
+                    f"variable {variable} does not induce a connected subtree"
+                )
+
+    def _adjacency(self) -> Dict[int, Set[int]]:
+        adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(self.bags))}
+        for left, right in self.edges:
+            adjacency[left].add(right)
+            adjacency[right].add(left)
+        return adjacency
+
+    def _is_connected(self) -> bool:
+        adjacency = self._adjacency()
+        seen = {0}
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == len(self.bags)
+
+    def _induces_subtree(self, nodes: Set[int]) -> bool:
+        adjacency = self._adjacency()
+        start = next(iter(nodes))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if neighbor in nodes and neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen == nodes
+
+    # ------------------------------------------------------------------
+
+    def width(self) -> int:
+        """Max over nodes of the minimal atom-cover size of the bag."""
+        hypergraph = QueryHypergraph(self.query)
+        widths: List[int] = []
+        for bag in self.bags:
+            cover = hypergraph.cover_number(bag)
+            if cover is None:
+                raise DecompositionError(
+                    f"bag {sorted(bag)} cannot be covered by atoms"
+                )
+            widths.append(cover)
+        return max(widths, default=0)
+
+    def __len__(self) -> int:
+        return len(self.bags)
+
+    def __str__(self) -> str:
+        bag_strings = [
+            "{" + ", ".join(sorted(str(v) for v in bag)) + "}"
+            for bag in self.bags
+        ]
+        return (
+            f"TreeDecomposition(nodes={bag_strings}, "
+            f"edges={sorted(self.edges)})"
+        )

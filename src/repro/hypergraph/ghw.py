@@ -1,0 +1,144 @@
+"""Deciding generalized hypertree width (paper, Section 5).
+
+``ghw(q) ≤ k`` is decided by a candidate-bag search: candidate bags are the
+subsets of unions of at most k hyperedges (any wider bag cannot have cover
+number ≤ k), and a tree decomposition is assembled recursively — pick a bag
+containing the connector to the parent, split the remaining atoms into
+connected components, recurse per component.  Cycles in the search state
+(component, connector) are pruned; by an excision argument, any decomposable
+state has a repeat-free decomposition, so pruning preserves completeness.
+
+Deciding ghw exactly is NP-hard in general; this implementation is meant for
+the small feature queries this library manipulates and guards against
+explosive inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.cq.query import CQ
+from repro.cq.terms import Variable
+from repro.exceptions import DecompositionError
+from repro.hypergraph.decomposition import TreeDecomposition
+from repro.hypergraph.hypergraph import QueryHypergraph
+
+__all__ = ["decompose", "ghw_at_most", "ghw"]
+
+#: Refuse to enumerate subsets of unions larger than this many variables.
+_MAX_UNION_SIZE = 16
+
+_Edge = FrozenSet[Variable]
+_BagTree = Tuple[FrozenSet[Variable], Tuple["_BagTree", ...]]
+
+
+def _candidate_bags(
+    hypergraph: QueryHypergraph, k: int
+) -> List[FrozenSet[Variable]]:
+    bags: Set[FrozenSet[Variable]] = set()
+    for union in hypergraph.unions_of_edges(k):
+        if len(union) > _MAX_UNION_SIZE:
+            raise DecompositionError(
+                f"bag candidate enumeration over {len(union)} variables "
+                f"exceeds the supported limit ({_MAX_UNION_SIZE})"
+            )
+        elements = sorted(union)
+        for size in range(1, len(elements) + 1):
+            for combo in combinations(elements, size):
+                bags.add(frozenset(combo))
+    return sorted(bags, key=lambda bag: (len(bag), sorted(bag)))
+
+
+def decompose(query: CQ, k: int) -> Optional[TreeDecomposition]:
+    """A tree decomposition of width ≤ k, or ``None`` if ghw(query) > k."""
+    if k < 0:
+        return None
+    hypergraph = QueryHypergraph(query)
+    if not hypergraph.vertices:
+        return TreeDecomposition(query, (frozenset(),), frozenset())
+    if k == 0:
+        return None
+
+    bags = _candidate_bags(hypergraph, k)
+    edges = tuple(sorted(set(hypergraph.nonempty_edges), key=sorted))
+    success: Dict[Tuple[FrozenSet[_Edge], _Edge], _BagTree] = {}
+
+    def solve(
+        component: FrozenSet[_Edge],
+        connector: FrozenSet[Variable],
+        visiting: Set[Tuple[FrozenSet[_Edge], FrozenSet[Variable]]],
+    ) -> Optional[_BagTree]:
+        state = (component, connector)
+        if state in success:
+            return success[state]
+        if state in visiting:
+            return None
+        visiting.add(state)
+        component_vars: Set[Variable] = set(connector)
+        for edge in component:
+            component_vars |= edge
+        try:
+            for bag in bags:
+                if not connector <= bag:
+                    continue
+                if not bag <= component_vars:
+                    continue
+                rest = frozenset(
+                    edge for edge in component if not edge <= bag
+                )
+                if rest == component and bag <= connector:
+                    continue  # no progress possible from this bag
+                children: List[_BagTree] = []
+                failed = False
+                for part in hypergraph.components(sorted(rest, key=sorted), bag):
+                    part_set = frozenset(part)
+                    part_vars: Set[Variable] = set()
+                    for edge in part_set:
+                        part_vars |= edge
+                    child_connector = frozenset(part_vars & bag)
+                    child = solve(part_set, child_connector, visiting)
+                    if child is None:
+                        failed = True
+                        break
+                    children.append(child)
+                if not failed:
+                    tree: _BagTree = (bag, tuple(children))
+                    success[state] = tree
+                    return tree
+            return None
+        finally:
+            visiting.discard(state)
+
+    tree = solve(frozenset(edges), frozenset(), set())
+    if tree is None:
+        return None
+
+    bag_list: List[FrozenSet[Variable]] = []
+    edge_list: List[Tuple[int, int]] = []
+
+    def flatten(node: _BagTree, parent: Optional[int]) -> None:
+        index = len(bag_list)
+        bag_list.append(node[0])
+        if parent is not None:
+            edge_list.append((parent, index))
+        for child in node[1]:
+            flatten(child, index)
+
+    flatten(tree, None)
+    return TreeDecomposition(query, tuple(bag_list), frozenset(edge_list))
+
+
+def ghw_at_most(query: CQ, k: int) -> bool:
+    """Whether ``query`` belongs to the class GHW(k)."""
+    return decompose(query, k) is not None
+
+
+def ghw(query: CQ, max_k: int = 8) -> int:
+    """The exact generalized hypertree width (searches k = 0, 1, 2, ...)."""
+    for k in range(0, max_k + 1):
+        if ghw_at_most(query, k):
+            return k
+    raise DecompositionError(
+        f"ghw exceeds the search bound max_k={max_k}"
+    )

@@ -1,0 +1,118 @@
+"""Hypergraph view of a conjunctive query (paper, Section 5).
+
+Following the Chen–Dalmau definition adopted by the paper, only the
+*existentially quantified* variables of a CQ participate in tree
+decompositions; the hyperedges (for bag-covering purposes) are the
+existential-variable sets of the atoms.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.cq.query import CQ
+from repro.cq.terms import Variable
+
+__all__ = ["QueryHypergraph"]
+
+
+class QueryHypergraph:
+    """The hypergraph of a CQ: vertices are existential variables.
+
+    ``edges`` holds one (possibly empty) frozenset per atom — the atom's
+    existential variables.  Edges may repeat and empty edges are kept so edge
+    indexes align with atom indexes.
+    """
+
+    __slots__ = ("_query", "_vertices", "_edges")
+
+    def __init__(self, query: CQ) -> None:
+        existential = query.existential_variables
+        self._query = query
+        self._vertices: FrozenSet[Variable] = existential
+        self._edges: Tuple[FrozenSet[Variable], ...] = tuple(
+            frozenset(v for v in atom.arguments if v in existential)
+            for atom in query.atoms
+        )
+
+    @property
+    def query(self) -> CQ:
+        return self._query
+
+    @property
+    def vertices(self) -> FrozenSet[Variable]:
+        return self._vertices
+
+    @property
+    def edges(self) -> Tuple[FrozenSet[Variable], ...]:
+        return self._edges
+
+    @property
+    def nonempty_edges(self) -> Tuple[FrozenSet[Variable], ...]:
+        return tuple(edge for edge in self._edges if edge)
+
+    def cover_number(self, bag: FrozenSet[Variable]) -> Optional[int]:
+        """Minimal number of edges whose union covers ``bag`` (None if impossible).
+
+        This is the paper's *width of a node* with bag ``bag``.  Brute force
+        over edge subsets of growing size; fine for the small queries this
+        library decomposes.
+        """
+        if not bag:
+            return 0
+        relevant = [edge for edge in set(self._edges) if edge & bag]
+        union_all: Set[Variable] = set()
+        for edge in relevant:
+            union_all |= edge
+        if not bag <= union_all:
+            return None
+        for size in range(1, len(relevant) + 1):
+            for combo in combinations(relevant, size):
+                union: Set[Variable] = set()
+                for edge in combo:
+                    union |= edge
+                if bag <= union:
+                    return size
+        return None
+
+    def unions_of_edges(self, k: int) -> List[FrozenSet[Variable]]:
+        """All unions of at most ``k`` distinct nonempty edges."""
+        distinct = sorted(set(self.nonempty_edges), key=sorted)
+        unions: Set[FrozenSet[Variable]] = set()
+        for size in range(1, min(k, len(distinct)) + 1):
+            for combo in combinations(distinct, size):
+                union: Set[Variable] = set()
+                for edge in combo:
+                    union |= edge
+                unions.add(frozenset(union))
+        return sorted(unions, key=sorted)
+
+    def components(
+        self,
+        edges: Sequence[FrozenSet[Variable]],
+        separator: FrozenSet[Variable],
+    ) -> List[Tuple[FrozenSet[Variable], ...]]:
+        """Connected components of the given edges after removing ``separator``.
+
+        Two edges are connected when they share a vertex outside the
+        separator.  Edges fully inside the separator belong to no component.
+        """
+        remaining = [edge for edge in edges if edge - separator]
+        components: List[Tuple[FrozenSet[Variable], ...]] = []
+        unvisited = list(range(len(remaining)))
+        while unvisited:
+            seed = unvisited.pop()
+            component = [seed]
+            frontier: Set[Variable] = set(remaining[seed] - separator)
+            changed = True
+            while changed:
+                changed = False
+                for index in list(unvisited):
+                    if (remaining[index] - separator) & frontier:
+                        component.append(index)
+                        frontier |= remaining[index] - separator
+                        unvisited.remove(index)
+                        changed = True
+            components.append(tuple(remaining[i] for i in sorted(component)))
+        return components

@@ -1,0 +1,33 @@
+"""Linear classifiers and exact/approximate linear separability."""
+
+from repro.linsep.approx import (
+    ApproxSeparation,
+    min_errors_exact,
+    min_errors_greedy,
+    separable_with_budget,
+)
+from repro.linsep.classifier import LinearClassifier
+from repro.linsep.lp import (
+    find_separator,
+    is_linearly_separable,
+    separation_margin,
+)
+from repro.linsep.perceptron import train_perceptron
+from repro.linsep.sparse import find_sparse_separator, support_size
+from repro.linsep.simplex import SimplexResult, solve_lp
+
+__all__ = [
+    "LinearClassifier",
+    "separation_margin",
+    "is_linearly_separable",
+    "find_separator",
+    "train_perceptron",
+    "find_sparse_separator",
+    "support_size",
+    "SimplexResult",
+    "solve_lp",
+    "ApproxSeparation",
+    "min_errors_exact",
+    "min_errors_greedy",
+    "separable_with_budget",
+]

@@ -1,0 +1,88 @@
+"""Linear classifiers over ±1 feature vectors (paper, Section 2).
+
+A tuple ``w̄ = (w0, w1, ..., wn)`` defines the classifier::
+
+    Λ_w̄(b1, ..., bn) = 1   if  Σ wi·bi ≥ w0
+                        -1  otherwise
+
+Note the asymmetry: the positive side includes the boundary, exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.exceptions import SeparabilityError
+
+__all__ = ["LinearClassifier"]
+
+
+@dataclass(frozen=True)
+class LinearClassifier:
+    """The paper's ``Λ_w̄`` with weights ``w = (w1..wn)`` and threshold ``w0``."""
+
+    weights: Tuple[float, ...]
+    threshold: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", tuple(self.weights))
+
+    @property
+    def arity(self) -> int:
+        return len(self.weights)
+
+    def score(self, vector: Sequence[int]) -> float:
+        """``Σ wi·bi`` for the given feature vector."""
+        if len(vector) != len(self.weights):
+            raise SeparabilityError(
+                f"classifier arity {len(self.weights)} does not match "
+                f"vector length {len(vector)}"
+            )
+        return sum(w * b for w, b in zip(self.weights, vector))
+
+    def predict(self, vector: Sequence[int]) -> int:
+        """``Λ_w̄(vector)`` ∈ {1, -1}."""
+        return 1 if self.score(vector) >= self.threshold else -1
+
+    def margin(self, vector: Sequence[int], label: int) -> float:
+        """Positive iff the vector is classified as ``label``.
+
+        For positives the margin is ``score - threshold`` (≥ 0 is correct);
+        for negatives it is ``threshold - score`` (> 0 is correct); the
+        boundary itself is reported as 0 either way.
+        """
+        delta = self.score(vector) - self.threshold
+        return delta if label == 1 else -delta
+
+    def errors(
+        self,
+        vectors: Sequence[Sequence[int]],
+        labels: Sequence[int],
+    ) -> int:
+        """Number of misclassified examples."""
+        if len(vectors) != len(labels):
+            raise SeparabilityError("vectors and labels differ in length")
+        return sum(
+            1
+            for vector, label in zip(vectors, labels)
+            if self.predict(vector) != label
+        )
+
+    def separates(
+        self,
+        vectors: Sequence[Sequence[int]],
+        labels: Sequence[int],
+    ) -> bool:
+        """Whether every example is classified according to its label."""
+        return self.errors(vectors, labels) == 0
+
+    @classmethod
+    def constant(cls, arity: int, label: int) -> "LinearClassifier":
+        """The classifier answering ``label`` on every input."""
+        if label == 1:
+            return cls((0.0,) * arity, 0.0)
+        if label == -1:
+            return cls((0.0,) * arity, 1.0)
+        raise SeparabilityError(f"label must be +1 or -1, got {label!r}")

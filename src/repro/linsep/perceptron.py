@@ -1,0 +1,67 @@
+"""Integer perceptron training for exact separating classifiers.
+
+The LP backend decides separability; this module then produces an *exactly
+verifiable* separator: because the training vectors are ±1-integral, the
+classic perceptron update keeps all weights integral, so the final
+classifier can be checked with exact integer arithmetic (no floating-point
+tolerance games).  On separable data the perceptron converges by Novikoff's
+theorem; ``max_updates`` guards the non-separable case (callers should run
+the LP first).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.linsep.classifier import LinearClassifier
+
+__all__ = ["train_perceptron"]
+
+
+def train_perceptron(
+    vectors: Sequence[Sequence[int]],
+    labels: Sequence[int],
+    max_updates: int = 1_000_000,
+) -> Optional[LinearClassifier]:
+    """An integer-weight classifier separating the examples, or ``None``.
+
+    Returns a classifier with ``Λ(v) = label`` for every example when the
+    data is separable and the update budget suffices.  The bias is folded in
+    as an extra always-one coordinate during training; the final threshold
+    is chosen midway so positives sit on/above it and negatives strictly
+    below.
+    """
+    if not vectors:
+        return LinearClassifier((), 0.0)
+    arity = len(vectors[0])
+    augmented = [tuple(vector) + (1,) for vector in vectors]
+    weights = [0] * (arity + 1)
+
+    updates = 0
+    while updates <= max_updates:
+        mistakes = 0
+        for vector, label in zip(augmented, labels):
+            score = sum(w * b for w, b in zip(weights, vector))
+            # Train with a strict margin requirement on both sides so the
+            # final ≥-threshold rule has slack.
+            if label * score <= 0:
+                for index, b in enumerate(vector):
+                    weights[index] += label * b
+                mistakes += 1
+                updates += 1
+                if updates > max_updates:
+                    return None
+        if mistakes == 0:
+            break
+    else:  # pragma: no cover - loop exits via break or return
+        return None
+
+    feature_weights = tuple(float(w) for w in weights[:arity])
+    bias = weights[arity]
+    # Λ(v) = 1 iff Σ w·b ≥ w0; training guarantees label·(w·v + bias) > 0,
+    # i.e. positives have w·v > -bias and negatives w·v < -bias.
+    threshold = float(-bias)
+    classifier = LinearClassifier(feature_weights, threshold)
+    if classifier.separates(vectors, labels):
+        return classifier
+    return None

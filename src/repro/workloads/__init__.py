@@ -1,0 +1,44 @@
+"""Synthetic workload generators and hard-instance families."""
+
+from repro.workloads.bibliography import (
+    bibliography_database,
+    bibliography_schema_concept,
+)
+from repro.workloads.hard_instances import (
+    chain_family,
+    clique_family,
+    example_6_2,
+    minimal_path_feature_length,
+    path_to_marker_query,
+    prime_cycle_family,
+)
+from repro.workloads.molecules import carbonyl_concept, molecule_database
+from repro.workloads.noise import flip_labels, with_noise
+from repro.workloads.retail import premium_buyer_concept, retail_database
+from repro.workloads.random_db import (
+    plant_concept_labeling,
+    random_database,
+    random_labeling,
+    random_training_database,
+)
+
+__all__ = [
+    "random_database",
+    "random_labeling",
+    "random_training_database",
+    "plant_concept_labeling",
+    "bibliography_database",
+    "bibliography_schema_concept",
+    "molecule_database",
+    "carbonyl_concept",
+    "retail_database",
+    "premium_buyer_concept",
+    "example_6_2",
+    "prime_cycle_family",
+    "chain_family",
+    "clique_family",
+    "path_to_marker_query",
+    "minimal_path_feature_length",
+    "flip_labels",
+    "with_noise",
+]

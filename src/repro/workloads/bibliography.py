@@ -1,0 +1,66 @@
+"""A bibliographic relational workload (papers, authors, citations).
+
+This mirrors the paper's motivating scenario of feature generation over a
+multi-relational database [1, 24, 27]: entities are papers, and useful
+features are join queries such as "written by an award-winning author" or
+"cites a paper by the same venue".
+
+The planted concept used for labels is CQ-expressible with two atoms, so
+CQ[2]-separability holds by construction and recovery can be verified.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cq.parser import parse_cq
+from repro.cq.query import CQ
+from repro.data.database import Database, DatabaseBuilder
+from repro.data.labeling import TrainingDatabase
+from repro.workloads.random_db import plant_concept_labeling
+
+__all__ = ["bibliography_schema_concept", "bibliography_database"]
+
+
+def bibliography_schema_concept() -> CQ:
+    """The planted concept: papers with an award-winning author.
+
+    ``q(x) :- eta(x), wrote(a, x), award(a)`` — a two-atom join feature.
+    """
+    return parse_cq("q(x) :- eta(x), wrote(a, x), award(a)")
+
+
+def bibliography_database(
+    n_papers: int = 12,
+    n_authors: int = 6,
+    n_awards: int = 2,
+    citations_per_paper: int = 2,
+    seed: int = 0,
+) -> TrainingDatabase:
+    """A random bibliography labeled by the award-winning-author concept.
+
+    Relations: ``wrote(author, paper)``, ``cites(paper, paper)``,
+    ``award(author)``; every paper is an entity.
+    """
+    rng = random.Random(seed)
+    papers = [f"paper{i}" for i in range(n_papers)]
+    authors = [f"author{i}" for i in range(n_authors)]
+    awarded = rng.sample(authors, min(n_awards, n_authors))
+
+    builder = DatabaseBuilder()
+    for paper in papers:
+        builder.add_entity(paper)
+        for author in rng.sample(authors, rng.randint(1, 2)):
+            builder.add("wrote", author, paper)
+        candidates: List[str] = [p for p in papers if p != paper]
+        for cited in rng.sample(
+            candidates, min(citations_per_paper, len(candidates))
+        ):
+            builder.add("cites", paper, cited)
+    for author in awarded:
+        builder.add("award", author)
+
+    return plant_concept_labeling(
+        builder.build(), bibliography_schema_concept()
+    )

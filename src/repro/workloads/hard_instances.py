@@ -1,0 +1,231 @@
+"""Hard-instance families for the paper's lower-bound theorems.
+
+The supplied paper text omits the appendix constructions of Theorem 5.7 and
+Theorem 6.7, so this module provides substitute families with the same
+certified behaviour (see DESIGN.md §3.5):
+
+- :func:`example_6_2` — the paper's Example 6.2 verbatim (dimension 2 needed).
+- :func:`prime_cycle_family` — disjoint directed cycles of distinct prime
+  lengths, one marked node per cycle.  GHW(1)-separability is decided in
+  polynomial time, yet any *path-shaped* feature selecting a set of cycle
+  entities must have length congruent to a fixed residue modulo every
+  selected prime, so single-feature statistics need ≈ lcm-length queries —
+  super-polynomial in |D| (the measurable shape of Theorems 5.7 / 6.7).
+- :func:`chain_family` — a directed path with alternating labels, realizing
+  the *linear family* condition of Prop 8.6: every realizable entity set is
+  a prefix, so separating dimension grows with the number of label
+  alternations (Theorem 8.7's unbounded-dimension property, measurable).
+"""
+
+from __future__ import annotations
+
+from math import lcm
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.cq.evaluation import evaluate_unary
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.data.database import Database, DatabaseBuilder
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.exceptions import SeparabilityError
+
+__all__ = [
+    "example_6_2",
+    "prime_cycle_family",
+    "chain_family",
+    "clique_family",
+    "path_to_marker_query",
+    "minimal_path_feature_length",
+]
+
+Element = Any
+
+
+def example_6_2() -> TrainingDatabase:
+    """The paper's Example 6.2: separable with 2 features but not with 1."""
+    database = Database.from_tuples(
+        {
+            "R": [("a",)],
+            "S": [("a",), ("c",)],
+            "eta": [("a",), ("b",), ("c",)],
+        }
+    )
+    return TrainingDatabase.from_examples(
+        database, positive=["a", "b"], negative=["c"]
+    )
+
+
+def prime_cycle_family(
+    primes: Sequence[int],
+    positive_indices: Optional[Sequence[int]] = None,
+) -> TrainingDatabase:
+    """Disjoint directed cycles ``C_p`` with one ``G``-marked node each.
+
+    Cycle ``i`` has nodes ``(i, 0) .. (i, p_i - 1)`` with edges
+    ``(i, j) → (i, j+1 mod p_i)``; node ``(i, p_i − 1)`` carries the marker
+    fact ``G((i, p_i − 1))`` and node ``(i, 0)`` is the cycle's entity.  By
+    default entities at even positions in ``primes`` are positive.
+
+    Every node has in- and out-degree one, so tree-shaped (GHW(1)) queries
+    reduce to conjunctions of "the node at net forward distance d from x is
+    marked", and d must satisfy ``d ≡ −1 (mod p_i)`` exactly for the
+    selected cycles — forcing lcm-scale query sizes for low-dimension
+    statistics.
+    """
+    if len(set(primes)) != len(primes):
+        raise SeparabilityError("cycle lengths must be distinct")
+    if any(p < 2 for p in primes):
+        raise SeparabilityError("cycle lengths must be at least 2")
+    if positive_indices is None:
+        positive_indices = [i for i in range(len(primes)) if i % 2 == 0]
+    positive_set = set(positive_indices)
+
+    builder = DatabaseBuilder()
+    positives: List[Element] = []
+    negatives: List[Element] = []
+    for index, p in enumerate(primes):
+        for j in range(p):
+            builder.add("E", (index, j), (index, (j + 1) % p))
+        builder.add("G", (index, p - 1))
+        entity = (index, 0)
+        builder.add_entity(entity)
+        if index in positive_set:
+            positives.append(entity)
+        else:
+            negatives.append(entity)
+    return TrainingDatabase.from_examples(
+        builder.build(), positives, negatives
+    )
+
+
+def chain_family(length: int, block: int = 1) -> TrainingDatabase:
+    """Nested unary predicates realizing a *linear* family (Prop 8.6).
+
+    Entities ``v_0, ..., v_length`` carry nested unary marks:
+    ``P_j(v_i)`` holds iff ``i ≥ j`` (so ``P_1 ⊇ P_2 ⊇ ... ⊇ P_length``).
+    Every CQ entity set on this database is either a suffix
+    ``{v_j, ..., v_length}`` or everything — a linear family — because an
+    atom ``P_j(x)`` is a threshold, conjunctions of thresholds are the
+    maximal threshold, and atoms not mentioning ``x`` are constant.
+
+    Labels alternate every ``block`` entities along the chain; by the
+    threshold-counting argument each feature changes value once along the
+    chain, so any separating statistic needs at least as many features as
+    there are label alternations — Theorem 8.7's unbounded-dimension
+    property, measured (see
+    :func:`repro.fo.dimension_properties.alternation_lower_bound`).
+    """
+    if length < 1:
+        raise SeparabilityError("chain length must be positive")
+    if block < 1:
+        raise SeparabilityError("block must be positive")
+    builder = DatabaseBuilder()
+    positives: List[Element] = []
+    negatives: List[Element] = []
+    for j in range(1, length + 1):
+        for i in range(j, length + 1):
+            builder.add(f"P{j}", f"v{i}")
+    for i in range(length + 1):
+        builder.add_entity(f"v{i}")
+        if (i // block) % 2 == 0:
+            positives.append(f"v{i}")
+        else:
+            negatives.append(f"v{i}")
+    return TrainingDatabase.from_examples(
+        builder.build(), positives, negatives
+    )
+
+
+def clique_family(n_cliques: int, block: int = 1) -> TrainingDatabase:
+    """Disjoint symmetric cliques K_2, K_3, ..., over a single binary relation.
+
+    Theorem 3.2's minimal setting (one binary relation plus η) also carries
+    the unbounded-dimension phenomenon: a connected CQ rooted at ``x`` maps
+    into the symmetric clique K_j exactly when its (existential) chromatic
+    structure fits, so the realizable entity sets are the nested thresholds
+    "x lives in a clique of size ≥ j" — a linear family in the sense of
+    Prop 8.6 realized without any auxiliary unary relations.
+
+    Clique ``i`` (``i = 0 .. n_cliques−1``) has ``i + 2`` nodes with all
+    symmetric edges (no loops); node ``(i, 0)`` is its entity.  Labels
+    alternate every ``block`` cliques.
+    """
+    if n_cliques < 1:
+        raise SeparabilityError("need at least one clique")
+    if block < 1:
+        raise SeparabilityError("block must be positive")
+    builder = DatabaseBuilder()
+    positives: List[Element] = []
+    negatives: List[Element] = []
+    for index in range(n_cliques):
+        size = index + 2
+        for a in range(size):
+            for b in range(size):
+                if a != b:
+                    builder.add("E", (index, a), (index, b))
+        entity = (index, 0)
+        builder.add_entity(entity)
+        if (index // block) % 2 == 0:
+            positives.append(entity)
+        else:
+            negatives.append(entity)
+    return TrainingDatabase.from_examples(
+        builder.build(), positives, negatives
+    )
+
+
+def path_to_marker_query(
+    length: int, marker: str = "G", edge: str = "E"
+) -> CQ:
+    """The feature ``q(x) := ∃ȳ E(x,y1) ∧ ... ∧ E(y_{L−1},y_L) ∧ G(y_L)``.
+
+    The canonical GHW(1) feature on the prime-cycle family; selects entities
+    whose node at forward distance ``length`` carries the marker.
+    """
+    if length < 1:
+        raise SeparabilityError("path length must be positive")
+    x = Variable("x")
+    variables = [x] + [Variable(f"y{i}") for i in range(1, length + 1)]
+    atoms = [
+        Atom(edge, (variables[i], variables[i + 1])) for i in range(length)
+    ]
+    atoms.append(Atom(marker, (variables[-1],)))
+    return CQ.feature(atoms, x)
+
+
+def minimal_path_feature_length(
+    training: TrainingDatabase,
+    max_length: Optional[int] = None,
+    marker: str = "G",
+    edge: str = "E",
+) -> Optional[int]:
+    """The least L such that the length-L path feature separates perfectly.
+
+    For the prime-cycle family with positives on cycles ``p_{i1}, ...``,
+    the answer is the least ``L ≡ −1 (mod p)`` for the positive primes that
+    avoids ``−1`` modulo the negative primes — lcm-scale growth, the
+    measurable shape of the Theorem 5.7 / 6.7 blowups.  Returns ``None``
+    when no L up to ``max_length`` works.
+    """
+    positives = training.positives
+    negatives = training.negatives
+    if max_length is None:
+        cycles = {
+            element[0]: 0 for element in training.database.domain
+            if isinstance(element, tuple)
+        }
+        sizes = [
+            sum(
+                1
+                for element in training.database.domain
+                if isinstance(element, tuple) and element[0] == cycle
+            )
+            for cycle in cycles
+        ]
+        max_length = lcm(*sizes) + max(sizes) if sizes else 64
+    for length in range(1, max_length + 1):
+        query = path_to_marker_query(length, marker, edge)
+        answers = evaluate_unary(query, training.database)
+        if positives <= answers and not answers & negatives:
+            return length
+    return None

@@ -1,0 +1,71 @@
+"""A toy molecular classification workload (propositionalization-style).
+
+Mirrors the randomized-propositionalization motivation of Samorani et al.
+[29]: molecules are graphs of typed atoms connected by bonds, the entity is
+the molecule identifier, and the classification target is the presence of a
+functional group — here, a carbon double-bonded to an oxygen (a carbonyl),
+expressible as a three-atom feature query.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.cq.parser import parse_cq
+from repro.cq.query import CQ
+from repro.data.database import DatabaseBuilder
+from repro.data.labeling import TrainingDatabase
+from repro.workloads.random_db import plant_concept_labeling
+
+__all__ = ["carbonyl_concept", "molecule_database"]
+
+_ELEMENTS = ("carbon", "oxygen", "nitrogen", "hydrogen")
+
+
+def carbonyl_concept() -> CQ:
+    """``q(x) :- eta(x), contains(x, a), carbon(a), double(a, b), oxygen(b)``.
+
+    Note this is a four-atom feature; it lies in CQ[4] and (being
+    tree-shaped) in GHW(1).
+    """
+    return parse_cq(
+        "q(x) :- eta(x), contains(x, a), carbon(a), double(a, b), oxygen(b)"
+    )
+
+
+def molecule_database(
+    n_molecules: int = 8,
+    atoms_per_molecule: int = 5,
+    carbonyl_fraction: float = 0.5,
+    seed: int = 0,
+) -> TrainingDatabase:
+    """Random molecules, a fraction of which contain a planted carbonyl group.
+
+    Relations: ``contains(molecule, atom)``, per-element unary types,
+    ``bond(atom, atom)`` and ``double(atom, atom)``; entities are molecules.
+    """
+    rng = random.Random(seed)
+    builder = DatabaseBuilder()
+    n_with_group = round(n_molecules * carbonyl_fraction)
+    for m in range(n_molecules):
+        molecule = f"mol{m}"
+        builder.add_entity(molecule)
+        atom_ids: List[str] = []
+        for a in range(atoms_per_molecule):
+            atom = f"mol{m}_atom{a}"
+            atom_ids.append(atom)
+            builder.add("contains", molecule, atom)
+            builder.add(rng.choice(_ELEMENTS), atom)
+        # A random spanning chain of single bonds keeps molecules connected.
+        for left, right in zip(atom_ids, atom_ids[1:]):
+            builder.add("bond", left, right)
+        if m < n_with_group:
+            carbon = f"mol{m}_c"
+            oxygen = f"mol{m}_o"
+            builder.add("contains", molecule, carbon)
+            builder.add("contains", molecule, oxygen)
+            builder.add("carbon", carbon)
+            builder.add("oxygen", oxygen)
+            builder.add("double", carbon, oxygen)
+    return plant_concept_labeling(builder.build(), carbonyl_concept())

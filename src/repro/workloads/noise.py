@@ -1,0 +1,37 @@
+"""Label-noise injection for the approximate-separability experiments (§7)."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, FrozenSet, Tuple
+
+from repro.data.labeling import TrainingDatabase
+from repro.exceptions import LabelingError
+
+__all__ = ["flip_labels", "with_noise"]
+
+Element = Any
+
+
+def flip_labels(
+    training: TrainingDatabase, entities: Tuple[Element, ...]
+) -> TrainingDatabase:
+    """The same database with the given entities' labels negated."""
+    return training.relabel(training.labeling.flip(entities))
+
+
+def with_noise(
+    training: TrainingDatabase, fraction: float, seed: int = 0
+) -> Tuple[TrainingDatabase, FrozenSet[Element]]:
+    """Flip a random ``fraction`` of the labels; returns (noisy, flipped).
+
+    The number of flips is ``round(fraction · |η(D)|)``, drawn uniformly
+    without replacement.
+    """
+    if not 0 <= fraction <= 1:
+        raise LabelingError("noise fraction must lie in [0, 1]")
+    rng = random.Random(seed)
+    entities = sorted(training.entities, key=repr)
+    n_flips = round(fraction * len(entities))
+    flipped = tuple(rng.sample(entities, n_flips))
+    return flip_labels(training, flipped), frozenset(flipped)

@@ -1,0 +1,105 @@
+"""Random training databases with planted feature-query concepts.
+
+The generators are deterministic given a seed and produce instances whose
+ground truth is known by construction:
+
+- :func:`random_database` draws facts uniformly over a schema;
+- :func:`plant_concept_labeling` labels entities by a given feature query
+  (so the instance is separable by that query's class, with dimension 1);
+- :func:`random_training_database` combines both.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Sequence
+
+from repro.cq.evaluation import evaluate_unary
+from repro.cq.query import CQ
+from repro.data.database import Database, DatabaseBuilder
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.data.schema import EntitySchema
+from repro.exceptions import DatabaseError
+
+__all__ = [
+    "random_database",
+    "plant_concept_labeling",
+    "random_training_database",
+    "random_labeling",
+]
+
+Element = Any
+
+
+def random_database(
+    schema: EntitySchema,
+    n_elements: int,
+    n_facts_per_relation: int,
+    n_entities: Optional[int] = None,
+    seed: int = 0,
+) -> Database:
+    """A database with uniformly random facts over the given entity schema.
+
+    Elements are ``0..n_elements-1``; the first ``n_entities`` of them
+    (default: all) are declared entities.
+    """
+    if n_elements < 1:
+        raise DatabaseError("need at least one element")
+    rng = random.Random(seed)
+    if n_entities is None:
+        n_entities = n_elements
+    n_entities = min(n_entities, n_elements)
+    builder = DatabaseBuilder()
+    entity_symbol = schema.entity_symbol
+    for element in range(n_entities):
+        builder.add(entity_symbol, element)
+    elements = list(range(n_elements))
+    for symbol in schema.non_entity_symbols:
+        seen = set()
+        attempts = 0
+        while len(seen) < n_facts_per_relation and attempts < 50 * (
+            n_facts_per_relation + 1
+        ):
+            attempts += 1
+            row = tuple(rng.choice(elements) for _ in range(symbol.arity))
+            if row not in seen:
+                seen.add(row)
+                builder.add(symbol.name, *row)
+    return builder.build(schema=schema)
+
+
+def plant_concept_labeling(
+    database: Database, concept: CQ
+) -> TrainingDatabase:
+    """Label every entity by whether the concept query selects it."""
+    answers = evaluate_unary(concept, database)
+    labels = {
+        entity: 1 if entity in answers else -1
+        for entity in database.entities()
+    }
+    return TrainingDatabase(database, Labeling(labels))
+
+
+def random_labeling(database: Database, seed: int = 0) -> TrainingDatabase:
+    """Uniformly random ±1 labels (typically *not* separable)."""
+    rng = random.Random(seed)
+    labels = {
+        entity: rng.choice((1, -1))
+        for entity in sorted(database.entities(), key=repr)
+    }
+    return TrainingDatabase(database, Labeling(labels))
+
+
+def random_training_database(
+    schema: EntitySchema,
+    concept: CQ,
+    n_elements: int,
+    n_facts_per_relation: int,
+    n_entities: Optional[int] = None,
+    seed: int = 0,
+) -> TrainingDatabase:
+    """A random database labeled by a planted concept query."""
+    database = random_database(
+        schema, n_elements, n_facts_per_relation, n_entities, seed
+    )
+    return plant_concept_labeling(database, concept)

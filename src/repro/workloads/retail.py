@@ -1,0 +1,79 @@
+"""A retail relational workload (customers, orders, products, categories).
+
+Mirrors the imbalanced-learning feature-generation setting of Ahmed et al.
+[1]: entities are customers in a normalized sales schema, and useful
+features require two joins (customer → order → product).  The planted
+concept — "ordered some product of the premium category" — is a three-atom
+chain, so CQ[3] recovers it while CQ[1] cannot, and the positive class can
+be made arbitrarily rare (the imbalance knob).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cq.parser import parse_cq
+from repro.cq.query import CQ
+from repro.data.database import DatabaseBuilder
+from repro.data.labeling import TrainingDatabase
+from repro.exceptions import DatabaseError
+from repro.workloads.random_db import plant_concept_labeling
+
+__all__ = ["premium_buyer_concept", "retail_database"]
+
+
+def premium_buyer_concept() -> CQ:
+    """``q(x) :- eta(x), ordered(x, o), contains(o, p), premium(p)``."""
+    return parse_cq(
+        "q(x) :- eta(x), ordered(x, o), contains(o, p), premium(p)"
+    )
+
+
+def retail_database(
+    n_customers: int = 10,
+    n_products: int = 6,
+    n_premium: int = 2,
+    orders_per_customer: int = 2,
+    items_per_order: int = 2,
+    positive_fraction: float = 0.4,
+    seed: int = 0,
+) -> TrainingDatabase:
+    """A random normalized sales database labeled by the premium concept.
+
+    Relations: ``ordered(customer, order)``, ``contains(order, product)``,
+    ``premium(product)``; customers are the entities.  Approximately
+    ``positive_fraction`` of the customers get at least one premium item
+    planted into one of their orders (the rest are steered away from
+    premium products), so the label imbalance is controllable.
+    """
+    if not 0 <= positive_fraction <= 1:
+        raise DatabaseError("positive_fraction must lie in [0, 1]")
+    if n_premium > n_products:
+        raise DatabaseError("more premium products than products")
+    rng = random.Random(seed)
+    products = [f"product{i}" for i in range(n_products)]
+    premium = products[:n_premium]
+    plain = products[n_premium:]
+
+    builder = DatabaseBuilder()
+    for product in premium:
+        builder.add("premium", product)
+
+    n_positive = round(positive_fraction * n_customers)
+    for c in range(n_customers):
+        customer = f"customer{c}"
+        builder.add_entity(customer)
+        first_order: List[str] = []
+        for o in range(orders_per_customer):
+            order = f"{customer}_order{o}"
+            builder.add("ordered", customer, order)
+            if o == 0:
+                first_order.append(order)
+            pool = plain if plain else products
+            for _item in range(items_per_order):
+                builder.add("contains", order, rng.choice(pool))
+        if c < n_positive and premium and first_order:
+            builder.add("contains", first_order[0], rng.choice(premium))
+
+    return plant_concept_labeling(builder.build(), premium_buyer_concept())

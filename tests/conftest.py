@@ -1,0 +1,74 @@
+"""Shared fixtures: small databases and training databases used throughout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, TrainingDatabase
+
+
+@pytest.fixture
+def path_database() -> Database:
+    """a → b → c plus an isolated edge d → e; entities a, b, d."""
+    return Database.from_tuples(
+        {
+            "E": [("a", "b"), ("b", "c"), ("d", "e")],
+            "eta": [("a",), ("b",), ("d",)],
+        }
+    )
+
+
+@pytest.fixture
+def path_training(path_database: Database) -> TrainingDatabase:
+    """Positive: the unique entity with an outgoing 2-path."""
+    return TrainingDatabase.from_examples(
+        path_database, positive=["a"], negative=["b", "d"]
+    )
+
+
+@pytest.fixture
+def triangle_database() -> Database:
+    """A directed triangle and a directed 2-path; all nodes entities."""
+    return Database.from_tuples(
+        {
+            "E": [
+                ("t1", "t2"),
+                ("t2", "t3"),
+                ("t3", "t1"),
+                ("p1", "p2"),
+                ("p2", "p3"),
+            ],
+            "eta": [
+                ("t1",),
+                ("t2",),
+                ("t3",),
+                ("p1",),
+                ("p2",),
+                ("p3",),
+            ],
+        }
+    )
+
+
+@pytest.fixture
+def triangle_training(triangle_database: Database) -> TrainingDatabase:
+    """Triangle nodes positive, path nodes negative (CQ-separable: cycles
+
+    have arbitrarily long walks; p-nodes do not)."""
+    return TrainingDatabase.from_examples(
+        triangle_database,
+        positive=["t1", "t2", "t3"],
+        negative=["p1", "p2", "p3"],
+    )
+
+
+@pytest.fixture
+def colors_database() -> Database:
+    """Unary-only database: R(a), S(a), S(c); entities a, b, c (Example 6.2)."""
+    return Database.from_tuples(
+        {
+            "R": [("a",)],
+            "S": [("a",), ("c",)],
+            "eta": [("a",), ("b",), ("c",)],
+        }
+    )

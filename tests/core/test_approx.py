@@ -1,0 +1,92 @@
+"""Tests for CQ[m]-ApxSep / ApxCls (Section 7.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, TrainingDatabase
+from repro.exceptions import SeparabilityError
+from repro.workloads import with_noise
+from repro.core.approx import (
+    cqm_approx_classify,
+    cqm_approx_separability,
+)
+from repro.core.separability import cqm_separability
+
+
+def _conflicted_training():
+    db = Database.from_tuples(
+        {
+            "R": [("a",), ("b",), ("c",), ("d",)],
+            "eta": [("a",), ("b",), ("c",), ("d",)],
+        }
+    )
+    return TrainingDatabase.from_examples(db, ["a", "b", "c"], ["d"])
+
+
+class TestCqmApproxSeparability:
+    def test_exact_input_zero_errors(self, path_training):
+        result = cqm_approx_separability(path_training, 2, 0.0)
+        assert result.separable
+        assert result.min_errors == 0
+
+    def test_conflict_needs_quarter(self):
+        training = _conflicted_training()
+        assert not cqm_approx_separability(training, 1, 0.0).separable
+        assert not cqm_approx_separability(training, 1, 0.2).separable
+        result = cqm_approx_separability(training, 1, 0.25)
+        assert result.separable
+        assert result.min_errors == 1
+        assert result.budget == 1
+
+    def test_witness_pair_achieves_error_count(self):
+        training = _conflicted_training()
+        result = cqm_approx_separability(training, 1, 0.25)
+        assert result.pair.errors(training) == result.min_errors
+        assert result.misclassified <= training.entities
+
+    def test_epsilon_validated(self, path_training):
+        with pytest.raises(SeparabilityError):
+            cqm_approx_separability(path_training, 1, 1.0)
+
+    def test_greedy_never_claims_falsely(self, path_training):
+        noisy, _ = with_noise(path_training, 1 / 3, seed=2)
+        greedy = cqm_approx_separability(
+            noisy, 2, 1 / 3, method="greedy"
+        )
+        if greedy.separable:
+            assert greedy.pair.errors(noisy) <= greedy.budget
+
+    def test_exact_at_most_greedy(self):
+        training = _conflicted_training()
+        exact = cqm_approx_separability(training, 1, 0.4, method="exact")
+        greedy = cqm_approx_separability(
+            training, 1, 0.4, method="greedy"
+        )
+        assert exact.min_errors <= greedy.min_errors
+
+    def test_unknown_method(self, path_training):
+        with pytest.raises(SeparabilityError):
+            cqm_approx_separability(path_training, 1, 0.1, method="x")
+
+    def test_epsilon_zero_equals_exact_separability(self, path_training):
+        for m in (1, 2):
+            approx = cqm_approx_separability(path_training, m, 0.0)
+            exact = cqm_separability(path_training, m)
+            assert approx.separable == exact.separable
+
+
+class TestCqmApproxClassify:
+    def test_classifies_with_repair(self):
+        training = _conflicted_training()
+        evaluation = Database.from_tuples(
+            {"R": [("z",)], "eta": [("z",)]}
+        )
+        labeling = cqm_approx_classify(training, evaluation, 1, 0.25)
+        assert labeling["z"] in (1, -1)
+
+    def test_budget_enforced(self):
+        training = _conflicted_training()
+        evaluation = Database.from_tuples({"eta": [("z",)]})
+        with pytest.raises(SeparabilityError):
+            cqm_approx_classify(training, evaluation, 1, 0.1)

@@ -1,0 +1,89 @@
+"""Tests for the brute-force reference implementations themselves."""
+
+from __future__ import annotations
+
+from repro.cq.parser import parse_cq
+from repro.data import Database, TrainingDatabase
+from repro.core.brute import (
+    cq_indistinguishable,
+    cq_separable,
+    ghw_separable_lower_bound,
+    min_pool_dimension,
+)
+from repro.core.separability import feature_pool
+
+
+class TestCqIndistinguishable:
+    def test_identical_structure(self):
+        db = Database.from_tuples(
+            {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+        )
+        assert cq_indistinguishable(db, "a", "b")
+
+    def test_distinguishable(self, path_database):
+        assert not cq_indistinguishable(path_database, "a", "b")
+
+    def test_reflexive(self, path_database):
+        for entity in path_database.entities():
+            assert cq_indistinguishable(path_database, entity, entity)
+
+
+class TestCqSeparable:
+    def test_separable_instances(self, path_training, triangle_training):
+        assert cq_separable(path_training)
+        assert cq_separable(triangle_training)
+
+    def test_inseparable_instance(self):
+        db = Database.from_tuples(
+            {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        assert not cq_separable(training)
+
+    def test_agrees_with_cqm_on_small_instances(self, colors_database):
+        # On unary-only schemas, CQ[2] already realizes every CQ dichotomy,
+        # so the decisions coincide.
+        from repro.core.separability import cqm_separability
+
+        training = TrainingDatabase.from_examples(
+            colors_database, ["a", "b"], ["c"]
+        )
+        assert cq_separable(training) == cqm_separability(
+            training, 2
+        ).separable
+
+
+class TestGhwSeparableLowerBound:
+    def test_positive_certificate(self, path_training):
+        assert ghw_separable_lower_bound(path_training, 1, 2) is True
+
+    def test_inconclusive_returns_none(self):
+        db = Database.from_tuples(
+            {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        assert ghw_separable_lower_bound(training, 1, 2) is None
+
+
+class TestMinPoolDimension:
+    def test_example_needs_two(self, colors_database):
+        training = TrainingDatabase.from_examples(
+            colors_database, ["a", "b"], ["c"]
+        )
+        pool = feature_pool(training, 1)
+        assert min_pool_dimension(training, pool) == 2
+
+    def test_single_feature_suffices(self, path_training):
+        pool = feature_pool(path_training, 2)
+        assert min_pool_dimension(path_training, pool) == 1
+
+    def test_constant_labels(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a", "b", "d"], []
+        )
+        assert min_pool_dimension(training, []) == 0
+
+    def test_insufficient_pool(self, path_training):
+        assert min_pool_dimension(
+            path_training, [parse_cq("q(x) :- eta(x)")]
+        ) is None

@@ -1,0 +1,114 @@
+"""Tests for CQ-CLS and canonical-feature generation (Kimelfeld–Ré)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.evaluation import evaluate_unary
+from repro.data import Database, TrainingDatabase
+from repro.exceptions import NotSeparableError
+from repro.core.brute import cq_separable
+from repro.core.cq_generate import (
+    CqClassifier,
+    canonical_feature,
+    cq_classify,
+    generate_cq_statistic,
+)
+
+
+class TestCanonicalFeature:
+    def test_selects_hom_targets(self, path_database):
+        feature = canonical_feature(path_database, "a")
+        answers = evaluate_unary(feature, path_database)
+        # (D, a) -> (D, f): only a itself has the full out-2-path pattern.
+        assert answers == {"a"}
+
+    def test_feature_size_is_database_size(self, path_database):
+        feature = canonical_feature(path_database, "a")
+        assert len(feature.atoms) == len(path_database)
+
+    def test_unknown_entity(self, path_database):
+        with pytest.raises(NotSeparableError):
+            canonical_feature(path_database, "zzz")
+
+
+class TestCqClassifier:
+    def test_rejects_inseparable(self):
+        db = Database.from_tuples(
+            {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        with pytest.raises(NotSeparableError):
+            CqClassifier(training)
+
+    def test_consistent_on_training(self, path_training, triangle_training):
+        for training in (path_training, triangle_training):
+            if cq_separable(training):
+                device = CqClassifier(training)
+                labeling = device.classify(training.database)
+                for entity in training.entities:
+                    assert labeling[entity] == training.label(entity)
+
+    def test_generalizes(self, path_training):
+        evaluation = Database.from_tuples(
+            {
+                "E": [("f", "g"), ("g", "h"), ("i", "j")],
+                "eta": [("f",), ("g",), ("i",)],
+            }
+        )
+        labeling = cq_classify(path_training, evaluation)
+        assert labeling["f"] == 1
+        assert labeling["g"] == -1
+        assert labeling["i"] == -1
+
+    def test_cq_distinguishes_where_ghw1_may_not(self):
+        """CQ sees homomorphism-level structure the tree game may blur."""
+        # Two hom-inequivalent entities: one on a triangle, one on a
+        # 6-cycle in a SEPARATE database region with markers.
+        db = Database.from_tuples(
+            {
+                "E": [
+                    ("t1", "t2"),
+                    ("t2", "t3"),
+                    ("t3", "t1"),
+                    ("h1", "h2"),
+                    ("h2", "h3"),
+                    ("h3", "h4"),
+                    ("h4", "h5"),
+                    ("h5", "h6"),
+                    ("h6", "h1"),
+                ],
+                "eta": [("t1",), ("h1",)],
+            }
+        )
+        training = TrainingDatabase.from_examples(db, ["t1"], ["h1"])
+        assert cq_separable(training)
+        device = CqClassifier(training)
+        labeling = device.classify(db)
+        assert labeling["t1"] == 1
+        assert labeling["h1"] == -1
+
+
+class TestGenerateCqStatistic:
+    def test_separates_and_sizes(self, path_training):
+        pair = generate_cq_statistic(path_training)
+        assert pair.separates(path_training)
+        for query in pair.statistic:
+            # Canonical features: |D| atoms each (polynomial, unlike GHW).
+            assert len(query.atoms) == len(path_training.database)
+
+    def test_dimension_equals_classes(self, path_training):
+        pair = generate_cq_statistic(path_training)
+        device = CqClassifier(path_training)
+        assert pair.statistic.dimension == device.dimension
+
+    def test_agrees_with_implicit_classifier(self, path_training):
+        evaluation = Database.from_tuples(
+            {
+                "E": [("f", "g"), ("g", "h")],
+                "eta": [("f",), ("g",)],
+            }
+        )
+        pair = generate_cq_statistic(path_training)
+        device = CqClassifier(path_training)
+        assert pair.classify(evaluation) == device.classify(evaluation)

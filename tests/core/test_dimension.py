@@ -1,0 +1,102 @@
+"""Tests for bounded-dimension separability (Section 6, Lemma 6.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, TrainingDatabase
+from repro.exceptions import SeparabilityError
+from repro.workloads import chain_family, example_6_2
+from repro.core.dimension import (
+    bounded_dimension_separable,
+    min_dimension,
+    realizable_dichotomies,
+)
+from repro.core.languages import CQ_ALL, BoundedAtomsCQ, GhwClass
+
+
+class TestRealizableDichotomies:
+    def test_example_6_2(self):
+        training = example_6_2()
+        dichotomies = realizable_dichotomies(training, CQ_ALL)
+        assert frozenset({"a"}) in dichotomies
+        assert frozenset({"a", "c"}) in dichotomies
+
+    def test_cqm_pool_based(self):
+        training = example_6_2()
+        dichotomies = realizable_dichotomies(
+            training, BoundedAtomsCQ(1)
+        )
+        assert frozenset({"a"}) in dichotomies
+
+
+class TestBoundedDimensionSeparable:
+    def test_example_6_2_needs_two(self):
+        training = example_6_2()
+        assert not bounded_dimension_separable(training, 1, CQ_ALL)
+        result = bounded_dimension_separable(training, 2, CQ_ALL)
+        assert result.separable
+        assert result.dimension == 2
+        assert result.classifier is not None
+
+    def test_witness_vectors_separate(self):
+        training = example_6_2()
+        result = bounded_dimension_separable(training, 2, CQ_ALL)
+        entities = sorted(training.entities, key=repr)
+        vectors = [
+            tuple(
+                1 if entity in d else -1 for d in result.dichotomies
+            )
+            for entity in entities
+        ]
+        labels = [training.label(e) for e in entities]
+        assert result.classifier.separates(vectors, labels)
+
+    def test_constant_labels_dimension_zero(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a", "b", "d"], []
+        )
+        result = bounded_dimension_separable(training, 1, CQ_ALL)
+        assert result.separable
+        assert result.dimension == 0
+
+    def test_requires_positive_dimension(self):
+        with pytest.raises(SeparabilityError):
+            bounded_dimension_separable(example_6_2(), 0, CQ_ALL)
+
+    def test_cqm_language(self):
+        training = example_6_2()
+        assert not bounded_dimension_separable(
+            training, 1, BoundedAtomsCQ(1)
+        )
+        assert bounded_dimension_separable(
+            training, 2, BoundedAtomsCQ(1)
+        )
+
+    def test_ghw_language(self):
+        training = example_6_2()
+        assert bounded_dimension_separable(training, 2, GhwClass(1))
+
+
+class TestMinDimension:
+    def test_example_6_2(self):
+        assert min_dimension(example_6_2(), CQ_ALL) == 2
+
+    def test_chain_dimension_grows(self):
+        """Theorem 8.7's unbounded-dimension property, measured."""
+        dims = []
+        for length in (2, 4):
+            training = chain_family(length)
+            dims.append(min_dimension(training, CQ_ALL))
+        assert dims[0] is not None and dims[1] is not None
+        assert dims[1] > dims[0]
+
+    def test_max_dimension_ceiling(self):
+        training = chain_family(4)
+        assert min_dimension(training, CQ_ALL, max_dimension=1) is None
+
+    def test_constant_labels(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, [], ["a", "b", "d"]
+        )
+        assert min_dimension(training, CQ_ALL) == 0

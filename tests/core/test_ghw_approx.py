@@ -1,0 +1,114 @@
+"""Tests for Algorithm 2: approximate GHW(k)-separability (Theorem 7.4)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.data import Database, Labeling, TrainingDatabase
+from repro.exceptions import SeparabilityError
+from repro.workloads import with_noise
+from repro.core.ghw_approx import (
+    ghw_approx_classify,
+    ghw_approx_separable,
+    ghw_best_relabeling,
+)
+from repro.core.ghw_sep import ghw_separable
+
+
+def _conflicted_training():
+    """Four structurally identical entities: 3 positive, 1 negative."""
+    db = Database.from_tuples(
+        {
+            "R": [("a",), ("b",), ("c",), ("d",)],
+            "eta": [("a",), ("b",), ("c",), ("d",)],
+        }
+    )
+    return TrainingDatabase.from_examples(db, ["a", "b", "c"], ["d"])
+
+
+class TestGhwBestRelabeling:
+    def test_majority_wins(self):
+        training = _conflicted_training()
+        approx = ghw_best_relabeling(training, 1)
+        assert approx.disagreement == 1
+        assert all(
+            approx.relabeled[e] == 1 for e in ("a", "b", "c", "d")
+        )
+
+    def test_relabeled_is_separable(self):
+        training = _conflicted_training()
+        approx = ghw_best_relabeling(training, 1)
+        assert ghw_separable(training.relabel(approx.relabeled), 1)
+
+    def test_separable_input_unchanged(self, path_training):
+        approx = ghw_best_relabeling(path_training, 1)
+        assert approx.disagreement == 0
+        assert approx.relabeled == path_training.labeling
+
+    def test_optimality_against_bruteforce(self, path_database):
+        """Theorem 7.4: no separable labeling is closer than Algorithm 2's."""
+        entities = sorted(path_database.entities())
+        for labels in itertools.product((1, -1), repeat=len(entities)):
+            labeling = Labeling(dict(zip(entities, labels)))
+            training = TrainingDatabase(path_database, labeling)
+            approx = ghw_best_relabeling(training, 1)
+            best = min(
+                labeling.disagreement(
+                    Labeling(dict(zip(entities, candidate)))
+                )
+                for candidate in itertools.product(
+                    (1, -1), repeat=len(entities)
+                )
+                if ghw_separable(
+                    TrainingDatabase(
+                        path_database,
+                        Labeling(dict(zip(entities, candidate))),
+                    ),
+                    1,
+                )
+            )
+            assert approx.disagreement == best
+
+    def test_error_rate(self):
+        approx = ghw_best_relabeling(_conflicted_training(), 1)
+        assert approx.error_rate() == pytest.approx(0.25)
+
+
+class TestGhwApproxSeparable:
+    def test_budget_boundary(self):
+        training = _conflicted_training()
+        assert not ghw_approx_separable(training, 1, 0.0)
+        assert not ghw_approx_separable(training, 1, 0.2)
+        assert ghw_approx_separable(training, 1, 0.25)
+
+    def test_epsilon_validation(self, path_training):
+        with pytest.raises(SeparabilityError):
+            ghw_approx_separable(path_training, 1, 1.0)
+        with pytest.raises(SeparabilityError):
+            ghw_approx_separable(path_training, 1, -0.1)
+
+    def test_noisy_instance(self, path_training):
+        noisy, flipped = with_noise(path_training, 1 / 3, seed=1)
+        assert len(flipped) == 1
+        # One flip on 3 distinguishable entities is repairable with ε = 1/3.
+        assert ghw_approx_separable(noisy, 1, 0.0) or (
+            ghw_approx_separable(noisy, 1, 1 / 3)
+        )
+
+
+class TestGhwApproxClassify:
+    def test_classifies_after_repair(self):
+        training = _conflicted_training()
+        evaluation = Database.from_tuples(
+            {"R": [("z",)], "eta": [("z",)]}
+        )
+        labeling = ghw_approx_classify(training, evaluation, 1, 0.25)
+        assert labeling["z"] == 1  # the majority label of the lone class
+
+    def test_budget_enforced(self):
+        training = _conflicted_training()
+        evaluation = Database.from_tuples({"eta": [("z",)]})
+        with pytest.raises(SeparabilityError):
+            ghw_approx_classify(training, evaluation, 1, 0.1)

@@ -1,0 +1,80 @@
+"""Tests for Algorithm 1: GHW(k)-CLS without materializing the statistic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, TrainingDatabase
+from repro.exceptions import NotSeparableError
+from repro.core.ghw_classify import GhwClassifier, ghw_classify
+
+
+class TestGhwClassifier:
+    def test_rejects_inseparable_training(self):
+        db = Database.from_tuples(
+            {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        with pytest.raises(NotSeparableError):
+            GhwClassifier(training, 1)
+
+    def test_consistent_on_training_database(self, path_training):
+        device = GhwClassifier(path_training, 1)
+        labeling = device.classify(path_training.database)
+        for entity in path_training.entities:
+            assert labeling[entity] == path_training.label(entity)
+
+    def test_consistent_on_training_triangle(self, triangle_training):
+        device = GhwClassifier(triangle_training, 1)
+        labeling = device.classify(triangle_training.database)
+        for entity in triangle_training.entities:
+            assert labeling[entity] == triangle_training.label(entity)
+
+    def test_generalizes_to_fresh_database(self, path_training):
+        evaluation = Database.from_tuples(
+            {
+                "E": [("f", "g"), ("g", "h"), ("i", "j")],
+                "eta": [("f",), ("g",), ("i",)],
+            }
+        )
+        labeling = ghw_classify(path_training, evaluation, 1)
+        # f has an out 2-path like the positive a; g and i do not.
+        assert labeling["f"] == 1
+        assert labeling["g"] == -1
+        assert labeling["i"] == -1
+
+    def test_dimension_equals_class_count(self, path_training):
+        device = GhwClassifier(path_training, 1)
+        assert device.dimension == len(device.classes)
+        assert device.dimension == 3
+
+    def test_feature_vector_staircase_on_training(self, path_training):
+        device = GhwClassifier(path_training, 1)
+        reps = device.representatives
+        for index, rep in enumerate(reps):
+            vector = device.feature_vector(
+                path_training.database, rep
+            )
+            assert vector[index] == 1
+            for later in range(index + 1, len(reps)):
+                assert vector[later] == -1
+
+    def test_unseen_entity_type_gets_some_label(self, path_training):
+        evaluation = Database.from_tuples(
+            {
+                "E": [("u", "u")],  # a self-loop: unlike anything trained on
+                "eta": [("u",)],
+            }
+        )
+        labeling = ghw_classify(path_training, evaluation, 1)
+        assert labeling["u"] in (1, -1)
+
+    def test_empty_evaluation(self, path_training):
+        labeling = ghw_classify(path_training, Database([]), 1)
+        assert len(labeling) == 0
+
+    def test_classifier_exposed(self, path_training):
+        device = GhwClassifier(path_training, 1)
+        assert device.classifier.arity == device.dimension
+        assert device.k == 1
+        assert device.training is path_training

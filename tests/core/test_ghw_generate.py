@@ -1,0 +1,56 @@
+"""Tests for Prop 5.6: materialized GHW(k) statistics via unravelings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, TrainingDatabase
+from repro.exceptions import NotSeparableError
+from repro.hypergraph.ghw import ghw_at_most
+from repro.core.ghw_classify import GhwClassifier
+from repro.core.ghw_generate import generate_ghw_statistic
+
+
+class TestGenerateGhwStatistic:
+    def test_separates_training(self, path_training):
+        pair = generate_ghw_statistic(path_training, 1)
+        assert pair.separates(path_training)
+
+    def test_dimension_linear_in_classes(self, path_training):
+        pair = generate_ghw_statistic(path_training, 1)
+        device = GhwClassifier(path_training, 1)
+        assert pair.statistic.dimension == device.dimension
+
+    def test_features_have_bounded_ghw(self, path_training):
+        pair = generate_ghw_statistic(path_training, 1)
+        for query in pair.statistic:
+            if len(query.atoms) <= 30:  # ghw check is exponential
+                assert ghw_at_most(query, 1)
+
+    def test_agrees_with_algorithm_1(self, path_training):
+        evaluation = Database.from_tuples(
+            {
+                "E": [("f", "g"), ("g", "h"), ("i", "j")],
+                "eta": [("f",), ("g",), ("i",)],
+            }
+        )
+        pair = generate_ghw_statistic(
+            path_training, 1, evaluation_databases=[evaluation]
+        )
+        device = GhwClassifier(path_training, 1)
+        materialized = pair.classify(evaluation)
+        implicit = device.classify(evaluation)
+        for entity in evaluation.entities():
+            assert materialized[entity] == implicit[entity]
+
+    def test_rejects_inseparable(self):
+        db = Database.from_tuples(
+            {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        with pytest.raises(NotSeparableError):
+            generate_ghw_statistic(training, 1)
+
+    def test_triangle_instance(self, triangle_training):
+        pair = generate_ghw_statistic(triangle_training, 1)
+        assert pair.separates(triangle_training)

@@ -1,0 +1,56 @@
+"""Tests for GHW(k)-SEP (Theorem 5.3 / Prop 5.5)."""
+
+from __future__ import annotations
+
+from repro.data import Database, TrainingDatabase
+from repro.workloads import example_6_2, prime_cycle_family
+from repro.core.ghw_sep import ghw_separability, ghw_separable
+
+
+class TestGhwSeparable:
+    def test_two_path_instance(self, path_training):
+        assert ghw_separable(path_training, 1)
+
+    def test_identical_entities_inseparable(self):
+        db = Database.from_tuples(
+            {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        result = ghw_separability(training, 1)
+        assert not result.separable
+        assert ("a", "b") in result.violations
+
+    def test_violations_have_distinct_labels(self, triangle_training):
+        result = ghw_separability(triangle_training, 1)
+        for left, right in result.violations:
+            assert triangle_training.label(left) != (
+                triangle_training.label(right)
+            )
+
+    def test_triangle_vs_path_separable(self, triangle_training):
+        # With the free variable anchored, GHW(1) queries can close walks
+        # through x, distinguishing cycle nodes from path nodes.
+        assert ghw_separable(triangle_training, 1)
+
+    def test_example_6_2(self):
+        assert ghw_separable(example_6_2(), 1)
+
+    def test_prime_cycles(self):
+        assert ghw_separable(prime_cycle_family([2, 3, 5]), 1)
+
+    def test_k2_at_least_as_strong(self, path_training):
+        # GHW(1) ⊆ GHW(2): separability can only improve with k.
+        if ghw_separable(path_training, 1):
+            assert ghw_separable(path_training, 2)
+
+    def test_same_labels_never_violate(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a", "b", "d"], []
+        )
+        result = ghw_separability(training, 1)
+        assert result.separable
+        assert result.violations == ()
+
+    def test_preorder_reused(self, path_training):
+        result = ghw_separability(path_training, 1)
+        assert set(result.preorder.elements) == path_training.entities

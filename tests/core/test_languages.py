@@ -1,0 +1,74 @@
+"""Tests for query-class descriptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database
+from repro.exceptions import SeparabilityError
+from repro.core.languages import CQ_ALL, AllCQ, BoundedAtomsCQ, GhwClass
+
+
+class TestDescriptors:
+    def test_names(self):
+        assert repr(AllCQ()) == "CQ"
+        assert repr(GhwClass(2)) == "GHW(2)"
+        assert repr(BoundedAtomsCQ(3)) == "CQ[3]"
+        assert repr(BoundedAtomsCQ(3, 2)) == "CQ[3,2]"
+
+    def test_ghw_requires_positive_k(self):
+        with pytest.raises(SeparabilityError):
+            GhwClass(0)
+
+    def test_cqm_requires_positive_m(self):
+        with pytest.raises(SeparabilityError):
+            BoundedAtomsCQ(0)
+
+    def test_shared_instance(self):
+        assert isinstance(CQ_ALL, AllCQ)
+
+
+class TestEntityDichotomies:
+    def test_cqm_dichotomies(self, colors_database):
+        language = BoundedAtomsCQ(1)
+        entities = ["a", "b", "c"]
+        dichotomies = language.entity_dichotomies(
+            colors_database, entities
+        )
+        assert frozenset({"a"}) in dichotomies  # R(x)
+        assert frozenset({"a", "c"}) in dichotomies  # S(x)
+        assert frozenset({"a", "b", "c"}) in dichotomies  # eta(x)
+
+    def test_cq_all_dichotomies_match_qbe(self, colors_database):
+        entities = ["a", "b", "c"]
+        dichotomies = set(
+            CQ_ALL.entity_dichotomies(colors_database, entities)
+        )
+        # Realizable: {a}, {a,c}, {a,b,c} and intersections via products:
+        # no query selects b without also selecting everything (b has no
+        # facts), so any set containing b is everything.
+        assert frozenset({"a"}) in dichotomies
+        assert frozenset({"a", "c"}) in dichotomies
+        assert frozenset({"a", "b", "c"}) in dichotomies
+        for d in dichotomies:
+            if "b" in d:
+                assert d == frozenset({"a", "b", "c"})
+
+    def test_ghw_dichotomies_subset_of_cq(self, colors_database):
+        entities = ["a", "b", "c"]
+        ghw = set(GhwClass(1).entity_dichotomies(colors_database, entities))
+        cq = set(CQ_ALL.entity_dichotomies(colors_database, entities))
+        assert ghw <= cq
+
+    def test_entity_limit_guard(self):
+        db = Database.from_tuples(
+            {"eta": [(i,) for i in range(17)]}
+        )
+        with pytest.raises(SeparabilityError, match="16"):
+            CQ_ALL.entity_dichotomies(db, sorted(db.entities()))
+
+    def test_qbe_dispatch(self, colors_database):
+        assert CQ_ALL.qbe(colors_database, ["a"], ["b"])
+        assert GhwClass(1).qbe(colors_database, ["a"], ["b"])
+        assert BoundedAtomsCQ(1).qbe(colors_database, ["a"], ["b"])
+        assert not BoundedAtomsCQ(1).qbe(colors_database, ["b"], ["a"])

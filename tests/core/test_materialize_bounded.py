@@ -1,0 +1,68 @@
+"""Tests for L-CLS[ℓ]: materializing bounded-dimension statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.evaluation import evaluate_unary
+from repro.data import Database, TrainingDatabase
+from repro.hypergraph.ghw import ghw_at_most
+from repro.workloads import example_6_2
+from repro.core.dimension import materialize_bounded_pair
+from repro.core.languages import CQ_ALL, BoundedAtomsCQ, GhwClass
+
+
+class TestMaterializeBoundedPair:
+    def test_cqm_witnesses_from_pool(self):
+        training = example_6_2()
+        pair = materialize_bounded_pair(training, 2, BoundedAtomsCQ(1))
+        assert pair is not None
+        assert pair.statistic.dimension == 2
+        assert pair.separates(training)
+        for query in pair.statistic:
+            assert query.atom_count() <= 1
+
+    def test_cq_witnesses_are_products(self):
+        training = example_6_2()
+        pair = materialize_bounded_pair(training, 2, CQ_ALL)
+        assert pair is not None and pair.separates(training)
+        # Each witness realizes its dichotomy exactly on the entities.
+        for query in pair.statistic:
+            answers = evaluate_unary(query, training.database)
+            assert answers <= training.entities
+
+    def test_ghw_witnesses_have_bounded_width(self):
+        training = example_6_2()
+        pair = materialize_bounded_pair(training, 2, GhwClass(1))
+        assert pair is not None and pair.separates(training)
+        for query in pair.statistic:
+            if len(query.atoms) <= 25:
+                assert ghw_at_most(query, 1)
+
+    def test_none_when_dimension_too_small(self):
+        training = example_6_2()
+        assert materialize_bounded_pair(training, 1, CQ_ALL) is None
+
+    def test_constant_labels_dimension_zero(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a", "b", "d"], []
+        )
+        pair = materialize_bounded_pair(training, 1, CQ_ALL)
+        assert pair is not None
+        assert pair.separates(training)
+
+    def test_classifies_evaluation_database(self):
+        training = example_6_2()
+        pair = materialize_bounded_pair(training, 2, BoundedAtomsCQ(1))
+        evaluation = Database.from_tuples(
+            {
+                "R": [("p",)],
+                "S": [("p",), ("r",)],
+                "eta": [("p",), ("q",), ("r",)],
+            }
+        )
+        labeling = pair.classify(evaluation)
+        # p mirrors a (+), q mirrors b (+), r mirrors c (-).
+        assert labeling["p"] == 1
+        assert labeling["q"] == 1
+        assert labeling["r"] == -1

@@ -1,0 +1,111 @@
+"""Tests for statistic minimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import TrainingDatabase
+from repro.exceptions import NotSeparableError
+from repro.linsep.classifier import LinearClassifier
+from repro.workloads import example_6_2
+from repro.core.minimize import (
+    exact_minimize,
+    greedy_minimize,
+    prune_zero_weights,
+)
+from repro.core.separability import cqm_separability
+from repro.core.statistic import SeparatingPair
+
+
+@pytest.fixture
+def full_pair(path_training):
+    result = cqm_separability(path_training, 2)
+    assert result.separable
+    return result.separating_pair
+
+
+class TestPruneZeroWeights:
+    def test_never_grows(self, path_training, full_pair):
+        pruned = prune_zero_weights(path_training, full_pair)
+        assert pruned.statistic.dimension <= full_pair.statistic.dimension
+        assert pruned.separates(path_training)
+
+    def test_noop_without_zeros(self, path_training):
+        result = cqm_separability(path_training, 2)
+        pair = result.separating_pair
+        dense = SeparatingPair(
+            pair.statistic,
+            LinearClassifier(
+                tuple(w if w != 0 else 0.0 for w in pair.classifier.weights),
+                pair.classifier.threshold,
+            ),
+        )
+        pruned = prune_zero_weights(path_training, dense)
+        assert pruned.separates(path_training)
+
+
+class TestGreedyMinimize:
+    def test_inclusion_minimal(self, path_training, full_pair):
+        minimal = greedy_minimize(path_training, full_pair)
+        assert minimal.separates(path_training)
+        # Removing any remaining feature must break separability.
+        from repro.linsep.lp import is_linearly_separable
+
+        vectors, labels, _ = minimal.statistic.training_collection(
+            path_training
+        )
+        if minimal.statistic.dimension > 1:
+            for drop in range(minimal.statistic.dimension):
+                projected = [
+                    tuple(
+                        value
+                        for index, value in enumerate(vector)
+                        if index != drop
+                    )
+                    for vector in vectors
+                ]
+                assert not is_linearly_separable(projected, labels)
+
+    def test_single_feature_suffices_here(self, path_training, full_pair):
+        minimal = greedy_minimize(path_training, full_pair)
+        assert minimal.statistic.dimension == 1
+
+    def test_rejects_non_separating_pair(self, path_training, full_pair):
+        broken = SeparatingPair(
+            full_pair.statistic,
+            LinearClassifier(
+                (0.0,) * full_pair.statistic.dimension, 1.0
+            ),
+        )
+        with pytest.raises(NotSeparableError):
+            greedy_minimize(path_training, broken)
+
+
+class TestExactMinimize:
+    def test_matches_known_minimum(self):
+        training = example_6_2()
+        result = cqm_separability(training, 1)
+        minimal = exact_minimize(training, result.separating_pair)
+        assert minimal.statistic.dimension == 2  # Example 6.2's bound
+        assert minimal.separates(training)
+
+    def test_never_above_greedy(self, path_training, full_pair):
+        exact = exact_minimize(path_training, full_pair)
+        greedy = greedy_minimize(path_training, full_pair)
+        assert exact.statistic.dimension <= greedy.statistic.dimension
+
+    def test_max_dimension_ceiling(self):
+        training = example_6_2()
+        result = cqm_separability(training, 1)
+        with pytest.raises(NotSeparableError):
+            exact_minimize(
+                training, result.separating_pair, max_dimension=1
+            )
+
+    def test_constant_labels(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a", "b", "d"], []
+        )
+        result = cqm_separability(training, 1)
+        minimal = exact_minimize(training, result.separating_pair)
+        assert minimal.statistic.dimension == 1

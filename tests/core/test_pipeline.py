@@ -1,0 +1,152 @@
+"""Tests for the high-level FeatureEngineeringSession facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, TrainingDatabase
+from repro.exceptions import NotSeparableError, SeparabilityError
+from repro.core.languages import CQ_ALL, BoundedAtomsCQ, GhwClass
+from repro.core.pipeline import FeatureEngineeringSession
+
+
+@pytest.fixture
+def evaluation():
+    return Database.from_tuples(
+        {
+            "E": [("f", "g"), ("g", "h"), ("i", "j")],
+            "eta": [("f",), ("g",), ("i",)],
+        }
+    )
+
+
+class TestCqmSessions:
+    def test_exact_separable(self, path_training, evaluation):
+        session = FeatureEngineeringSession(
+            path_training, BoundedAtomsCQ(2)
+        )
+        assert session.separable
+        labeling = session.classify(evaluation)
+        assert labeling["f"] == 1
+        assert labeling["g"] == -1
+
+    def test_exact_inseparable(self, path_training):
+        session = FeatureEngineeringSession(
+            path_training, BoundedAtomsCQ(1)
+        )
+        assert not session.separable
+        with pytest.raises(NotSeparableError):
+            session.classify(path_training.database)
+
+    def test_approximate(self):
+        db = Database.from_tuples(
+            {
+                "R": [("a",), ("b",), ("c",), ("d",)],
+                "eta": [("a",), ("b",), ("c",), ("d",)],
+            }
+        )
+        training = TrainingDatabase.from_examples(
+            db, ["a", "b", "c"], ["d"]
+        )
+        session = FeatureEngineeringSession(
+            training, BoundedAtomsCQ(1), epsilon=0.25
+        )
+        assert session.separable
+        assert session.report().training_errors == 1
+
+    def test_materialize(self, path_training):
+        session = FeatureEngineeringSession(
+            path_training, BoundedAtomsCQ(2)
+        )
+        pair = session.materialize()
+        assert pair.separates(path_training)
+
+
+class TestGhwSessions:
+    def test_classifies_without_features(self, path_training, evaluation):
+        session = FeatureEngineeringSession(path_training, GhwClass(1))
+        assert session.separable
+        labeling = session.classify(evaluation)
+        assert labeling["f"] == 1
+
+    def test_approximate_repair(self):
+        db = Database.from_tuples(
+            {
+                "R": [("a",), ("b",), ("c",), ("d",)],
+                "eta": [("a",), ("b",), ("c",), ("d",)],
+            }
+        )
+        training = TrainingDatabase.from_examples(
+            db, ["a", "b", "c"], ["d"]
+        )
+        exact = FeatureEngineeringSession(training, GhwClass(1))
+        assert not exact.separable
+        approx = FeatureEngineeringSession(
+            training, GhwClass(1), epsilon=0.25
+        )
+        assert approx.separable
+        labeling = approx.classify(db)
+        assert all(labeling[e] == 1 for e in db.entities())
+
+    def test_materialize_generates_statistic(self, path_training):
+        session = FeatureEngineeringSession(path_training, GhwClass(1))
+        pair = session.materialize()
+        assert pair.separates(path_training)
+
+    def test_report(self, path_training):
+        session = FeatureEngineeringSession(path_training, GhwClass(1))
+        report = session.report()
+        assert report.separable
+        assert report.dimension == 3
+        assert "GHW(1)" in str(report)
+
+
+class TestCqSessions:
+    def test_classifies_via_canonical_features(self, path_training):
+        session = FeatureEngineeringSession(path_training, CQ_ALL)
+        assert session.separable
+        labeling = session.classify(path_training.database)
+        for entity in path_training.entities:
+            assert labeling[entity] == path_training.label(entity)
+
+    def test_materializes_canonical_statistic(self, path_training):
+        session = FeatureEngineeringSession(path_training, CQ_ALL)
+        pair = session.materialize()
+        assert pair.separates(path_training)
+
+    def test_no_approximate_cq(self, path_training):
+        with pytest.raises(SeparabilityError):
+            FeatureEngineeringSession(path_training, CQ_ALL, epsilon=0.1)
+
+
+class TestFoSessions:
+    def test_classifies_by_isomorphism_type(self, path_training, evaluation):
+        from repro.fo.fragments import FO
+
+        session = FeatureEngineeringSession(path_training, FO)
+        assert session.separable
+        labeling = session.classify(evaluation)
+        assert labeling["f"] == 1  # isomorphic to the positive type
+        assert labeling["g"] == -1
+
+    def test_report_dimension_one(self, path_training):
+        from repro.fo.fragments import FO
+
+        session = FeatureEngineeringSession(path_training, FO)
+        report = session.report()
+        assert report.separable
+        assert "FO" in str(report)
+
+    def test_no_approximate_fo(self, path_training):
+        from repro.fo.fragments import FO
+
+        with pytest.raises(SeparabilityError):
+            FeatureEngineeringSession(path_training, FO, epsilon=0.1)
+
+
+class TestValidation:
+    def test_bad_epsilon(self, path_training):
+        with pytest.raises(SeparabilityError):
+            FeatureEngineeringSession(
+                path_training, GhwClass(1), epsilon=1.0
+            )

@@ -1,0 +1,124 @@
+"""End-to-end validation of the paper's reductions (Lemma 6.5, Prop 7.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, TrainingDatabase
+from repro.exceptions import SeparabilityError
+from repro.core.dimension import bounded_dimension_separable
+from repro.core.ghw_approx import ghw_approx_separable
+from repro.core.ghw_sep import ghw_separable
+from repro.core.languages import CQ_ALL, BoundedAtomsCQ
+from repro.core.reductions import (
+    pad_for_approximation,
+    qbe_to_bounded_dimension,
+)
+
+
+@pytest.fixture
+def qbe_instance():
+    """dom(D) partitioned: S+ = {0} (starts a 2-path), S− = rest."""
+    db = Database.from_tuples({"E": [(0, 1), (1, 2), (8, 9)]})
+    positives = [0]
+    negatives = [1, 2, 8, 9]
+    return db, positives, negatives
+
+
+class TestLemma65:
+    def test_roundtrip_yes_instance(self, qbe_instance):
+        db, positives, negatives = qbe_instance
+        for ell in (1, 2):
+            training = qbe_to_bounded_dimension(
+                db, positives, negatives, ell
+            )
+            # The QBE instance has a CQ explanation (2-path), so the
+            # produced training database is CQ-separable with ℓ features.
+            assert CQ_ALL.qbe(db, positives, negatives)
+            result = bounded_dimension_separable(training, ell, CQ_ALL)
+            assert result.separable
+
+    def test_roundtrip_no_instance(self):
+        # S+ = {8}: anything 8 satisfies, 0 satisfies too -> no explanation.
+        db = Database.from_tuples({"E": [(0, 1), (1, 2), (8, 9)]})
+        positives = [8]
+        negatives = [0, 1, 2, 9]
+        assert not CQ_ALL.qbe(db, positives, negatives)
+        for ell in (1, 2):
+            training = qbe_to_bounded_dimension(
+                db, positives, negatives, ell
+            )
+            assert not bounded_dimension_separable(
+                training, ell, CQ_ALL
+            ).separable
+
+    def test_structure_of_reduction(self, qbe_instance):
+        db, positives, negatives = qbe_instance
+        training = qbe_to_bounded_dimension(db, positives, negatives, 3)
+        # Entities: dom(D) plus c- and c1, c2.
+        assert len(training.entities) == len(db.domain) + 3
+        assert len(training.positives) == len(positives) + 2
+        # kappa relations added.
+        assert "kappa1" in training.database.schema
+        assert "kappa2" in training.database.schema
+
+    def test_requires_partition(self):
+        db = Database.from_tuples({"E": [(0, 1)]})
+        with pytest.raises(SeparabilityError):
+            qbe_to_bounded_dimension(db, [0], [], 1)
+        with pytest.raises(SeparabilityError):
+            qbe_to_bounded_dimension(db, [0], [0, 1], 1)
+
+    def test_entity_symbol_clash_rejected(self):
+        db = Database.from_tuples({"eta": [(0,)], "E": [(0, 1)]})
+        with pytest.raises(SeparabilityError):
+            qbe_to_bounded_dimension(db, [0], [1], 1)
+
+    def test_cqm_language_roundtrip(self, qbe_instance):
+        db, positives, negatives = qbe_instance
+        training = qbe_to_bounded_dimension(db, positives, negatives, 2)
+        language = BoundedAtomsCQ(2, count_entity_atom=False)
+        assert BoundedAtomsCQ(2, count_entity_atom=True).qbe(
+            db, positives, negatives
+        )
+        assert bounded_dimension_separable(training, 2, language).separable
+
+
+class TestProp71:
+    def test_padding_balances_budget(self, path_training):
+        for epsilon in (0.1, 0.25, 0.4):
+            instance = pad_for_approximation(path_training, epsilon)
+            n = len(instance.training.entities)
+            assert int(epsilon * n) == instance.forced_errors
+            assert len(instance.padding_entities) == (
+                2 * instance.forced_errors
+            )
+
+    def test_separable_iff_padded_approx_separable(self, path_training):
+        epsilon = 0.3
+        instance = pad_for_approximation(path_training, epsilon)
+        # Original is GHW(1)-separable; the padded instance must be
+        # GHW(1)-separable with error ε.
+        assert ghw_separable(path_training, 1)
+        assert ghw_approx_separable(instance.training, 1, epsilon)
+
+    def test_no_instance_stays_no(self):
+        db = Database.from_tuples(
+            {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        assert not ghw_separable(training, 1)
+        epsilon = 0.3
+        instance = pad_for_approximation(training, epsilon)
+        assert not ghw_approx_separable(instance.training, 1, epsilon)
+
+    def test_epsilon_range_enforced(self, path_training):
+        with pytest.raises(SeparabilityError):
+            pad_for_approximation(path_training, 0.5)
+        with pytest.raises(SeparabilityError):
+            pad_for_approximation(path_training, -0.1)
+
+    def test_epsilon_zero_adds_nothing(self, path_training):
+        instance = pad_for_approximation(path_training, 0.0)
+        assert instance.forced_errors == 0
+        assert instance.training.entities == path_training.entities

@@ -1,0 +1,64 @@
+"""Tests for separability profiles."""
+
+from __future__ import annotations
+
+from repro.data import Database, TrainingDatabase
+from repro.workloads import example_6_2
+from repro.core.report import separability_profile
+
+
+class TestSeparabilityProfile:
+    def test_example_6_2_rows(self):
+        profile = separability_profile(example_6_2())
+        by_language = {row.language: row for row in profile.rows}
+        assert by_language["CQ[1]"].separable
+        assert by_language["GHW(1)"].separable
+        assert by_language["CQ"].separable
+        assert by_language["FO"].separable
+        assert by_language["FO"].dimension == 1  # Prop 8.1's collapse
+        assert by_language["GHW(1)"].dimension == 3  # one per class
+
+    def test_min_errors_on_inseparable(self):
+        db = Database.from_tuples(
+            {
+                "R": [("a",), ("b",), ("c",)],
+                "eta": [("a",), ("b",), ("c",)],
+            }
+        )
+        training = TrainingDatabase.from_examples(db, ["a", "b"], ["c"])
+        profile = separability_profile(training, include_fo=False)
+        by_language = {row.language: row for row in profile.rows}
+        assert not by_language["CQ[1]"].separable
+        assert by_language["CQ[1]"].min_errors == 1
+        assert by_language["GHW(1)"].min_errors == 1
+
+    def test_best_exact_order(self, path_training):
+        profile = separability_profile(path_training)
+        best = profile.best_exact()
+        assert best is not None
+        # CQ[1] fails (needs a 2-atom join), CQ[2] is the first success.
+        assert best.language == "CQ[2]"
+
+    def test_rendering(self, path_training):
+        text = str(separability_profile(path_training))
+        assert "class" in text
+        assert "CQ[2]" in text
+        assert "GHW(1)" in text
+
+    def test_monotone_along_ladder(self, path_training):
+        """Separability can only improve from CQ[m] to CQ and to FO."""
+        profile = separability_profile(path_training)
+        by_language = {row.language: row for row in profile.rows}
+        if by_language["CQ[2]"].separable:
+            assert by_language["CQ"].separable
+            assert by_language["FO"].separable
+
+    def test_cli_profile_command(self, tmp_path, path_training, capsys):
+        from repro.cli import main
+        from repro.data.io import training_database_to_json
+
+        path = tmp_path / "train.json"
+        path.write_text(training_database_to_json(path_training))
+        assert main(["profile", str(path), "--no-fo"]) == 0
+        out = capsys.readouterr().out
+        assert "most regularized exact separator: CQ[2]" in out

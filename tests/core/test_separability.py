@@ -1,0 +1,107 @@
+"""Tests for CQ[m]-SEP / CQ[m, p]-SEP (Prop 4.1 and Prop 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.parser import parse_cq
+from repro.data import Database, TrainingDatabase
+from repro.exceptions import SeparabilityError
+from repro.workloads import plant_concept_labeling
+from repro.core.separability import cqm_separability, feature_pool
+
+
+class TestFeaturePool:
+    def test_only_database_relations(self, path_training):
+        pool = feature_pool(path_training, 1)
+        relations = set()
+        for query in pool:
+            relations |= query.mentioned_relations()
+        assert relations <= {"E", "eta"}
+
+    def test_pool_grows_with_atoms(self, path_training):
+        assert len(feature_pool(path_training, 2)) > len(
+            feature_pool(path_training, 1)
+        )
+
+    def test_occurrence_restriction_shrinks(self, path_training):
+        assert len(feature_pool(path_training, 2, 1)) < len(
+            feature_pool(path_training, 2)
+        )
+
+
+class TestCqmSeparability:
+    def test_two_path_concept_needs_two_atoms(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a"], ["b", "d"]
+        )
+        assert not cqm_separability(training, 1).separable
+        result = cqm_separability(training, 2)
+        assert result.separable
+
+    def test_witness_separates(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a"], ["b", "d"]
+        )
+        result = cqm_separability(training, 2)
+        assert result.separating_pair is not None
+        assert result.separating_pair.separates(training)
+
+    def test_unseparable_instance(self):
+        # Two entities with identical structure but different labels.
+        db = Database.from_tuples(
+            {"R": [("a",), ("b",)], "eta": [("a",), ("b",)]}
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        result = cqm_separability(training, 2)
+        assert not result.separable
+        assert result.separating_pair is None
+        assert result.vectors["a"] == result.vectors["b"]
+
+    def test_monotone_in_m(self, colors_database):
+        training = TrainingDatabase.from_examples(
+            colors_database, ["a", "b"], ["c"]
+        )
+        assert cqm_separability(training, 1).separable
+        assert cqm_separability(training, 2).separable
+
+    def test_planted_concept_recovered(self):
+        db = Database.from_tuples(
+            {
+                "E": [(0, 1), (1, 2), (2, 3), (4, 5)],
+                "eta": [(0,), (1,), (2,), (4,)],
+            }
+        )
+        concept = parse_cq("q(x) :- eta(x), E(x, y), E(y, z)")
+        training = plant_concept_labeling(db, concept)
+        result = cqm_separability(training, 2)
+        assert result.separable
+
+    def test_occurrence_bound_can_lose_separability(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a"], ["b", "d"]
+        )
+        # With p=1 the join E(x,y),E(y,z) is forbidden (y occurs twice).
+        result = cqm_separability(training, 2, max_occurrences=1)
+        assert not result.separable
+
+    def test_negative_atoms_rejected(self, path_training):
+        with pytest.raises(SeparabilityError):
+            cqm_separability(path_training, -1)
+
+    def test_result_truthiness(self, path_training):
+        assert bool(cqm_separability(path_training, 2))
+        assert not bool(cqm_separability(path_training, 1))
+
+    def test_all_positive_labels(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a", "b", "d"], []
+        )
+        result = cqm_separability(training, 0)
+        assert result.separable
+        assert result.separating_pair.separates(training)
+
+    def test_isomorphism_dedupe_same_decision(self, path_training):
+        fast = cqm_separability(path_training, 2, dedupe="isomorphism")
+        slow = cqm_separability(path_training, 2, dedupe="equivalence")
+        assert fast.separable == slow.separable

@@ -1,0 +1,96 @@
+"""Tests for statistics and separating pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.parser import parse_cq
+from repro.data import TrainingDatabase
+from repro.exceptions import QueryError, SeparabilityError
+from repro.linsep.classifier import LinearClassifier
+from repro.core.statistic import SeparatingPair, Statistic
+
+
+@pytest.fixture
+def two_feature_statistic():
+    return Statistic(
+        [
+            parse_cq("q(x) :- eta(x), E(x, y)"),
+            parse_cq("q(x) :- eta(x), E(y, x)"),
+        ]
+    )
+
+
+class TestStatistic:
+    def test_dimension(self, two_feature_statistic):
+        assert two_feature_statistic.dimension == 2
+        assert len(two_feature_statistic) == 2
+
+    def test_rejects_non_unary(self):
+        with pytest.raises(QueryError):
+            Statistic([parse_cq("q(x, y) :- E(x, y)")])
+
+    def test_vector(self, two_feature_statistic, path_database):
+        assert two_feature_statistic.vector(path_database, "a") == (1, -1)
+        assert two_feature_statistic.vector(path_database, "b") == (1, 1)
+
+    def test_vectors_batch_matches_single(
+        self, two_feature_statistic, path_database
+    ):
+        batch = two_feature_statistic.vectors(path_database)
+        for entity, vector in batch.items():
+            assert vector == two_feature_statistic.vector(
+                path_database, entity
+            )
+
+    def test_training_collection_order(
+        self, two_feature_statistic, path_training
+    ):
+        vectors, labels, entities = (
+            two_feature_statistic.training_collection(path_training)
+        )
+        assert entities == sorted(path_training.entities, key=repr)
+        assert len(vectors) == len(labels) == 3
+
+    def test_max_atoms(self, two_feature_statistic):
+        assert two_feature_statistic.max_atoms() == 1
+
+    def test_indexing_and_iteration(self, two_feature_statistic):
+        assert two_feature_statistic[0] in list(two_feature_statistic)
+
+    def test_equality(self, two_feature_statistic):
+        clone = Statistic(two_feature_statistic.queries)
+        assert clone == two_feature_statistic
+        assert hash(clone) == hash(two_feature_statistic)
+
+
+class TestSeparatingPair:
+    def test_arity_checked(self, two_feature_statistic):
+        with pytest.raises(SeparabilityError):
+            SeparatingPair(
+                two_feature_statistic, LinearClassifier((1.0,), 0.0)
+            )
+
+    def test_predict_and_classify(
+        self, two_feature_statistic, path_database
+    ):
+        # Positive iff it has an outgoing edge but no incoming edge.
+        pair = SeparatingPair(
+            two_feature_statistic, LinearClassifier((1.0, -1.0), 2.0)
+        )
+        assert pair.predict(path_database, "a") == 1
+        assert pair.predict(path_database, "b") == -1
+        labeling = pair.classify(path_database)
+        assert labeling["a"] == 1
+        assert labeling["d"] == 1
+        assert labeling["b"] == -1
+
+    def test_errors_and_separates(
+        self, two_feature_statistic, path_training
+    ):
+        pair = SeparatingPair(
+            two_feature_statistic, LinearClassifier((1.0, -1.0), 2.0)
+        )
+        # a is positive; but d also scores positively -> 1 error.
+        assert pair.errors(path_training) == 1
+        assert not pair.separates(path_training)

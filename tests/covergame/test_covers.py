@@ -1,0 +1,65 @@
+"""Tests for cover enumeration."""
+
+from __future__ import annotations
+
+from repro.covergame.covers import cover_facts, enumerate_covers
+from repro.data import Database
+from repro.data.database import Fact
+
+
+def _edges(pairs):
+    return Database.from_tuples({"E": pairs})
+
+
+class TestEnumerateCovers:
+    def test_k1_covers_are_fact_element_sets(self):
+        db = _edges([(1, 2), (2, 3)])
+        covers = enumerate_covers(db, 1)
+        assert frozenset({1, 2}) in covers
+        assert frozenset({2, 3}) in covers
+        assert len(covers) == 2
+
+    def test_k2_includes_unions(self):
+        db = _edges([(1, 2), (2, 3)])
+        covers = enumerate_covers(db, 2)
+        # The union {1,2,3} dominates both single-fact covers.
+        assert covers == [frozenset({1, 2, 3})]
+
+    def test_dominated_covers_dropped(self):
+        db = Database.from_tuples(
+            {"E": [(1, 2)], "T": [(1, 2, 3)]}
+        )
+        covers = enumerate_covers(db, 1)
+        assert frozenset({1, 2, 3}) in covers
+        assert frozenset({1, 2}) not in covers
+
+    def test_k_zero(self):
+        db = _edges([(1, 2)])
+        assert enumerate_covers(db, 0) == []
+
+    def test_duplicate_element_sets_merged(self):
+        db = Database.from_tuples(
+            {"E": [(1, 2)], "F": [(1, 2)]}
+        )
+        assert len(enumerate_covers(db, 1)) == 1
+
+    def test_empty_database(self):
+        assert enumerate_covers(Database([]), 2) == []
+
+
+class TestCoverFacts:
+    def test_contains_only_inside_facts(self):
+        db = _edges([(1, 2), (2, 3)])
+        facts = cover_facts(db, frozenset({1, 2}), frozenset())
+        assert facts == (Fact("E", (1, 2)),)
+
+    def test_anchor_extends_allowed_set(self):
+        db = _edges([(1, 2), (2, 3)])
+        facts = cover_facts(db, frozenset({2}), frozenset({3}))
+        assert Fact("E", (2, 3)) in facts
+        assert Fact("E", (1, 2)) not in facts
+
+    def test_anchor_only_facts_included(self):
+        db = Database.from_tuples({"R": [(9,)], "E": [(1, 2)]})
+        facts = cover_facts(db, frozenset({1, 2}), frozenset({9}))
+        assert Fact("R", (9,)) in facts

@@ -1,0 +1,88 @@
+"""Tests for the →_k preorder, its classes, and the topological sort."""
+
+from __future__ import annotations
+
+from repro.covergame.equivalence import CoverPreorder
+from repro.data import Database
+
+
+class TestCoverPreorder:
+    def test_reflexive(self, path_database):
+        preorder = CoverPreorder(path_database, k=1)
+        for entity in preorder.elements:
+            assert preorder.leq(entity, entity)
+
+    def test_transitive(self, path_database):
+        preorder = CoverPreorder(path_database, k=1)
+        elements = preorder.elements
+        for a in elements:
+            for b in elements:
+                for c in elements:
+                    if preorder.leq(a, b) and preorder.leq(b, c):
+                        assert preorder.leq(a, c)
+
+    def test_defaults_to_entities(self, path_database):
+        preorder = CoverPreorder(path_database, k=1)
+        assert set(preorder.elements) == path_database.entities()
+
+    def test_explicit_elements(self, path_database):
+        preorder = CoverPreorder(path_database, ["a", "c"], k=1)
+        assert preorder.elements == ("a", "c")
+
+    def test_equivalence_classes_partition(self, triangle_database):
+        preorder = CoverPreorder(triangle_database, k=1)
+        classes = preorder.equivalence_classes()
+        union = set()
+        for cls in classes:
+            assert not union & cls
+            union |= cls
+        assert union == set(preorder.elements)
+
+    def test_triangle_nodes_equivalent(self, triangle_database):
+        preorder = CoverPreorder(triangle_database, k=1)
+        assert preorder.equivalent("t1", "t2")
+        assert preorder.equivalent("t2", "t3")
+
+    def test_path_nodes_not_equivalent_to_triangle(self, triangle_database):
+        preorder = CoverPreorder(triangle_database, k=1)
+        assert not preorder.equivalent("t1", "p1")
+        assert preorder.distinguishable("t1", "p1")
+
+    def test_class_of(self, triangle_database):
+        preorder = CoverPreorder(triangle_database, k=1)
+        assert preorder.class_of("t1") == {"t1", "t2", "t3"}
+
+    def test_sorted_classes_topological(self, path_database):
+        preorder = CoverPreorder(path_database, k=1)
+        ordered = preorder.sorted_classes()
+        representatives = [sorted(cls, key=repr)[0] for cls in ordered]
+        # If class j comes after class i, then rep_j ⋠ rep_i strictly below
+        # is impossible: strictly-below classes must appear earlier.
+        for i, left in enumerate(representatives):
+            for right in representatives[i + 1:]:
+                strictly_below = preorder.leq(
+                    right, left
+                ) and not preorder.leq(left, right)
+                assert not strictly_below
+
+    def test_isolated_entity_is_minimal(self, path_database):
+        preorder = CoverPreorder(path_database, k=1)
+        ordered = preorder.sorted_classes()
+        assert "d" in ordered[0]
+
+    def test_transitivity_shortcut_is_sound(self, triangle_database):
+        with_shortcut = CoverPreorder(triangle_database, k=1)
+        without = CoverPreorder(
+            triangle_database, k=1, use_transitivity=False
+        )
+        for left in with_shortcut.elements:
+            for right in with_shortcut.elements:
+                assert with_shortcut.leq(left, right) == without.leq(
+                    left, right
+                )
+        # The triangle's equivalent nodes give inferable positive pairs.
+        assert with_shortcut.games_inferred > 0
+        assert (
+            with_shortcut.games_played + with_shortcut.games_inferred
+            == without.games_played
+        )

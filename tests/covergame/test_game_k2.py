@@ -1,0 +1,80 @@
+"""k = 2 cover-game tests: differential against the reference and structure."""
+
+from __future__ import annotations
+
+import random
+
+from repro.covergame.game import cover_game_holds
+from repro.data import Database, Fact
+from repro.core.brute import cover_game_holds_reference
+
+
+def _random_db(seed: int, n_elements: int = 4) -> Database:
+    rng = random.Random(seed)
+    facts = set()
+    while len(facts) < 4:
+        facts.add(
+            Fact(
+                "E",
+                (rng.randrange(n_elements), rng.randrange(n_elements)),
+            )
+        )
+    return Database(facts)
+
+
+class TestK2Differential:
+    def test_random_pointed_games(self):
+        for seed in range(6):
+            database = _random_db(seed)
+            domain = sorted(database.domain)
+            for left in domain[:2]:
+                for right in domain[:2]:
+                    fast = cover_game_holds(
+                        database, (left,), database, (right,), 2
+                    )
+                    slow = cover_game_holds_reference(
+                        database, (left,), database, (right,), 2
+                    )
+                    assert fast == slow, (seed, left, right)
+
+    def test_cross_database_k2(self):
+        square = Database.from_tuples(
+            {"E": [(0, 1), (1, 2), (2, 3), (3, 0)]}
+        )
+        triangle = Database.from_tuples(
+            {"E": [("a", "b"), ("b", "c"), ("c", "a")]}
+        )
+        for left in (0, 1):
+            for right in ("a", "b"):
+                fast = cover_game_holds(
+                    square, (left,), triangle, (right,), 2
+                )
+                slow = cover_game_holds_reference(
+                    square, (left,), triangle, (right,), 2
+                )
+                assert fast == slow
+
+    def test_k2_refines_k1(self):
+        for seed in range(6):
+            database = _random_db(seed + 50)
+            domain = sorted(database.domain)
+            for left in domain[:3]:
+                for right in domain[:3]:
+                    if cover_game_holds(
+                        database, (left,), database, (right,), 2
+                    ):
+                        assert cover_game_holds(
+                            database, (left,), database, (right,), 1
+                        )
+
+    def test_binary_anchor_tuples(self):
+        path = Database.from_tuples({"E": [(0, 1), (1, 2)]})
+        # (0,1) maps onto (0,1) but not onto (1,0).
+        assert cover_game_holds(path, (0, 1), path, (0, 1), 2)
+        assert not cover_game_holds(path, (0, 1), path, (1, 0), 2)
+        assert cover_game_holds_reference(
+            path, (0, 1), path, (0, 1), 2
+        )
+        assert not cover_game_holds_reference(
+            path, (0, 1), path, (1, 0), 2
+        )

@@ -1,0 +1,89 @@
+"""Tests for k-cover unravelings and equivalent-feature generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.covergame.game import cover_game_holds
+from repro.covergame.unravel import (
+    generate_equivalent_feature,
+    unraveling,
+)
+from repro.cq.evaluation import selects
+from repro.data import Database
+from repro.exceptions import QueryError
+from repro.hypergraph.ghw import ghw_at_most
+
+
+class TestUnraveling:
+    def test_depth_zero_is_trivial(self, path_database):
+        query = unraveling(path_database, "a", 1, 0)
+        assert query.atom_count() == 0
+
+    def test_entity_must_exist(self, path_database):
+        with pytest.raises(QueryError):
+            unraveling(path_database, "zzz", 1, 1)
+
+    def test_negative_depth_rejected(self, path_database):
+        with pytest.raises(QueryError):
+            unraveling(path_database, "a", 1, -1)
+
+    def test_node_budget_enforced(self, path_database):
+        with pytest.raises(QueryError, match="max_nodes"):
+            unraveling(path_database, "a", 1, 6, max_nodes=10)
+
+    def test_selects_source_entity(self, path_database):
+        query = unraveling(path_database, "a", 1, 2)
+        assert selects(query, path_database, "a")
+
+    def test_ghw_bound_by_construction(self, path_database):
+        for depth in (1, 2):
+            query = unraveling(path_database, "a", 1, depth)
+            if len(query.atoms) <= 25:
+                assert ghw_at_most(query, 1)
+
+    def test_monotone_in_depth(self, path_database):
+        """Deeper unravelings select fewer (or equal) elements."""
+        shallow = unraveling(path_database, "a", 1, 1)
+        deep = unraveling(path_database, "a", 1, 2)
+        for entity in path_database.entities():
+            if selects(deep, path_database, entity):
+                assert selects(shallow, path_database, entity)
+
+
+class TestGenerateEquivalentFeature:
+    def test_matches_game_semantics(self, path_database):
+        query, depth = generate_equivalent_feature(path_database, "a", 1)
+        assert depth >= 1
+        for entity in path_database.entities():
+            expected = cover_game_holds(
+                path_database, ("a",), path_database, (entity,), 1
+            )
+            assert selects(query, path_database, entity) == expected
+
+    def test_respects_evaluation_databases(self, path_database):
+        evaluation = Database.from_tuples(
+            {
+                "E": [("f", "g"), ("g", "h")],
+                "eta": [("f",), ("g",)],
+            }
+        )
+        query, _ = generate_equivalent_feature(
+            path_database, "a", 1, evaluation_databases=[evaluation]
+        )
+        for entity in evaluation.entities():
+            expected = cover_game_holds(
+                path_database, ("a",), evaluation, (entity,), 1
+            )
+            assert selects(query, evaluation, entity) == expected
+
+    def test_triangle_feature(self, triangle_database):
+        query, _ = generate_equivalent_feature(triangle_database, "t1", 1)
+        assert selects(query, triangle_database, "t2")
+        assert not selects(query, triangle_database, "p1")
+
+    def test_max_depth_exhaustion(self, triangle_database):
+        with pytest.raises(QueryError, match="stabilize|max_nodes"):
+            generate_equivalent_feature(
+                triangle_database, "t1", 1, max_depth=0
+            )

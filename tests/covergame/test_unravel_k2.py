@@ -1,0 +1,98 @@
+"""Unraveling tests at k = 2 and guard-path tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.covergame.game import cover_game_holds
+from repro.covergame.unravel import generate_equivalent_feature, unraveling
+from repro.cq.evaluation import selects
+from repro.data import Database
+from repro.hypergraph.ghw import ghw_at_most
+
+
+@pytest.fixture
+def mixed_database():
+    """A triangle, a 2-path, and markers; entities everywhere."""
+    return Database.from_tuples(
+        {
+            "E": [
+                ("t1", "t2"),
+                ("t2", "t3"),
+                ("t3", "t1"),
+                ("p1", "p2"),
+                ("p2", "p3"),
+            ],
+            "G": [("t1",), ("p1",)],
+            "eta": [("t1",), ("t2",), ("p1",), ("p2",)],
+        }
+    )
+
+
+class TestUnravelingK2:
+    def test_matches_game_semantics(self, mixed_database):
+        query, depth = generate_equivalent_feature(
+            mixed_database, "t1", 2, max_depth=4, max_nodes=200_000
+        )
+        assert depth >= 1
+        for entity in mixed_database.entities():
+            expected = cover_game_holds(
+                mixed_database, ("t1",), mixed_database, (entity,), 2
+            )
+            assert selects(query, mixed_database, entity) == expected
+
+    def test_ghw_bound(self, mixed_database):
+        query = unraveling(mixed_database, "p1", 2, 1)
+        if len(query.atoms) <= 25:
+            assert ghw_at_most(query, 2)
+
+    def test_k2_selects_subset_of_k1(self, mixed_database):
+        """→_2 refines →_1, so the k=2 feature selects fewer entities."""
+        q1, _ = generate_equivalent_feature(
+            mixed_database, "t1", 1, max_depth=4, max_nodes=200_000
+        )
+        q2, _ = generate_equivalent_feature(
+            mixed_database, "t1", 2, max_depth=4, max_nodes=200_000
+        )
+        selected_1 = {
+            e
+            for e in mixed_database.entities()
+            if selects(q1, mixed_database, e)
+        }
+        selected_2 = {
+            e
+            for e in mixed_database.entities()
+            if selects(q2, mixed_database, e)
+        }
+        assert selected_2 <= selected_1
+
+
+class TestGhwClassifierK2:
+    def test_consistent_on_training(self, mixed_database):
+        from repro.data import TrainingDatabase
+        from repro.core.ghw_classify import GhwClassifier
+        from repro.core.ghw_sep import ghw_separable
+
+        training = TrainingDatabase.from_examples(
+            mixed_database, ["t1", "t2"], ["p1", "p2"]
+        )
+        if ghw_separable(training, 2):
+            device = GhwClassifier(training, 2)
+            labeling = device.classify(mixed_database)
+            for entity in training.entities:
+                assert labeling[entity] == training.label(entity)
+
+
+class TestGhwGuards:
+    def test_wide_atom_union_guard(self):
+        from repro.cq.query import CQ
+        from repro.cq.terms import Atom, Variable
+        from repro.exceptions import DecompositionError
+        from repro.hypergraph.ghw import ghw_at_most
+
+        wide = Atom(
+            "W", tuple(Variable(f"v{i}") for i in range(18))
+        )
+        query = CQ([wide, Atom("eta", (Variable("x"),))], (Variable("x"),))
+        with pytest.raises(DecompositionError, match="limit"):
+            ghw_at_most(query, 1)

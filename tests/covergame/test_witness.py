@@ -1,0 +1,54 @@
+"""Tests for the Spoiler-opening witness of failed cover games."""
+
+from __future__ import annotations
+
+from repro.covergame.covers import cover_facts
+from repro.covergame.game import CoverGameSolver
+from repro.cq.homomorphism import all_homomorphisms
+from repro.data import Database
+
+
+class TestFailingCover:
+    def test_witness_on_failure(self, path_database):
+        solver = CoverGameSolver(
+            path_database, ("a",), path_database, ("b",), 1
+        )
+        assert solver.solve() is False
+        assert solver.failing_cover is not None
+
+    def test_no_witness_on_success(self, path_database):
+        solver = CoverGameSolver(
+            path_database, ("d",), path_database, ("a",), 1
+        )
+        assert solver.solve() is True
+        assert solver.failing_cover is None
+
+    def test_anchor_violation_has_no_cover(self):
+        db = Database.from_tuples({"E": [(1, 2)]})
+        solver = CoverGameSolver(db, (1, 2), db, (2, 1), 2)
+        assert solver.solve() is False
+        assert solver.failing_cover is None  # the anchor itself fails
+
+    def test_witness_is_genuinely_winning_for_spoiler(self):
+        """Every Duplicator answer on the failing cover eventually dies.
+
+        We verify the weaker checkable property: at fixpoint no surviving
+        answer exists — equivalently, a fresh solver run confirms failure,
+        and the cover's initial answers (if any) cannot all be extended
+        indefinitely.  For the immediate-failure case we can check there
+        is literally no homomorphism on that cover.
+        """
+        db = Database.from_tuples(
+            {
+                "E": [("a", "b")],
+                "F": [("c", "d")],
+            }
+        )
+        other = Database.from_tuples({"E": [(1, 2)]})
+        solver = CoverGameSolver(db, (), other, (), 1)
+        assert solver.solve() is False
+        cover = solver.failing_cover
+        assert cover is not None
+        facts = cover_facts(db, cover, frozenset())
+        problem = Database(facts, schema=db.schema)
+        assert not list(all_homomorphisms(problem, other, {}))

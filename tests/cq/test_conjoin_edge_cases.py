@@ -1,0 +1,65 @@
+"""Edge-case tests for CQ.conjoin's variable-renaming logic."""
+
+from __future__ import annotations
+
+from repro.cq.containment import are_equivalent, is_contained_in
+from repro.cq.evaluation import evaluate_unary
+from repro.cq.parser import parse_cq
+from repro.data import Database
+
+
+class TestConjoinRenaming:
+    def test_colliding_existentials_kept_apart(self):
+        left = parse_cq("q(x) :- E(x, y)")
+        right = parse_cq("q(x) :- F(x, y)")
+        combined = left.conjoin(right)
+        # The two y's denote different joins and must not be merged.
+        assert len(combined.existential_variables) == 2
+
+    def test_semantics_is_intersection(self):
+        db = Database.from_tuples(
+            {
+                "E": [(1, 2), (3, 4)],
+                "F": [(1, 9), (5, 6)],
+                "eta": [(1,), (3,), (5,)],
+            }
+        )
+        left = parse_cq("q(x) :- eta(x), E(x, y)")
+        right = parse_cq("q(x) :- eta(x), F(x, y)")
+        combined = left.conjoin(right)
+        assert evaluate_unary(combined, db) == (
+            evaluate_unary(left, db) & evaluate_unary(right, db)
+        )
+
+    def test_conjoin_contained_in_both(self):
+        left = parse_cq("q(x) :- E(x, y), E(y, z)")
+        right = parse_cq("q(x) :- E(y, x)")
+        combined = left.conjoin(right)
+        assert is_contained_in(combined, left)
+        assert is_contained_in(combined, right)
+
+    def test_self_conjoin_equivalent(self):
+        query = parse_cq("q(x) :- E(x, y), E(y, z)")
+        assert are_equivalent(query.conjoin(query), query)
+
+    def test_collision_with_generated_names(self):
+        # The right query already uses the name the renamer would pick.
+        left = parse_cq("q(x) :- E(x, y), E(x, y_0)")
+        right = parse_cq("q(x) :- F(x, y)")
+        combined = left.conjoin(right)
+        assert len(combined.atoms) == 3
+        # All three existential variables are distinct.
+        assert len(combined.existential_variables) == 3
+
+    def test_chained_conjoins(self):
+        queries = [
+            parse_cq("q(x) :- E(x, y)"),
+            parse_cq("q(x) :- E(y, x)"),
+            parse_cq("q(x) :- G(x)"),
+        ]
+        combined = queries[0]
+        for other in queries[1:]:
+            combined = combined.conjoin(other)
+        assert len(combined.atoms) == 3
+        for original in queries:
+            assert is_contained_in(combined, original)

@@ -1,0 +1,59 @@
+"""Tests for CQ containment and equivalence (Chandra–Merlin)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.containment import are_equivalent, is_contained_in
+from repro.cq.evaluation import evaluate_unary
+from repro.cq.parser import parse_cq
+from repro.data import Database
+from repro.exceptions import QueryError
+
+
+class TestContainment:
+    def test_longer_path_contained_in_shorter(self):
+        long = parse_cq("q(x) :- E(x, y), E(y, z)")
+        short = parse_cq("q(x) :- E(x, y)")
+        assert is_contained_in(long, short)
+        assert not is_contained_in(short, long)
+
+    def test_reflexive(self):
+        q = parse_cq("q(x) :- E(x, y), F(y, x)")
+        assert is_contained_in(q, q)
+
+    def test_redundant_atom(self):
+        redundant = parse_cq("q(x) :- E(x, y), E(x, z)")
+        minimal = parse_cq("q(x) :- E(x, y)")
+        assert are_equivalent(redundant, minimal)
+
+    def test_different_outputs_rejected(self):
+        unary = parse_cq("q(x) :- E(x, y)")
+        binary = parse_cq("q(x, y) :- E(x, y)")
+        with pytest.raises(QueryError):
+            is_contained_in(unary, binary)
+
+    def test_incomparable(self):
+        out_edge = parse_cq("q(x) :- E(x, y)")
+        in_edge = parse_cq("q(x) :- E(y, x)")
+        assert not is_contained_in(out_edge, in_edge)
+        assert not is_contained_in(in_edge, out_edge)
+
+    def test_containment_implies_semantic_containment(self):
+        contained = parse_cq("q(x) :- E(x, y), E(y, z), eta(x)")
+        container = parse_cq("q(x) :- E(x, y), eta(x)")
+        assert is_contained_in(contained, container)
+        db = Database.from_tuples(
+            {
+                "E": [(1, 2), (2, 3), (4, 5)],
+                "eta": [(1,), (2,), (4,)],
+            }
+        )
+        assert evaluate_unary(contained, db) <= evaluate_unary(
+            container, db
+        )
+
+    def test_equivalence_of_renamings(self):
+        left = parse_cq("q(x) :- E(x, y), E(y, z)")
+        right = parse_cq("q(x) :- E(x, u), E(u, w)")
+        assert are_equivalent(left, right)

@@ -1,0 +1,54 @@
+"""Tests for CQ core computation."""
+
+from __future__ import annotations
+
+from repro.cq.containment import are_equivalent
+from repro.cq.core import core_of
+from repro.cq.parser import parse_cq
+
+
+class TestCoreOf:
+    def test_redundant_branch_removed(self):
+        q = parse_cq("q(x) :- eta(x), E(x, y), E(x, z)")
+        core = core_of(q)
+        assert core.atom_count() == 1
+        assert are_equivalent(core, q)
+
+    def test_core_is_idempotent(self):
+        q = parse_cq("q(x) :- eta(x), E(x, y), E(x, z), E(z, w)")
+        once = core_of(q)
+        twice = core_of(once)
+        assert once == twice
+
+    def test_already_core_unchanged_semantically(self):
+        q = parse_cq("q(x) :- E(x, y), E(y, z)")
+        core = core_of(q)
+        assert are_equivalent(core, q)
+        assert len(core.atoms) == len(q.atoms)
+
+    def test_free_variables_preserved(self):
+        q = parse_cq("q(x) :- E(x, y), E(x, z)")
+        assert core_of(q).free_variables == q.free_variables
+
+    def test_path_with_shortcut(self):
+        # E(x,y), E(y,z), E(x,w): the length-1 branch folds into the path.
+        q = parse_cq("q(x) :- E(x, y), E(y, z), E(x, w)")
+        core = core_of(q)
+        assert len(core.atoms) == 2
+        assert are_equivalent(core, q)
+
+    def test_disconnected_redundancy(self):
+        # ∃u,v E(u,v) is implied by E(x,y).
+        q = parse_cq("q(x) :- E(x, y), E(u, v)")
+        core = core_of(q)
+        assert len(core.atoms) == 1
+
+    def test_triangle_is_its_own_core(self):
+        q = parse_cq("q(x) :- E(x, y), E(y, z), E(z, x)")
+        assert len(core_of(q).atoms) == 3
+
+    def test_loop_absorbs_everything(self):
+        q = parse_cq("q(x) :- E(x, x), E(x, y), E(y, z)")
+        core = core_of(q)
+        assert len(core.atoms) == 1
+        assert are_equivalent(core, q)

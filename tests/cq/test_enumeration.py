@@ -1,0 +1,122 @@
+"""Tests for CQ[m] / CQ[m, p] enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.containment import are_equivalent
+from repro.cq.enumeration import (
+    count_feature_queries,
+    enumerate_feature_queries,
+    enumerate_unary_queries,
+)
+from repro.cq.terms import Variable
+from repro.data.schema import EntitySchema, Schema
+from repro.exceptions import QueryError
+
+EDGE = EntitySchema.from_arities({"edge": 2})
+UNARY = EntitySchema.from_arities({"R": 1, "S": 1})
+
+
+class TestEnumerateFeatureQueries:
+    def test_zero_atoms_is_trivial_feature(self):
+        queries = enumerate_feature_queries(EDGE, 0)
+        assert len(queries) == 1
+        assert queries[0].atom_count() == 0
+
+    def test_one_edge_atom_equivalence_classes(self):
+        queries = enumerate_feature_queries(EDGE, 1)
+        # eta(x) alone; edge(x,x); edge(x,y); edge(y,x); edge(y,y); edge(y,z)
+        assert len(queries) == 6
+
+    def test_unary_schema(self):
+        queries = enumerate_feature_queries(UNARY, 1)
+        # trivial; R(x); S(x)  — R(y)/S(y) fold into the trivial query's
+        # core?  No: ∃y R(y) is NOT implied by eta(x); it stays.
+        forms = {str(q) for q in queries}
+        assert "q(x) :- eta(x)" in forms
+        assert any("R(x)" in f for f in forms)
+        assert any("R(v0)" in f for f in forms)
+        assert len(queries) == 5
+
+    def test_every_query_contains_entity_atom(self):
+        for q in enumerate_feature_queries(EDGE, 2):
+            assert any(a.relation == "eta" for a in q.atoms)
+
+    def test_all_pairwise_inequivalent(self):
+        queries = enumerate_feature_queries(EDGE, 2)
+        for i, left in enumerate(queries):
+            for right in queries[i + 1:]:
+                assert not are_equivalent(left, right), (left, right)
+
+    def test_isomorphism_dedupe_is_coarser(self):
+        equivalence = enumerate_feature_queries(EDGE, 2)
+        isomorphism = enumerate_feature_queries(
+            EDGE, 2, dedupe="isomorphism"
+        )
+        assert len(isomorphism) >= len(equivalence)
+
+    def test_atom_bound_respected(self):
+        for q in enumerate_feature_queries(EDGE, 2):
+            assert q.atom_count() <= 2
+
+    def test_occurrence_bound_respected(self):
+        queries = enumerate_feature_queries(EDGE, 2, max_occurrences=1)
+        for q in queries:
+            assert q.max_variable_occurrences() <= 1
+        # x may appear at most once in the body: edge(x,y),edge(y,z) is out.
+        assert all(
+            q.atom_count() <= 2 for q in queries
+        )
+        assert len(queries) < len(enumerate_feature_queries(EDGE, 2))
+
+    def test_custom_entity_symbol(self):
+        schema = EntitySchema.from_arities(
+            {"edge": 2}, entity_symbol="item"
+        )
+        queries = enumerate_feature_queries(
+            schema, 1, entity_symbol="item"
+        )
+        assert all(
+            any(a.relation == "item" for a in q.atoms) for q in queries
+        )
+
+    def test_negative_atoms_rejected(self):
+        with pytest.raises(QueryError):
+            enumerate_feature_queries(EDGE, -1)
+
+    def test_bad_dedupe_rejected(self):
+        with pytest.raises(QueryError):
+            enumerate_feature_queries(EDGE, 1, dedupe="nope")
+
+    def test_count_helper(self):
+        assert count_feature_queries(EDGE, 1) == 6
+
+
+class TestEnumerateUnaryQueries:
+    def test_free_variable_occurs(self):
+        schema = Schema.from_arities({"E": 2})
+        for q in enumerate_unary_queries(schema, 2):
+            assert Variable("x") in q.variables
+
+    def test_single_atom_pool(self):
+        schema = Schema.from_arities({"E": 2})
+        queries = enumerate_unary_queries(schema, 1)
+        # E(x,x), E(x,y), E(y,x): x must occur.
+        assert len(queries) == 3
+
+    def test_requires_positive_max_atoms(self):
+        schema = Schema.from_arities({"E": 2})
+        with pytest.raises(QueryError):
+            enumerate_unary_queries(schema, 0)
+
+    def test_no_entity_atom_enforced(self):
+        schema = Schema.from_arities({"E": 2})
+        for q in enumerate_unary_queries(schema, 1):
+            assert all(a.relation == "E" for a in q.atoms)
+
+    def test_growth_with_atoms(self):
+        schema = Schema.from_arities({"E": 2})
+        assert len(enumerate_unary_queries(schema, 2)) > len(
+            enumerate_unary_queries(schema, 1)
+        )

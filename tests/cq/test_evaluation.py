@@ -1,0 +1,87 @@
+"""Tests for CQ evaluation, indicators, and selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.evaluation import (
+    evaluate,
+    evaluate_unary,
+    indicator,
+    indicator_vector,
+    selects,
+)
+from repro.cq.parser import parse_cq
+from repro.data import Database
+from repro.exceptions import QueryError
+
+
+class TestEvaluate:
+    def test_unary_two_path(self, path_database):
+        q = parse_cq("q(x) :- eta(x), E(x, y), E(y, z)")
+        assert evaluate_unary(q, path_database) == {"a"}
+
+    def test_binary_query(self, path_database):
+        q = parse_cq("q(x, y) :- E(x, y)")
+        rows = evaluate(q, path_database)
+        assert ("a", "b") in rows
+        assert len(rows) == 3
+
+    def test_repeated_free_variable_positions(self, path_database):
+        q = parse_cq("q(x, y) :- E(x, y), E(y, x)")
+        assert evaluate(q, path_database) == frozenset()
+
+    def test_without_entity_atom(self, path_database):
+        q = parse_cq("q(x) :- E(x, y)")
+        assert evaluate_unary(q, path_database) == {"a", "b", "d"}
+
+    def test_disconnected_component(self, path_database):
+        # "x is an entity and a 2-path exists somewhere"
+        q = parse_cq("q(x) :- eta(x), E(u, v), E(v, w)")
+        assert evaluate_unary(q, path_database) == {"a", "b", "d"}
+
+    def test_unsatisfiable_relation(self, path_database):
+        q = parse_cq("q(x) :- eta(x), F(x, x)")
+        assert evaluate_unary(q, path_database) == frozenset()
+
+    def test_empty_database(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        assert evaluate_unary(q, Database([])) == frozenset()
+
+    def test_evaluate_unary_requires_unary(self, path_database):
+        q = parse_cq("q(x, y) :- E(x, y)")
+        with pytest.raises(QueryError):
+            evaluate_unary(q, path_database)
+
+
+class TestSelects:
+    def test_matches_evaluate(self, path_database):
+        q = parse_cq("q(x) :- eta(x), E(x, y)")
+        answers = evaluate_unary(q, path_database)
+        for entity in path_database.entities():
+            assert selects(q, path_database, entity) == (
+                entity in answers
+            )
+
+    def test_non_entity_element(self, path_database):
+        q = parse_cq("q(x) :- eta(x), E(x, y)")
+        assert not selects(q, path_database, "c")
+
+    def test_requires_unary(self, path_database):
+        q = parse_cq("q(x, y) :- E(x, y)")
+        with pytest.raises(QueryError):
+            selects(q, path_database, "a")
+
+
+class TestIndicator:
+    def test_values(self, path_database):
+        q = parse_cq("q(x) :- eta(x), E(x, y), E(y, z)")
+        assert indicator(q, path_database, "a") == 1
+        assert indicator(q, path_database, "b") == -1
+
+    def test_vector(self, path_database):
+        q1 = parse_cq("q(x) :- eta(x), E(x, y)")
+        q2 = parse_cq("q(x) :- eta(x), E(y, x)")
+        assert indicator_vector([q1, q2], path_database, "a") == (1, -1)
+        assert indicator_vector([q1, q2], path_database, "b") == (1, 1)
+        assert indicator_vector([], path_database, "a") == ()

@@ -1,0 +1,64 @@
+"""Tests for the rule-syntax parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.parser import parse_cq
+from repro.cq.terms import Variable
+from repro.exceptions import ParseError
+
+
+class TestParseCq:
+    def test_basic(self):
+        q = parse_cq("q(x) :- eta(x), edge(x, y)")
+        assert q.free_variables == (Variable("x"),)
+        assert len(q.atoms) == 2
+
+    def test_binary_head(self):
+        q = parse_cq("q(x, y) :- edge(x, y)")
+        assert q.free_variables == (Variable("x"), Variable("y"))
+
+    def test_trailing_period(self):
+        q = parse_cq("q(x) :- edge(x, y).")
+        assert len(q.atoms) == 1
+
+    def test_whitespace_insensitive(self):
+        q = parse_cq("  q( x )   :-   edge( x , y ) ,  edge( y , z )  ")
+        assert len(q.atoms) == 2
+
+    def test_no_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(x) :- ")
+
+    def test_missing_turnstile_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(x) edge(x, y)")
+
+    def test_garbage_between_atoms_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(x) :- edge(x, y) AND edge(y, z)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(x) :- edge(x, y) boom")
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("q() :- edge(x, y)")
+
+    def test_invalid_variable_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(x) :- edge(x, y z)")
+
+    def test_free_variable_must_occur_in_body(self):
+        # The parser builds a CQ, which enforces this; the error surfaces
+        # as a QueryError subclass of ReproError.
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            parse_cq("q(w) :- edge(x, y)")
+
+    def test_roundtrip_via_str(self):
+        q = parse_cq("q(x) :- edge(x, y), eta(x)")
+        assert parse_cq(str(q)) == q

@@ -1,0 +1,159 @@
+"""Tests for the CQ class: construction, canonical databases, transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.parser import parse_cq
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.data.database import Fact
+from repro.exceptions import QueryError
+
+X = Variable("x")
+Y = Variable("y")
+Z = Variable("z")
+
+
+class TestConstruction:
+    def test_free_variable_must_occur(self):
+        with pytest.raises(QueryError):
+            CQ([Atom("E", (Y, Z))], (X,))
+
+    def test_at_least_one_atom(self):
+        with pytest.raises(QueryError):
+            CQ([], (X,))
+
+    def test_duplicate_free_variables_rejected(self):
+        with pytest.raises(QueryError):
+            CQ([Atom("E", (X, Y))], (X, X))
+
+    def test_atoms_deduplicated_and_sorted(self):
+        q = CQ([Atom("E", (X, Y)), Atom("E", (X, Y))], (X,))
+        assert len(q.atoms) == 1
+
+    def test_feature_adds_entity_atom(self):
+        q = CQ.feature([Atom("E", (X, Y))])
+        assert Atom("eta", (X,)) in q.atoms
+
+    def test_feature_does_not_duplicate_entity_atom(self):
+        q = CQ.feature([Atom("eta", (X,)), Atom("E", (X, Y))])
+        assert sum(1 for a in q.atoms if a.relation == "eta") == 1
+
+    def test_entity_only(self):
+        q = CQ.entity_only()
+        assert q.atom_count() == 0
+        assert len(q.atoms) == 1
+
+
+class TestAccessors:
+    def test_free_variable_unary(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        assert q.free_variable == X
+
+    def test_free_variable_non_unary_raises(self):
+        q = parse_cq("q(x, y) :- E(x, y)")
+        with pytest.raises(QueryError):
+            q.free_variable
+
+    def test_existential_variables(self):
+        q = parse_cq("q(x) :- E(x, y), E(y, z)")
+        assert q.existential_variables == {Y, Z}
+
+    def test_atom_count_excludes_entity_atom(self):
+        q = parse_cq("q(x) :- eta(x), E(x, y), E(y, z)")
+        assert q.atom_count() == 2
+
+    def test_max_variable_occurrences(self):
+        q = parse_cq("q(x) :- eta(x), E(x, y), E(y, z), E(z, x)")
+        # x occurs twice among non-eta atoms, y twice, z twice.
+        assert q.max_variable_occurrences() == 2
+
+    def test_mentioned_relations(self):
+        q = parse_cq("q(x) :- eta(x), E(x, y)")
+        assert q.mentioned_relations() == {"eta", "E"}
+
+    def test_inferred_schema(self):
+        q = parse_cq("q(x) :- eta(x), E(x, y)")
+        schema = q.inferred_schema()
+        assert schema.arity_of("E") == 2
+        assert schema.arity_of("eta") == 1
+
+
+class TestCanonicalDatabase:
+    def test_atoms_become_facts(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        assert Fact("E", (X, Y)) in q.canonical_database
+
+    def test_cached(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        assert q.canonical_database is q.canonical_database
+
+
+class TestTransformations:
+    def test_rename_variables(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        renamed = q.rename_variables({Y: Z})
+        assert Atom("E", (X, Z)) in renamed.atoms
+
+    def test_rename_must_be_injective(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        with pytest.raises(QueryError):
+            q.rename_variables({Y: X})
+
+    def test_conjoin_shares_free_variable(self):
+        left = parse_cq("q(x) :- E(x, y)")
+        right = parse_cq("q(x) :- F(x, y)")
+        combined = left.conjoin(right)
+        assert combined.free_variables == (X,)
+        assert len(combined.atoms) == 2
+        # The two y's must have been renamed apart.
+        assert len(combined.existential_variables) == 2
+
+    def test_conjoin_requires_same_head(self):
+        left = parse_cq("q(x) :- E(x, y)")
+        right = parse_cq("q(z) :- E(z, y)")
+        with pytest.raises(QueryError):
+            left.conjoin(right)
+
+    def test_standardized(self):
+        q = parse_cq("q(x) :- E(x, foo), E(foo, bar)")
+        std = q.standardized()
+        names = {v.name for v in std.variables}
+        assert names == {"x", "v0", "v1"}
+
+
+class TestCanonicalForm:
+    def test_invariant_under_renaming(self):
+        left = parse_cq("q(x) :- E(x, y), E(y, z)")
+        right = parse_cq("q(x) :- E(x, b), E(b, a)")
+        assert left.canonical_form() == right.canonical_form()
+
+    def test_distinguishes_structure(self):
+        left = parse_cq("q(x) :- E(x, y), E(y, z)")
+        right = parse_cq("q(x) :- E(x, y), E(x, z)")
+        assert left.canonical_form() != right.canonical_form()
+
+    def test_too_many_existentials_guarded(self):
+        atoms = [
+            Atom("R", (Variable(f"v{i}"), Variable(f"v{i+1}")))
+            for i in range(10)
+        ] + [Atom("R", (X, Variable("v0")))]
+        q = CQ(atoms, (X,))
+        with pytest.raises(QueryError):
+            q.canonical_form()
+
+
+class TestDunder:
+    def test_str(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        assert str(q) == "q(x) :- E(x, y)"
+
+    def test_equality_and_hash(self):
+        left = parse_cq("q(x) :- E(x, y)")
+        right = parse_cq("q(x) :- E(x, y)")
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_len(self):
+        assert len(parse_cq("q(x) :- E(x, y), F(y, x)")) == 2

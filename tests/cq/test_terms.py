@@ -1,0 +1,47 @@
+"""Tests for variables and atoms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.terms import Atom, Variable
+from repro.exceptions import QueryError
+
+
+class TestVariable:
+    def test_str(self):
+        assert str(Variable("x")) == "x"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QueryError):
+            Variable("")
+
+    def test_ordering(self):
+        assert Variable("a") < Variable("b")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x")}) == 1
+
+
+class TestAtom:
+    def test_str(self):
+        atom = Atom("E", (Variable("x"), Variable("y")))
+        assert str(atom) == "E(x, y)"
+
+    def test_arity_and_variables(self):
+        x = Variable("x")
+        atom = Atom("R", (x, x, Variable("y")))
+        assert atom.arity == 3
+        assert atom.variables == {x, Variable("y")}
+
+    def test_rejects_non_variable_arguments(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("x",))  # type: ignore[arg-type]
+
+    def test_rejects_empty_arguments(self):
+        with pytest.raises(QueryError):
+            Atom("R", ())
+
+    def test_rejects_empty_relation(self):
+        with pytest.raises(QueryError):
+            Atom("", (Variable("x"),))

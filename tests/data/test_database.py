@@ -1,0 +1,147 @@
+"""Tests for facts and databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database, DatabaseBuilder, Fact
+from repro.data.schema import EntitySchema, Schema
+from repro.exceptions import DatabaseError
+
+
+class TestFact:
+    def test_str(self):
+        assert str(Fact("E", (1, 2))) == "E(1, 2)"
+
+    def test_arity_and_elements(self):
+        fact = Fact("R", ("a", "a", "b"))
+        assert fact.arity == 3
+        assert fact.elements == {"a", "b"}
+
+    def test_rejects_empty_arguments(self):
+        with pytest.raises(DatabaseError):
+            Fact("R", ())
+
+    def test_rejects_empty_relation(self):
+        with pytest.raises(DatabaseError):
+            Fact("", ("a",))
+
+    def test_arguments_normalized_to_tuple(self):
+        assert Fact("R", ["a", "b"]).arguments == ("a", "b")
+
+    def test_order_and_equality(self):
+        assert Fact("E", (1, 2)) == Fact("E", (1, 2))
+        assert Fact("A", (1,)) < Fact("B", (1,))
+
+
+class TestDatabase:
+    def test_domain(self, path_database):
+        assert path_database.domain == {"a", "b", "c", "d", "e"}
+
+    def test_entities(self, path_database):
+        assert path_database.entities() == {"a", "b", "d"}
+
+    def test_facts_of(self, path_database):
+        assert len(path_database.facts_of("E")) == 3
+        assert path_database.facts_of("missing") == ()
+
+    def test_tuples_of(self, path_database):
+        assert ("a", "b") in path_database.tuples_of("E")
+
+    def test_len_and_contains(self, path_database):
+        assert len(path_database) == 6
+        assert Fact("E", ("a", "b")) in path_database
+        assert Fact("E", ("b", "a")) not in path_database
+
+    def test_duplicate_facts_collapse(self):
+        db = Database([Fact("R", ("a",)), Fact("R", ("a",))])
+        assert len(db) == 1
+
+    def test_schema_inferred(self, path_database):
+        assert path_database.schema.arity_of("E") == 2
+        assert path_database.schema.arity_of("eta") == 1
+
+    def test_explicit_schema_validates_arity(self):
+        schema = Schema.from_arities({"E": 3})
+        with pytest.raises(DatabaseError):
+            Database([Fact("E", ("a", "b"))], schema=schema)
+
+    def test_explicit_schema_rejects_unknown_relation(self):
+        schema = Schema.from_arities({"E": 2})
+        with pytest.raises(DatabaseError):
+            Database([Fact("F", ("a",))], schema=schema)
+
+    def test_mixed_arity_same_relation_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database([Fact("R", ("a",)), Fact("R", ("a", "b"))])
+
+    def test_equality_ignores_schema_extras(self):
+        facts = [Fact("E", ("a", "b"))]
+        wide = Schema.from_arities({"E": 2, "F": 1})
+        assert Database(facts) == Database(facts, schema=wide)
+
+    def test_hashable(self, path_database):
+        assert hash(path_database) == hash(
+            Database(path_database.facts)
+        )
+
+    def test_union(self):
+        left = Database([Fact("R", ("a",))])
+        right = Database([Fact("S", ("b",))])
+        union = left.union(right)
+        assert len(union) == 2
+        assert union.schema.arity_of("S") == 1
+
+    def test_restrict_to_relations(self, path_database):
+        restricted = path_database.restrict_to_relations(["E"])
+        assert restricted.relation_names == ("E",)
+
+    def test_restrict_to_elements(self, path_database):
+        restricted = path_database.restrict_to_elements(["a", "b"])
+        assert Fact("E", ("a", "b")) in restricted
+        assert Fact("E", ("b", "c")) not in restricted
+
+    def test_rename_elements(self, path_database):
+        renamed = path_database.rename_elements({"a": "z"})
+        assert Fact("E", ("z", "b")) in renamed
+        assert "a" not in renamed.domain
+
+    def test_entity_symbol_custom_schema(self):
+        schema = EntitySchema.from_arities(
+            {"edge": 2}, entity_symbol="item"
+        )
+        db = Database([Fact("item", ("x",))], schema=schema)
+        assert db.entities() == {"x"}
+
+    def test_from_tuples_single_elements(self):
+        db = Database.from_tuples({"eta": [("a",), ("b",)]})
+        assert db.entities() == {"a", "b"}
+
+    def test_iteration_is_sorted(self):
+        db = Database([Fact("B", (2,)), Fact("A", (1,))])
+        assert [f.relation for f in db] == ["A", "B"]
+
+
+class TestDatabaseBuilder:
+    def test_chained_adds(self):
+        db = (
+            DatabaseBuilder()
+            .add("E", "a", "b")
+            .add_entity("a")
+            .build()
+        )
+        assert db.entities() == {"a"}
+        assert len(db) == 2
+
+    def test_extend_and_len(self):
+        builder = DatabaseBuilder()
+        builder.extend([Fact("R", ("a",)), Fact("R", ("b",))])
+        assert len(builder) == 2
+
+    def test_builder_roundtrip(self, path_database):
+        assert path_database.builder().build() == path_database
+
+    def test_build_with_schema(self):
+        schema = Schema.from_arities({"R": 1, "S": 2})
+        db = DatabaseBuilder(schema=schema).add("R", "a").build()
+        assert db.schema.arity_of("S") == 2

@@ -1,0 +1,93 @@
+"""Tests for labelings and training databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, Labeling, TrainingDatabase
+from repro.exceptions import LabelingError
+
+
+class TestLabeling:
+    def test_basic_access(self):
+        labeling = Labeling({"a": 1, "b": -1})
+        assert labeling["a"] == 1
+        assert labeling("b") == -1
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(LabelingError):
+            Labeling({"a": 0})
+
+    def test_missing_entity_raises(self):
+        with pytest.raises(LabelingError):
+            Labeling({"a": 1})["b"]
+
+    def test_from_examples(self):
+        labeling = Labeling.from_examples(["a"], ["b", "c"])
+        assert labeling.positives == {"a"}
+        assert labeling.negatives == {"b", "c"}
+
+    def test_from_examples_conflict(self):
+        with pytest.raises(LabelingError):
+            Labeling.from_examples(["a"], ["a"])
+
+    def test_flip(self):
+        labeling = Labeling({"a": 1, "b": -1})
+        flipped = labeling.flip(["a"])
+        assert flipped["a"] == -1
+        assert flipped["b"] == -1
+
+    def test_disagreement(self):
+        left = Labeling({"a": 1, "b": -1})
+        right = Labeling({"a": -1, "b": -1})
+        assert left.disagreement(right) == 1
+        assert left.disagreement(left) == 0
+
+    def test_disagreement_requires_same_entities(self):
+        with pytest.raises(LabelingError):
+            Labeling({"a": 1}).disagreement(Labeling({"b": 1}))
+
+    def test_equality_and_hash(self):
+        assert Labeling({"a": 1}) == Labeling({"a": 1})
+        assert hash(Labeling({"a": 1})) == hash(Labeling({"a": 1}))
+
+    def test_as_dict_copy(self):
+        labeling = Labeling({"a": 1})
+        d = labeling.as_dict()
+        d["a"] = -1
+        assert labeling["a"] == 1
+
+
+class TestTrainingDatabase:
+    def test_construction(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a"], ["b", "d"]
+        )
+        assert training.positives == {"a"}
+        assert training.negatives == {"b", "d"}
+        assert training.label("a") == 1
+
+    def test_unlabeled_entity_rejected(self, path_database):
+        with pytest.raises(LabelingError, match="unlabeled"):
+            TrainingDatabase(path_database, Labeling({"a": 1}))
+
+    def test_label_for_non_entity_rejected(self, path_database):
+        with pytest.raises(LabelingError, match="non-entities"):
+            TrainingDatabase(
+                path_database,
+                Labeling({"a": 1, "b": 1, "d": 1, "zzz": -1}),
+            )
+
+    def test_relabel(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a"], ["b", "d"]
+        )
+        relabeled = training.relabel(training.labeling.flip(["a"]))
+        assert relabeled.label("a") == -1
+        assert relabeled.database == training.database
+
+    def test_repr_mentions_sizes(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a"], ["b", "d"]
+        )
+        assert "+1/-2" in repr(training)

@@ -1,0 +1,171 @@
+"""Tests for direct products and disjoint unions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.homomorphism import has_homomorphism
+from repro.data import (
+    Database,
+    direct_product,
+    disjoint_union,
+    pointed_product,
+    power,
+)
+from repro.data.product import pointed_product_component
+from repro.data.database import Fact
+from repro.exceptions import DatabaseError
+
+
+def _edge_db(edges):
+    return Database.from_tuples({"E": edges})
+
+
+class TestDirectProduct:
+    def test_sizes(self):
+        left = _edge_db([(1, 2), (2, 3)])
+        right = _edge_db([("a", "b")])
+        product = direct_product(left, right)
+        assert len(product) == 2
+        assert Fact("E", ((1, "a"), (2, "b"))) in product
+
+    def test_only_shared_relations(self):
+        left = Database.from_tuples({"R": [("a",)]})
+        right = Database.from_tuples({"S": [("b",)]})
+        assert len(direct_product(left, right)) == 0
+
+    def test_projections_are_homomorphisms(self):
+        left = _edge_db([(1, 2), (2, 1)])
+        right = _edge_db([("a", "b"), ("b", "c"), ("c", "a")])
+        product = direct_product(left, right)
+        assert has_homomorphism(
+            product, left, None
+        ) or len(product) == 0
+        # Explicit projection check: mapping each pair to its components.
+        left_projection = {pair: pair[0] for pair in product.domain}
+        right_projection = {pair: pair[1] for pair in product.domain}
+        for fact in product.facts:
+            assert Fact(
+                fact.relation,
+                tuple(left_projection[a] for a in fact.arguments),
+            ) in left
+            assert Fact(
+                fact.relation,
+                tuple(right_projection[a] for a in fact.arguments),
+            ) in right
+
+
+class TestPointedProduct:
+    def test_single_factor_normalizes_to_tuples(self):
+        db = _edge_db([(1, 2)])
+        product, point = pointed_product([(db, 1)])
+        assert point == (1,)
+        assert (1,) in product.domain
+
+    def test_two_factors(self):
+        db = _edge_db([(1, 2), (2, 3)])
+        product, point = pointed_product([(db, 1), (db, 2)])
+        assert point == (1, 2)
+        assert Fact("E", ((1, 2), (2, 3))) in product
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatabaseError):
+            pointed_product([])
+
+    def test_point_must_be_in_domain(self):
+        db = _edge_db([(1, 2)])
+        with pytest.raises(DatabaseError):
+            pointed_product([(db, 99)])
+
+    def test_product_maps_into_each_factor(self):
+        db = _edge_db([(1, 2), (2, 3), (3, 1)])
+        product, point = pointed_product([(db, 1), (db, 2)])
+        assert has_homomorphism(product, db, {point: 1})
+        assert has_homomorphism(product, db, {point: 2})
+
+
+class TestPointedProductComponent:
+    def test_subset_of_full_product(self):
+        db = Database.from_tuples(
+            {"E": [(1, 2), (2, 3)], "U": [(1,), (2,), (3,)]}
+        )
+        full, point = pointed_product([(db, 1), (db, 2)])
+        component, point2 = pointed_product_component(
+            [(db, 1), (db, 2)]
+        )
+        assert point == point2
+        assert component.facts <= full.facts
+
+    def test_prunes_disconnected_unary_blowup(self):
+        db = Database.from_tuples(
+            {"E": [(1, 2)], "U": [(i,) for i in range(6)]}
+        )
+        full, _ = pointed_product([(db, 1), (db, 1), (db, 1)])
+        component, _ = pointed_product_component(
+            [(db, 1), (db, 1), (db, 1)]
+        )
+        # Full product has 6^3 = 216 U-facts; the component keeps only
+        # those reachable from the point.
+        assert len(full.facts_of("U")) == 216
+        assert len(component.facts_of("U")) <= 8
+
+    def test_same_homomorphism_decisions(self):
+        from repro.cq.homomorphism import has_homomorphism
+
+        db = Database.from_tuples(
+            {
+                "E": [(1, 2), (2, 3), (3, 1), (4, 4)],
+                "U": [(1,), (4,)],
+            }
+        )
+        for positives in ([1], [1, 2], [1, 4]):
+            full, point = pointed_product(
+                [(db, p) for p in positives]
+            )
+            component, _ = pointed_product_component(
+                [(db, p) for p in positives]
+            )
+            for b in sorted(db.domain):
+                assert has_homomorphism(
+                    full, db, {point: b}
+                ) == has_homomorphism(component, db, {point: b})
+
+    def test_validation(self):
+        db = Database.from_tuples({"E": [(1, 2)]})
+        with pytest.raises(DatabaseError):
+            pointed_product_component([])
+        with pytest.raises(DatabaseError):
+            pointed_product_component([(db, 99)])
+
+    def test_single_factor_point_normalized(self):
+        db = Database.from_tuples({"E": [(1, 2)]})
+        component, point = pointed_product_component([(db, 1)])
+        assert point == (1,)
+        assert (1,) in component.domain
+
+
+class TestPower:
+    def test_square_of_edge(self):
+        db = _edge_db([(1, 2)])
+        squared = power(db, 2)
+        assert len(squared) == 1
+        assert Fact("E", ((1, 1), (2, 2))) in squared
+
+    def test_power_requires_positive_exponent(self):
+        with pytest.raises(DatabaseError):
+            power(_edge_db([(1, 2)]), 0)
+
+
+class TestDisjointUnion:
+    def test_tagging(self):
+        left = _edge_db([(1, 2)])
+        right = _edge_db([(1, 2)])
+        union = disjoint_union(left, right)
+        assert len(union) == 2
+        assert ("L", 1) in union.domain
+        assert ("R", 1) in union.domain
+
+    def test_equal_tags_rejected(self):
+        db = _edge_db([(1, 2)])
+        with pytest.raises(DatabaseError):
+            disjoint_union(db, db, tags=("X", "X"))

@@ -1,0 +1,125 @@
+"""Tests for schemas and entity schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import (
+    ENTITY_SYMBOL,
+    EntitySchema,
+    RelationSymbol,
+    Schema,
+)
+from repro.exceptions import SchemaError
+
+
+class TestRelationSymbol:
+    def test_str(self):
+        assert str(RelationSymbol("edge", 2)) == "edge/2"
+
+    def test_rejects_zero_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("edge", 0)
+
+    def test_rejects_negative_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("edge", -1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("", 1)
+
+    def test_equality_includes_arity(self):
+        assert RelationSymbol("R", 1) != RelationSymbol("R", 2)
+
+    def test_hashable(self):
+        assert len({RelationSymbol("R", 1), RelationSymbol("R", 1)}) == 1
+
+
+class TestSchema:
+    def test_from_arities(self):
+        schema = Schema.from_arities({"edge": 2, "color": 1})
+        assert schema.arity_of("edge") == 2
+        assert schema.arity_of("color") == 1
+
+    def test_max_arity(self):
+        schema = Schema.from_arities({"edge": 2, "triple": 3})
+        assert schema.max_arity == 3
+
+    def test_max_arity_empty(self):
+        assert Schema([]).max_arity == 0
+
+    def test_conflicting_arities_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSymbol("R", 1), RelationSymbol("R", 2)])
+
+    def test_duplicate_symbols_deduplicated(self):
+        schema = Schema([RelationSymbol("R", 1), RelationSymbol("R", 1)])
+        assert len(schema) == 1
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(SchemaError):
+            Schema([])["missing"]
+
+    def test_contains_name_and_symbol(self):
+        schema = Schema.from_arities({"R": 2})
+        assert "R" in schema
+        assert RelationSymbol("R", 2) in schema
+        assert RelationSymbol("R", 3) not in schema
+        assert "S" not in schema
+
+    def test_union(self):
+        left = Schema.from_arities({"R": 1})
+        right = Schema.from_arities({"S": 2})
+        union = left.union(right)
+        assert set(union.names) == {"R", "S"}
+
+    def test_union_conflict(self):
+        left = Schema.from_arities({"R": 1})
+        right = Schema.from_arities({"R": 2})
+        with pytest.raises(SchemaError):
+            left.union(right)
+
+    def test_restrict(self):
+        schema = Schema.from_arities({"R": 1, "S": 2})
+        assert set(schema.restrict(["R"]).names) == {"R"}
+
+    def test_equality_and_hash(self):
+        left = Schema.from_arities({"R": 1, "S": 2})
+        right = Schema.from_arities({"S": 2, "R": 1})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_iteration_sorted_by_name(self):
+        schema = Schema.from_arities({"b": 1, "a": 2})
+        assert [s.name for s in schema] == ["a", "b"]
+
+
+class TestEntitySchema:
+    def test_entity_symbol_added_automatically(self):
+        schema = EntitySchema.from_arities({"edge": 2})
+        assert ENTITY_SYMBOL in schema
+        assert schema.arity_of(ENTITY_SYMBOL) == 1
+
+    def test_custom_entity_symbol(self):
+        schema = EntitySchema.from_arities({"edge": 2}, entity_symbol="item")
+        assert schema.entity_symbol == "item"
+        assert schema.arity_of("item") == 1
+
+    def test_non_unary_entity_symbol_rejected(self):
+        with pytest.raises(SchemaError):
+            EntitySchema(
+                [RelationSymbol("eta", 2)], entity_symbol="eta"
+            )
+
+    def test_non_entity_symbols(self):
+        schema = EntitySchema.from_arities({"edge": 2})
+        names = {s.name for s in schema.non_entity_symbols}
+        assert names == {"edge"}
+
+    def test_equality_considers_entity_symbol(self):
+        plain = EntitySchema.from_arities({"item": 1, "eta": 1})
+        custom = EntitySchema.from_arities(
+            {"item": 1, "eta": 1}, entity_symbol="item"
+        )
+        assert plain != custom

@@ -1,0 +1,59 @@
+"""Tests for database profiling."""
+
+from __future__ import annotations
+
+from repro.data import Database, TrainingDatabase
+from repro.data.stats import profile
+
+
+class TestProfile:
+    def test_counts(self, path_database):
+        result = profile(path_database)
+        assert result.n_facts == 6
+        assert result.n_elements == 5
+        assert result.n_entities == 3
+        assert result.max_arity == 2
+        assert dict(result.facts_per_relation) == {"E": 3, "eta": 3}
+        assert result.n_relations == 2
+
+    def test_labels(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a"], ["b", "d"]
+        )
+        result = profile(path_database, training)
+        assert result.n_positive == 1
+        assert result.n_negative == 2
+        assert result.imbalance == 1 / 3
+
+    def test_imbalance_without_labels(self, path_database):
+        assert profile(path_database).imbalance is None
+
+    def test_empty_database(self):
+        result = profile(Database([]))
+        assert result.n_facts == 0
+        assert result.max_arity == 0
+        assert result.imbalance is None
+
+    def test_str_rendering(self, path_database):
+        training = TrainingDatabase.from_examples(
+            path_database, ["a"], ["b", "d"]
+        )
+        text = str(profile(path_database, training))
+        assert "facts:     6" in text
+        assert "E: 3" in text
+        assert "+1 / -2" in text
+
+
+class TestCliInfo:
+    def test_info_command(self, tmp_path, path_database, capsys):
+        from repro.cli import main
+        from repro.data.io import training_database_to_json
+
+        training = TrainingDatabase.from_examples(
+            path_database, ["a"], ["b", "d"]
+        )
+        path = tmp_path / "train.json"
+        path.write_text(training_database_to_json(training))
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "entities:  3" in out

@@ -1,0 +1,83 @@
+"""Tests for the FO fragment descriptors (Prop 8.1 / 8.3, Cor 8.5)."""
+
+from __future__ import annotations
+
+from repro.data import Database, TrainingDatabase
+from repro.fo.dimension_properties import closed_under_intersection
+from repro.fo.fragments import EXISTENTIAL_POSITIVE, FO
+from repro.fo.separability import fo_separable
+from repro.workloads import example_6_2
+from repro.core.brute import cq_separable
+from repro.core.dimension import (
+    bounded_dimension_separable,
+    min_dimension,
+    realizable_dichotomies,
+)
+from repro.core.languages import CQ_ALL
+
+
+class TestFirstOrderFragment:
+    def test_dichotomies_are_unions_of_classes(self, path_database):
+        entities = sorted(path_database.entities())
+        family = FO.entity_dichotomies(path_database, entities)
+        # 3 singleton classes -> all 8 subsets realizable.
+        assert len(family) == 8
+
+    def test_family_closed_under_intersection(self):
+        """Theorem 8.4's condition holds for FO — the collapse property."""
+        training = example_6_2()
+        family = FO.entity_dichotomies(
+            training.database, sorted(training.entities, key=repr)
+        )
+        assert closed_under_intersection(family, training.entities)
+
+    def test_dimension_collapse_empirically(self):
+        """Prop 8.1: FO-separable implies separable with ONE FO feature."""
+        training = example_6_2()
+        assert fo_separable(training)
+        result = bounded_dimension_separable(training, 1, FO)
+        assert result.separable
+        assert min_dimension(training, FO) == 1
+
+    def test_qbe(self, path_database):
+        assert FO.qbe(path_database, ["a"], ["b"])
+        twin = Database.from_tuples(
+            {"E": [(1, 2), (3, 4)], "eta": [(1,), (3,)]}
+        )
+        assert not FO.qbe(twin, [1], [3])
+
+    def test_collapse_flag(self):
+        assert FO.has_dimension_collapse
+        assert not EXISTENTIAL_POSITIVE.has_dimension_collapse
+
+
+class TestExistentialPositiveFragment:
+    def test_separability_coincides_with_cq(self):
+        """Prop 8.3(2): ∃FO⁺-separability == CQ-separability."""
+        training = example_6_2()
+        cq_family = set(realizable_dichotomies(training, CQ_ALL))
+        ep_family = set(
+            EXISTENTIAL_POSITIVE.entity_dichotomies(
+                training.database, sorted(training.entities, key=repr)
+            )
+        )
+        assert cq_family == ep_family
+
+    def test_qbe_dispatch(self, path_database):
+        assert EXISTENTIAL_POSITIVE.qbe(path_database, ["a"], ["b"])
+
+    def test_needs_dimension_two_like_cq(self):
+        training = example_6_2()
+        assert not bounded_dimension_separable(
+            training, 1, EXISTENTIAL_POSITIVE
+        )
+        assert bounded_dimension_separable(
+            training, 2, EXISTENTIAL_POSITIVE
+        )
+
+
+class TestFoVsCqSeparability:
+    def test_fo_dominates(self, path_training, triangle_training):
+        for training in (path_training, triangle_training):
+            if cq_separable(training):
+                assert fo_separable(training)

@@ -1,0 +1,117 @@
+"""Tests for pointed-structure isomorphism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database
+from repro.exceptions import DatabaseError
+from repro.fo.isomorphism import (
+    isomorphism_classes,
+    pointed_isomorphic,
+    to_colored_graph,
+)
+
+
+def _edges(pairs, extra=None):
+    tables = {"E": pairs}
+    if extra:
+        tables.update(extra)
+    return Database.from_tuples(tables)
+
+
+class TestPointedIsomorphic:
+    def test_identical(self, path_database):
+        assert pointed_isomorphic(
+            path_database, ("a",), path_database, ("a",)
+        )
+
+    def test_renamed_copy(self):
+        left = _edges([(1, 2), (2, 3)])
+        right = _edges([("x", "y"), ("y", "z")])
+        assert pointed_isomorphic(left, (1,), right, ("x",))
+        assert not pointed_isomorphic(left, (1,), right, ("y",))
+
+    def test_different_positions_on_path(self):
+        db = _edges([(1, 2), (2, 3)])
+        assert not pointed_isomorphic(db, (1,), db, (2,))
+
+    def test_symmetric_positions(self):
+        cycle = _edges([(0, 1), (1, 2), (2, 0)])
+        assert pointed_isomorphic(cycle, (0,), cycle, (1,))
+
+    def test_size_mismatch_fast_path(self):
+        small = _edges([(1, 2)])
+        large = _edges([(1, 2), (2, 3)])
+        assert not pointed_isomorphic(small, (1,), large, (1,))
+
+    def test_relation_names_matter(self):
+        left = Database.from_tuples({"E": [(1, 2)]})
+        right = Database.from_tuples({"F": [(1, 2)]})
+        assert not pointed_isomorphic(left, (1,), right, (1,))
+
+    def test_argument_positions_matter(self):
+        left = _edges([(1, 2)])
+        assert not pointed_isomorphic(left, (1,), left, (2,))
+
+    def test_repeated_arguments(self):
+        loop = _edges([(1, 1)])
+        edge = _edges([(1, 2)])
+        assert not pointed_isomorphic(loop, (1,), edge, (1,))
+
+    def test_tuple_points(self):
+        db = _edges([(1, 2), (2, 3)])
+        assert pointed_isomorphic(db, (1, 2), db, (1, 2))
+        assert not pointed_isomorphic(db, (1, 2), db, (2, 3))
+
+    def test_unknown_point_rejected(self):
+        db = _edges([(1, 2)])
+        with pytest.raises(DatabaseError):
+            pointed_isomorphic(db, (9,), db, (1,))
+
+    def test_length_mismatch_rejected(self):
+        db = _edges([(1, 2)])
+        with pytest.raises(DatabaseError):
+            pointed_isomorphic(db, (1,), db, (1, 2))
+
+    def test_homomorphic_but_not_isomorphic(self):
+        # C6 and C3: hom-equivalent direction exists, never isomorphic.
+        c3 = _edges([(0, 1), (1, 2), (2, 0)])
+        c6 = _edges([(i, (i + 1) % 6) for i in range(6)])
+        assert not pointed_isomorphic(c3, (0,), c6, (0,))
+
+
+class TestIsomorphismClasses:
+    def test_cycle_collapses(self):
+        cycle = _edges([(0, 1), (1, 2), (2, 0)])
+        classes = isomorphism_classes(cycle, [0, 1, 2])
+        assert len(classes) == 1
+
+    def test_path_positions_distinct(self):
+        db = _edges([(1, 2), (2, 3)])
+        classes = isomorphism_classes(db, [1, 2, 3])
+        assert len(classes) == 3
+
+    def test_marked_nodes(self):
+        db = _edges(
+            [(0, 1), (1, 0), (2, 3), (3, 2)],
+            extra={"G": [(0,)]},
+        )
+        classes = isomorphism_classes(db, [0, 1, 2, 3])
+        # 2 and 3 are swappable; 0 (marked) and 1 (next to mark) differ.
+        sizes = sorted(len(cls) for cls in classes)
+        assert sizes == [1, 1, 2]
+
+
+class TestToColoredGraph:
+    def test_node_counts(self, path_database):
+        graph = to_colored_graph(path_database)
+        elements = [n for n in graph if n[0] == "element"]
+        facts = [n for n in graph if n[0] == "fact"]
+        assert len(elements) == len(path_database.domain)
+        assert len(facts) == len(path_database)
+
+    def test_pointed_coloring(self, path_database):
+        graph = to_colored_graph(path_database, ("a",))
+        color = graph.nodes[("element", "a")]["color"]
+        assert color == ("element", (0,))

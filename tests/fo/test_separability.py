@@ -1,0 +1,84 @@
+"""Tests for FO-separability and FO classification (Section 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, TrainingDatabase
+from repro.exceptions import NotSeparableError
+from repro.fo.separability import fo_classify, fo_separability, fo_separable
+from repro.core.brute import cq_separable
+
+
+class TestFoSeparable:
+    def test_path_instance(self, path_training):
+        assert fo_separable(path_training)
+
+    def test_isomorphic_entities_inseparable(self):
+        db = Database.from_tuples(
+            {
+                "E": [(1, 2), (3, 4)],
+                "eta": [(1,), (3,)],
+            }
+        )
+        training = TrainingDatabase.from_examples(db, [1], [3])
+        result = fo_separability(training)
+        assert not result.separable
+        assert len(result.violations) == 1
+
+    def test_fo_at_least_as_strong_as_cq(self, triangle_training):
+        # CQ-separable implies FO-separable (FO ⊇ ∃FO+ up to separability).
+        if cq_separable(triangle_training):
+            assert fo_separable(triangle_training)
+
+    def test_fo_strictly_stronger_than_cq(self):
+        # Two hom-equivalent but non-isomorphic pointed structures:
+        # entity with one out-edge to a sink vs entity with two out-edges.
+        db = Database.from_tuples(
+            {
+                "E": [("a", "s1"), ("b", "s2"), ("b", "s3")],
+                "eta": [("a",), ("b",)],
+            }
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        assert not cq_separable(training)  # hom-equivalent both ways
+        assert fo_separable(training)  # counting distinguishes
+
+    def test_classes_returned(self, path_training):
+        result = fo_separability(path_training)
+        covered = {e for cls in result.classes for e in cls}
+        assert covered == path_training.entities
+
+
+class TestFoClassify:
+    def test_consistent_on_training(self, path_training):
+        labeling = fo_classify(path_training, path_training.database)
+        for entity in path_training.entities:
+            assert labeling[entity] == path_training.label(entity)
+
+    def test_isomorphic_copy_classified_positively(self, path_training):
+        evaluation = Database.from_tuples(
+            {
+                "E": [("p", "q"), ("q", "r"), ("s", "t")],
+                "eta": [("p",), ("q",), ("s",)],
+            }
+        )
+        labeling = fo_classify(path_training, evaluation)
+        assert labeling["p"] == 1  # isomorphic to the positive a
+        assert labeling["q"] == -1
+        assert labeling["s"] == -1
+
+    def test_unknown_type_defaults_negative(self, path_training):
+        evaluation = Database.from_tuples(
+            {"E": [("u", "u")], "eta": [("u",)]}
+        )
+        labeling = fo_classify(path_training, evaluation)
+        assert labeling["u"] == -1
+
+    def test_rejects_inseparable(self):
+        db = Database.from_tuples(
+            {"E": [(1, 2), (3, 4)], "eta": [(1,), (3,)]}
+        )
+        training = TrainingDatabase.from_examples(db, [1], [3])
+        with pytest.raises(NotSeparableError):
+            fo_classify(training, db)

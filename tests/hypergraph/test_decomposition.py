@@ -1,0 +1,102 @@
+"""Tests for explicit tree decompositions and their validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.parser import parse_cq
+from repro.cq.terms import Variable
+from repro.exceptions import DecompositionError
+from repro.hypergraph.decomposition import TreeDecomposition
+
+A, B, C = Variable("a"), Variable("b"), Variable("c")
+
+
+def _path_query():
+    return parse_cq("q(x) :- E(x, a), E(a, b), E(b, c)")
+
+
+class TestValidation:
+    def test_valid_path_decomposition(self):
+        td = TreeDecomposition(
+            _path_query(),
+            (frozenset({A}), frozenset({A, B}), frozenset({B, C})),
+            frozenset({(0, 1), (1, 2)}),
+        )
+        assert len(td) == 3
+
+    def test_single_node(self):
+        q = parse_cq("q(x) :- E(x, a)")
+        td = TreeDecomposition(q, (frozenset({A}),), frozenset())
+        assert td.width() == 1
+
+    def test_uncovered_atom_rejected(self):
+        with pytest.raises(DecompositionError, match="not covered"):
+            TreeDecomposition(
+                _path_query(),
+                (frozenset({A}), frozenset({B})),
+                frozenset({(0, 1)}),
+            )
+
+    def test_disconnected_variable_rejected(self):
+        with pytest.raises(DecompositionError, match="connected"):
+            TreeDecomposition(
+                _path_query(),
+                (
+                    frozenset({A, B}),
+                    frozenset({B, C}),
+                    frozenset({A}),
+                ),
+                frozenset({(0, 1), (1, 2)}),
+            )
+
+    def test_non_tree_rejected(self):
+        with pytest.raises(DecompositionError, match="tree"):
+            TreeDecomposition(
+                _path_query(),
+                (frozenset({A, B}), frozenset({B, C})),
+                frozenset(),
+            )
+
+    def test_free_variable_in_bag_rejected(self):
+        with pytest.raises(DecompositionError, match="existential"):
+            TreeDecomposition(
+                _path_query(),
+                (frozenset({Variable("x"), A, B, C}),),
+                frozenset(),
+            )
+
+    def test_self_loop_edge_rejected(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition(
+                _path_query(),
+                (frozenset({A, B, C}),),
+                frozenset({(0, 0)}),
+            )
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition(_path_query(), (), frozenset())
+
+
+class TestWidth:
+    def test_path_width_one(self):
+        td = TreeDecomposition(
+            _path_query(),
+            (frozenset({A}), frozenset({A, B}), frozenset({B, C})),
+            frozenset({(0, 1), (1, 2)}),
+        )
+        assert td.width() == 1
+
+    def test_wide_bag(self):
+        td = TreeDecomposition(
+            _path_query(),
+            (frozenset({A, B, C}),),
+            frozenset(),
+        )
+        assert td.width() == 2
+
+    def test_empty_bag_width_zero(self):
+        q = parse_cq("q(x) :- E(x, x)")
+        td = TreeDecomposition(q, (frozenset(),), frozenset())
+        assert td.width() == 0

@@ -1,0 +1,95 @@
+"""Tests for the generalized-hypertree-width decision procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.parser import parse_cq
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.hypergraph.ghw import decompose, ghw, ghw_at_most
+
+
+class TestGhwValues:
+    def test_no_existentials_is_zero(self):
+        assert ghw(parse_cq("q(x) :- E(x, x)")) == 0
+
+    def test_single_edge_is_one(self):
+        assert ghw(parse_cq("q(x) :- E(x, y)")) == 1
+
+    def test_path_is_one(self):
+        q = parse_cq("q(x) :- E(x, a), E(a, b), E(b, c), E(c, d)")
+        assert ghw(q) == 1
+
+    def test_tree_is_one(self):
+        q = parse_cq("q(x) :- E(x, a), E(a, b), E(a, c), E(c, d)")
+        assert ghw(q) == 1
+
+    def test_triangle_is_two(self):
+        q = parse_cq("q(x) :- eta(x), E(a, b), E(b, c), E(c, a)")
+        assert ghw(q) == 2
+
+    def test_four_cycle_is_two(self):
+        q = parse_cq("q(x) :- eta(x), E(a, b), E(b, c), E(c, d), E(d, a)")
+        assert ghw(q) == 2
+
+    def test_free_variables_reduce_width(self):
+        # A triangle through the free variable: only 2 existential vars,
+        # covered by one atom E(a, b) -> ghw 1.
+        q = parse_cq("q(x) :- E(x, a), E(a, b), E(b, x)")
+        assert ghw(q) == 1
+
+    def test_ternary_atom_covers_three(self):
+        q = parse_cq("q(x) :- eta(x), T(a, b, c), E(a, b), E(b, c), E(c, a)")
+        assert ghw(q) == 1
+
+    def test_k4_existential(self):
+        atoms = []
+        vs = [Variable(v) for v in ("a", "b", "c", "d")]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                atoms.append(Atom("E", (vs[i], vs[j])))
+        atoms.append(Atom("eta", (Variable("x"),)))
+        q = CQ(atoms, (Variable("x"),))
+        assert ghw(q) == 2
+
+
+class TestGhwAtMost:
+    def test_monotone_in_k(self):
+        q = parse_cq("q(x) :- eta(x), E(a, b), E(b, c), E(c, a)")
+        assert not ghw_at_most(q, 1)
+        assert ghw_at_most(q, 2)
+        assert ghw_at_most(q, 3)
+
+    def test_negative_k(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        assert not ghw_at_most(q, -1)
+
+    def test_zero_k_only_without_existentials(self):
+        assert ghw_at_most(parse_cq("q(x) :- E(x, x)"), 0)
+        assert not ghw_at_most(parse_cq("q(x) :- E(x, y)"), 0)
+
+
+class TestDecomposeWitness:
+    def test_witness_is_valid_and_within_width(self):
+        q = parse_cq("q(x) :- eta(x), E(a, b), E(b, c), E(c, d), E(d, a)")
+        td = decompose(q, 2)
+        assert td is not None
+        td.validate()
+        assert td.width() <= 2
+
+    def test_witness_for_tree(self):
+        q = parse_cq("q(x) :- E(x, a), E(a, b), E(a, c)")
+        td = decompose(q, 1)
+        assert td is not None
+        assert td.width() <= 1
+
+    def test_none_when_impossible(self):
+        q = parse_cq("q(x) :- eta(x), E(a, b), E(b, c), E(c, a)")
+        assert decompose(q, 1) is None
+
+    def test_disconnected_query(self):
+        q = parse_cq("q(x) :- E(x, a), E(u, v), E(v, w)")
+        td = decompose(q, 1)
+        assert td is not None
+        assert td.width() <= 1

@@ -1,0 +1,83 @@
+"""Tests for the query-hypergraph view."""
+
+from __future__ import annotations
+
+from repro.cq.parser import parse_cq
+from repro.cq.terms import Variable
+from repro.hypergraph.hypergraph import QueryHypergraph
+
+Y = Variable("y")
+Z = Variable("z")
+W = Variable("w")
+
+
+class TestQueryHypergraph:
+    def test_vertices_are_existential_only(self):
+        q = parse_cq("q(x) :- E(x, y), E(y, z)")
+        hypergraph = QueryHypergraph(q)
+        assert hypergraph.vertices == {Y, Z}
+
+    def test_edges_align_with_atoms(self):
+        q = parse_cq("q(x) :- eta(x), E(x, y)")
+        hypergraph = QueryHypergraph(q)
+        assert len(hypergraph.edges) == 2
+        assert frozenset({Y}) in hypergraph.edges
+        assert frozenset() in hypergraph.edges
+
+    def test_nonempty_edges(self):
+        q = parse_cq("q(x) :- eta(x), E(x, y)")
+        hypergraph = QueryHypergraph(q)
+        assert hypergraph.nonempty_edges == (frozenset({Y}),)
+
+    def test_cover_number_single_edge(self):
+        q = parse_cq("q(x) :- E(x, y), E(y, z)")
+        hypergraph = QueryHypergraph(q)
+        assert hypergraph.cover_number(frozenset({Y})) == 1
+        assert hypergraph.cover_number(frozenset({Y, Z})) == 1
+
+    def test_cover_number_needs_two(self):
+        q = parse_cq("q(x) :- E(x, y), F(x, z)")
+        hypergraph = QueryHypergraph(q)
+        assert hypergraph.cover_number(frozenset({Y, Z})) == 2
+
+    def test_cover_number_empty_bag(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        assert QueryHypergraph(q).cover_number(frozenset()) == 0
+
+    def test_cover_number_impossible(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        hypergraph = QueryHypergraph(q)
+        assert hypergraph.cover_number(frozenset({W})) is None
+
+    def test_unions_of_edges(self):
+        q = parse_cq("q(x) :- E(x, y), F(y, z)")
+        hypergraph = QueryHypergraph(q)
+        singles = hypergraph.unions_of_edges(1)
+        assert frozenset({Y}) in singles
+        assert frozenset({Y, Z}) in singles
+        doubles = hypergraph.unions_of_edges(2)
+        assert frozenset({Y, Z}) in doubles
+
+    def test_components_split(self):
+        q = parse_cq("q(x) :- E(x, y), E(y, z), F(w, w)")
+        hypergraph = QueryHypergraph(q)
+        components = hypergraph.components(
+            hypergraph.nonempty_edges, frozenset()
+        )
+        assert len(components) == 2
+
+    def test_components_separator_cuts(self):
+        q = parse_cq("q(x) :- eta(x), E(a, b), E(b, c)")
+        hypergraph = QueryHypergraph(q)
+        components = hypergraph.components(
+            hypergraph.nonempty_edges, frozenset({Variable("b")})
+        )
+        assert len(components) == 2
+
+    def test_components_edges_inside_separator_dropped(self):
+        q = parse_cq("q(x) :- eta(x), E(a, b)")
+        hypergraph = QueryHypergraph(q)
+        separator = frozenset({Variable("a"), Variable("b")})
+        assert hypergraph.components(
+            hypergraph.nonempty_edges, separator
+        ) == []

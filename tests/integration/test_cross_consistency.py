@@ -1,0 +1,86 @@
+"""Randomized cross-algorithm consistency checks.
+
+The library implements several deciders whose answers are related by
+theorems; this suite samples random instances and checks every implication
+in both expected directions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data import Database, Labeling, TrainingDatabase
+from repro.fo.separability import fo_separable
+from repro.core.brute import cq_separable
+from repro.core.ghw_approx import ghw_best_relabeling
+from repro.core.ghw_sep import ghw_separable
+from repro.core.report import separability_profile
+from repro.core.separability import cqm_separability
+
+
+def _instances(count: int, base_seed: int):
+    for seed in range(base_seed, base_seed + count):
+        rng = random.Random(seed)
+        elements = list(range(5))
+        edges = sorted(
+            {
+                (rng.choice(elements), rng.choice(elements))
+                for _ in range(5)
+            }
+        )
+        database = Database.from_tuples(
+            {"E": edges, "eta": [(e,) for e in elements[:4]]}
+        )
+        labels = {
+            entity: rng.choice((1, -1))
+            for entity in database.entities()
+        }
+        yield TrainingDatabase(database, Labeling(labels))
+
+
+class TestImplicationLattice:
+    def test_cqm_monotone_in_m(self):
+        for training in _instances(8, 300):
+            if cqm_separability(training, 1).separable:
+                assert cqm_separability(training, 2).separable
+
+    def test_ghw_implies_cq(self):
+        for training in _instances(8, 320):
+            if ghw_separable(training, 1):
+                assert cq_separable(training)
+
+    def test_cq_implies_fo(self):
+        for training in _instances(8, 340):
+            if cq_separable(training):
+                assert fo_separable(training)
+
+    def test_cqm_implies_cq(self):
+        for training in _instances(8, 360):
+            if cqm_separability(training, 2).separable:
+                assert cq_separable(training)
+
+    def test_relabeling_zero_iff_separable(self):
+        for training in _instances(8, 380):
+            approximation = ghw_best_relabeling(training, 1)
+            assert (approximation.disagreement == 0) == ghw_separable(
+                training, 1
+            )
+
+
+class TestProfileConsistency:
+    def test_profile_rows_match_direct_calls(self):
+        for training in _instances(4, 400):
+            profile = separability_profile(
+                training, max_atoms=(1,), include_fo=True
+            )
+            by_language = {row.language: row for row in profile.rows}
+            assert by_language["CQ[1]"].separable == (
+                cqm_separability(training, 1).separable
+            )
+            assert by_language["GHW(1)"].separable == ghw_separable(
+                training, 1
+            )
+            assert by_language["CQ"].separable == cq_separable(training)
+            assert by_language["FO"].separable == fo_separable(training)

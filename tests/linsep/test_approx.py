@@ -1,0 +1,129 @@
+"""Tests for minimum-error linear separation."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.exceptions import SeparabilityError, SolverError
+from repro.linsep.approx import (
+    min_errors_exact,
+    min_errors_greedy,
+    separable_with_budget,
+)
+from repro.linsep.lp import is_linearly_separable
+
+XOR_VECTORS = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+XOR_LABELS = [1, -1, -1, 1]
+
+
+class TestMinErrorsExact:
+    def test_separable_data_zero_errors(self):
+        result = min_errors_exact(XOR_VECTORS, [1, -1, -1, -1])
+        assert result.errors == 0
+        assert result.misclassified == frozenset()
+
+    def test_xor_needs_one_error(self):
+        result = min_errors_exact(XOR_VECTORS, XOR_LABELS)
+        assert result.errors == 1
+        assert len(result.misclassified) == 1
+
+    def test_classifier_achieves_reported_errors(self):
+        result = min_errors_exact(XOR_VECTORS, XOR_LABELS)
+        assert (
+            result.classifier.errors(XOR_VECTORS, XOR_LABELS)
+            == result.errors
+        )
+
+    def test_conflicting_duplicates(self):
+        vectors = [(1,), (1,), (1,), (-1,)]
+        labels = [1, 1, -1, -1]
+        result = min_errors_exact(vectors, labels)
+        assert result.errors == 1
+
+    def test_empty(self):
+        result = min_errors_exact([], [])
+        assert result.errors == 0
+
+    def test_group_limit(self):
+        vectors = [
+            tuple(1 if i == j else -1 for j in range(25))
+            for i in range(25)
+        ]
+        labels = [1] * 25
+        with pytest.raises(SolverError):
+            min_errors_exact(vectors, labels, max_groups=10)
+
+    def test_exact_at_most_greedy(self):
+        rng = random.Random(7)
+        for trial in range(10):
+            vectors = [
+                tuple(rng.choice((1, -1)) for _ in range(3))
+                for _ in range(8)
+            ]
+            labels = [rng.choice((1, -1)) for _ in range(8)]
+            exact = min_errors_exact(vectors, labels)
+            greedy = min_errors_greedy(vectors, labels)
+            assert exact.errors <= greedy.errors
+
+    def test_exact_matches_bruteforce(self):
+        rng = random.Random(3)
+        for trial in range(6):
+            vectors = [
+                tuple(rng.choice((1, -1)) for _ in range(2))
+                for _ in range(6)
+            ]
+            labels = [rng.choice((1, -1)) for _ in range(6)]
+            exact = min_errors_exact(vectors, labels).errors
+            best = None
+            for flips in range(len(vectors) + 1):
+                for subset in itertools.combinations(
+                    range(len(vectors)), flips
+                ):
+                    flipped = [
+                        -label if index in subset else label
+                        for index, label in enumerate(labels)
+                    ]
+                    if is_linearly_separable(vectors, flipped):
+                        best = flips
+                        break
+                if best is not None:
+                    break
+            assert exact == best
+
+
+class TestMinErrorsGreedy:
+    def test_feasible(self):
+        result = min_errors_greedy(XOR_VECTORS, XOR_LABELS)
+        assert result.errors >= 1
+        assert (
+            result.classifier.errors(XOR_VECTORS, XOR_LABELS)
+            == result.errors
+        )
+
+    def test_zero_on_separable(self):
+        result = min_errors_greedy(XOR_VECTORS, [1, 1, 1, -1])
+        assert result.errors == 0
+
+
+class TestSeparableWithBudget:
+    def test_within_budget(self):
+        assert separable_with_budget(XOR_VECTORS, XOR_LABELS, 1) is not None
+
+    def test_over_budget(self):
+        assert separable_with_budget(XOR_VECTORS, XOR_LABELS, 0) is None
+
+    def test_unknown_method(self):
+        with pytest.raises(SeparabilityError):
+            separable_with_budget(
+                XOR_VECTORS, XOR_LABELS, 1, method="nope"
+            )
+
+    def test_greedy_method(self):
+        result = separable_with_budget(
+            XOR_VECTORS, XOR_LABELS, 2, method="greedy"
+        )
+        assert result is not None
+        assert result.errors <= 2

@@ -1,0 +1,47 @@
+"""Tests for the LP backend selection and SciPy-free fallback path."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.linsep.lp as lp_module
+from repro.exceptions import SolverError
+from repro.linsep.lp import is_linearly_separable, separation_margin
+
+AND_VECTORS = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+AND_LABELS = [1, -1, -1, -1]
+XOR_LABELS = [1, -1, -1, 1]
+
+
+class TestBackendSelection:
+    def test_auto_prefers_scipy_when_available(self, monkeypatch):
+        calls = []
+        original = lp_module._margin_lp
+
+        def spy(vectors, labels, backend):
+            calls.append(backend)
+            return original(vectors, labels, backend)
+
+        monkeypatch.setattr(lp_module, "_margin_lp", spy)
+        assert is_linearly_separable(AND_VECTORS, AND_LABELS)
+        assert calls == ["scipy"]
+
+    def test_auto_falls_back_to_simplex(self, monkeypatch):
+        monkeypatch.setattr(lp_module, "_scipy_linprog", None)
+        assert is_linearly_separable(AND_VECTORS, AND_LABELS)
+        assert not is_linearly_separable(AND_VECTORS, XOR_LABELS)
+
+    def test_explicit_scipy_without_scipy_errors(self, monkeypatch):
+        monkeypatch.setattr(lp_module, "_scipy_linprog", None)
+        with pytest.raises(SolverError):
+            separation_margin(AND_VECTORS, AND_LABELS, backend="scipy")
+
+    def test_simplex_only_full_pipeline(self, monkeypatch):
+        """find_separator works end to end on the pure-Python path."""
+        from repro.linsep.lp import find_separator
+
+        monkeypatch.setattr(lp_module, "_scipy_linprog", None)
+        classifier = find_separator(AND_VECTORS, AND_LABELS)
+        assert classifier is not None
+        assert classifier.separates(AND_VECTORS, AND_LABELS)
+        assert find_separator(AND_VECTORS, XOR_LABELS) is None

@@ -1,0 +1,59 @@
+"""Tests for the linear classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SeparabilityError
+from repro.linsep.classifier import LinearClassifier
+
+
+class TestLinearClassifier:
+    def test_boundary_is_positive(self):
+        # The paper's rule: Λ(b) = 1 iff Σ w·b ≥ w0 (boundary included).
+        classifier = LinearClassifier((1.0,), 1.0)
+        assert classifier.predict((1,)) == 1
+        assert classifier.predict((-1,)) == -1
+
+    def test_score(self):
+        classifier = LinearClassifier((2.0, -1.0), 0.0)
+        assert classifier.score((1, 1)) == 1.0
+        assert classifier.score((-1, 1)) == -3.0
+
+    def test_arity_mismatch(self):
+        classifier = LinearClassifier((1.0,), 0.0)
+        with pytest.raises(SeparabilityError):
+            classifier.predict((1, 1))
+
+    def test_margin_signs(self):
+        classifier = LinearClassifier((1.0,), 0.0)
+        assert classifier.margin((1,), 1) > 0
+        assert classifier.margin((1,), -1) < 0
+        assert classifier.margin((-1,), -1) > 0
+
+    def test_errors(self):
+        classifier = LinearClassifier((1.0,), 0.0)
+        vectors = [(1,), (-1,), (1,)]
+        labels = [1, -1, -1]
+        assert classifier.errors(vectors, labels) == 1
+        assert not classifier.separates(vectors, labels)
+
+    def test_errors_length_mismatch(self):
+        classifier = LinearClassifier((1.0,), 0.0)
+        with pytest.raises(SeparabilityError):
+            classifier.errors([(1,)], [1, -1])
+
+    def test_constant_classifiers(self):
+        positive = LinearClassifier.constant(3, 1)
+        negative = LinearClassifier.constant(3, -1)
+        for vector in [(1, 1, 1), (-1, -1, -1), (1, -1, 1)]:
+            assert positive.predict(vector) == 1
+            assert negative.predict(vector) == -1
+
+    def test_constant_invalid_label(self):
+        with pytest.raises(SeparabilityError):
+            LinearClassifier.constant(1, 0)
+
+    def test_zero_arity(self):
+        classifier = LinearClassifier((), 0.0)
+        assert classifier.predict(()) == 1

@@ -1,0 +1,41 @@
+"""Tests for the integer perceptron."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.linsep.perceptron import train_perceptron
+
+
+class TestTrainPerceptron:
+    def test_and(self):
+        vectors = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+        labels = [1, -1, -1, -1]
+        classifier = train_perceptron(vectors, labels)
+        assert classifier is not None
+        assert classifier.separates(vectors, labels)
+
+    def test_integral_weights(self):
+        vectors = [(1, 1), (-1, -1)]
+        labels = [1, -1]
+        classifier = train_perceptron(vectors, labels)
+        assert all(w == int(w) for w in classifier.weights)
+
+    def test_xor_gives_up(self):
+        vectors = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+        labels = [1, -1, -1, 1]
+        assert train_perceptron(vectors, labels, max_updates=2000) is None
+
+    def test_empty(self):
+        assert train_perceptron([], []) is not None
+
+    def test_all_separable_3bit_functions(self):
+        vectors = list(itertools.product((1, -1), repeat=3))
+        from repro.linsep.lp import is_linearly_separable
+
+        for labels in itertools.product((1, -1), repeat=8):
+            labels = list(labels)
+            if is_linearly_separable(vectors, labels):
+                classifier = train_perceptron(vectors, labels)
+                assert classifier is not None
+                assert classifier.separates(vectors, labels)

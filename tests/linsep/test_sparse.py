@@ -1,0 +1,103 @@
+"""Tests for L1-sparse separating classifiers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.linsep.lp import is_linearly_separable
+from repro.linsep.sparse import find_sparse_separator, support_size
+
+
+class TestFindSparseSeparator:
+    def test_separates_exactly(self):
+        vectors = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+        labels = [1, -1, -1, -1]
+        classifier = find_sparse_separator(vectors, labels)
+        assert classifier is not None
+        assert classifier.separates(vectors, labels)
+
+    def test_none_on_xor(self):
+        vectors = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+        assert find_sparse_separator(vectors, [1, -1, -1, 1]) is None
+
+    def test_redundant_coordinates_dropped(self):
+        # Coordinate 0 decides; coordinates 1..4 are noise copies of it or
+        # constants — L1 should concentrate on few coordinates.
+        rng = random.Random(3)
+        vectors = []
+        labels = []
+        for _ in range(10):
+            decisive = rng.choice((1, -1))
+            vectors.append(
+                (decisive, decisive, 1, rng.choice((1, -1)), -1)
+            )
+            labels.append(decisive)
+        classifier = find_sparse_separator(vectors, labels)
+        assert classifier is not None
+        assert classifier.separates(vectors, labels)
+        assert support_size(classifier) <= 2
+
+    def test_constant_labels(self):
+        vectors = [(1, -1), (-1, 1)]
+        positive = find_sparse_separator(vectors, [1, 1])
+        negative = find_sparse_separator(vectors, [-1, -1])
+        assert positive.separates(vectors, [1, 1])
+        assert negative.separates(vectors, [-1, -1])
+        assert support_size(positive) == 0
+
+    def test_empty(self):
+        assert find_sparse_separator([], []) is not None
+
+    def test_agrees_with_separability_on_all_2bit_functions(self):
+        vectors = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+        for labels in itertools.product((1, -1), repeat=4):
+            labels = list(labels)
+            classifier = find_sparse_separator(vectors, labels)
+            assert (classifier is not None) == is_linearly_separable(
+                vectors, labels
+            )
+
+    def test_support_never_exceeds_dimension(self):
+        rng = random.Random(7)
+        for _ in range(5):
+            vectors = [
+                tuple(rng.choice((1, -1)) for _ in range(4))
+                for _ in range(6)
+            ]
+            labels = [rng.choice((1, -1)) for _ in range(6)]
+            classifier = find_sparse_separator(vectors, labels)
+            if classifier is not None:
+                assert support_size(classifier) <= 4
+
+    def test_length_mismatch(self):
+        from repro.exceptions import SeparabilityError
+
+        with pytest.raises(SeparabilityError):
+            find_sparse_separator([(1,)], [1, -1])
+
+
+class TestSparseMinimize:
+    def test_shrinks_bibliography_statistic(self):
+        from repro.core.minimize import sparse_minimize
+        from repro.core.separability import cqm_separability
+        from repro.workloads import bibliography_database
+
+        training = bibliography_database(seed=7)
+        pair = cqm_separability(training, 2).separating_pair
+        sparse = sparse_minimize(training, pair)
+        assert sparse.separates(training)
+        assert sparse.statistic.dimension < pair.statistic.dimension
+
+    def test_not_below_exact_minimum(self):
+        from repro.core.minimize import exact_minimize, sparse_minimize
+        from repro.core.separability import cqm_separability
+        from repro.workloads import example_6_2
+
+        training = example_6_2()
+        pair = cqm_separability(training, 1).separating_pair
+        sparse = sparse_minimize(training, pair)
+        exact = exact_minimize(training, pair)
+        assert sparse.statistic.dimension >= exact.statistic.dimension

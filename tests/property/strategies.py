@@ -1,0 +1,100 @@
+"""Hypothesis strategies for databases, queries, and training databases."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.data import Database, Fact, Labeling, TrainingDatabase
+
+__all__ = [
+    "elements",
+    "edge_databases",
+    "entity_databases",
+    "training_databases",
+    "unary_feature_queries",
+    "pm_one_vectors",
+]
+
+elements = st.integers(min_value=0, max_value=5)
+
+
+@st.composite
+def edge_databases(draw, min_facts: int = 1, max_facts: int = 7):
+    """Databases over a single binary relation E."""
+    pairs = draw(
+        st.lists(
+            st.tuples(elements, elements),
+            min_size=min_facts,
+            max_size=max_facts,
+        )
+    )
+    return Database(Fact("E", pair) for pair in pairs)
+
+
+@st.composite
+def entity_databases(draw, max_facts: int = 6):
+    """Edge databases where a nonempty subset of the domain is entities."""
+    database = draw(edge_databases(max_facts=max_facts))
+    domain = sorted(database.domain)
+    entity_subset = draw(
+        st.lists(
+            st.sampled_from(domain),
+            min_size=1,
+            max_size=len(domain),
+            unique=True,
+        )
+    )
+    facts = set(database.facts)
+    for entity in entity_subset:
+        facts.add(Fact("eta", (entity,)))
+    return Database(facts)
+
+
+@st.composite
+def training_databases(draw, max_facts: int = 6):
+    database = draw(entity_databases(max_facts=max_facts))
+    labels = {
+        entity: draw(st.sampled_from((1, -1)))
+        for entity in sorted(database.entities())
+    }
+    return TrainingDatabase(database, Labeling(labels))
+
+
+@st.composite
+def unary_feature_queries(draw, max_atoms: int = 3):
+    """Unary feature queries over {E/2, eta/1} with small bodies."""
+    variables = [Variable("x")] + [
+        Variable(f"y{i}") for i in range(max_atoms)
+    ]
+    n_atoms = draw(st.integers(min_value=0, max_value=max_atoms))
+    atoms = []
+    for _ in range(n_atoms):
+        left = draw(st.sampled_from(variables))
+        right = draw(st.sampled_from(variables))
+        atoms.append(Atom("E", (left, right)))
+    return CQ.feature(atoms, Variable("x"))
+
+
+@st.composite
+def pm_one_vectors(draw, min_rows: int = 0, max_rows: int = 8):
+    """A training collection of ±1 vectors with labels."""
+    width = draw(st.integers(min_value=1, max_value=4))
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.lists(
+                    st.sampled_from((1, -1)),
+                    min_size=width,
+                    max_size=width,
+                ),
+                st.sampled_from((1, -1)),
+            ),
+            min_size=min_rows,
+            max_size=max_rows,
+        )
+    )
+    vectors = [tuple(vector) for vector, _ in rows]
+    labels = [label for _, label in rows]
+    return vectors, labels

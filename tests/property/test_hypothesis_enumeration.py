@@ -1,0 +1,84 @@
+"""Property-based tests for CQ[m]/CQ[m,p] enumeration invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.containment import are_equivalent
+from repro.cq.enumeration import (
+    enumerate_feature_queries,
+    enumerate_unary_queries,
+)
+from repro.data.schema import EntitySchema, Schema
+
+_SETTINGS = settings(max_examples=15, deadline=None)
+
+_small_schemas = st.sampled_from(
+    [
+        EntitySchema.from_arities({"E": 2}),
+        EntitySchema.from_arities({"R": 1, "S": 1}),
+        EntitySchema.from_arities({"E": 2, "G": 1}),
+    ]
+)
+_atom_bounds = st.integers(min_value=0, max_value=2)
+
+
+class TestFeatureEnumerationProperties:
+    @_SETTINGS
+    @given(_small_schemas, _atom_bounds)
+    def test_bounds_respected(self, schema, m):
+        for query in enumerate_feature_queries(schema, m):
+            assert query.atom_count() <= m
+            assert query.is_unary
+
+    @_SETTINGS
+    @given(_small_schemas, _atom_bounds)
+    def test_monotone_in_m(self, schema, m):
+        smaller = enumerate_feature_queries(schema, m)
+        larger = enumerate_feature_queries(schema, m + 1)
+        assert len(larger) >= len(smaller)
+
+    @_SETTINGS
+    @given(_small_schemas, st.integers(min_value=0, max_value=1))
+    def test_equivalence_coarser_than_isomorphism(self, schema, m):
+        equivalence = enumerate_feature_queries(schema, m)
+        isomorphism = enumerate_feature_queries(
+            schema, m, dedupe="isomorphism"
+        )
+        assert len(equivalence) <= len(isomorphism)
+
+    @_SETTINGS
+    @given(_small_schemas)
+    def test_trivial_query_always_first(self, schema):
+        queries = enumerate_feature_queries(schema, 1)
+        assert queries[0].atom_count() == 0
+
+    @_SETTINGS
+    @given(_small_schemas)
+    def test_pairwise_inequivalent(self, schema):
+        queries = enumerate_feature_queries(schema, 1)
+        for i, left in enumerate(queries):
+            for right in queries[i + 1:]:
+                assert not are_equivalent(left, right)
+
+    @_SETTINGS
+    @given(_small_schemas, st.integers(min_value=1, max_value=2))
+    def test_occurrence_bound_shrinks(self, schema, m):
+        bounded = enumerate_feature_queries(schema, m, max_occurrences=1)
+        free = enumerate_feature_queries(schema, m)
+        assert len(bounded) <= len(free)
+        for query in bounded:
+            assert query.max_variable_occurrences() <= 1
+
+
+class TestUnaryEnumerationProperties:
+    @_SETTINGS
+    @given(st.integers(min_value=1, max_value=2))
+    def test_free_variable_present(self, m):
+        schema = Schema.from_arities({"E": 2})
+        from repro.cq.terms import Variable
+
+        for query in enumerate_unary_queries(schema, m):
+            assert Variable("x") in query.variables
+            assert len(query.atoms) <= m

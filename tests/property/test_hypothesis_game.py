@@ -1,0 +1,94 @@
+"""Property-based tests for the cover game and the Section 5 algorithms."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covergame.game import cover_game_holds
+from repro.cq.homomorphism import pointed_has_homomorphism
+from repro.data import Database, Fact
+from repro.core.brute import cover_game_holds_reference
+from repro.core.ghw_approx import ghw_best_relabeling
+from repro.core.ghw_sep import ghw_separable
+
+from tests.property.strategies import entity_databases, training_databases
+
+_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _some_pair(database):
+    domain = sorted(database.domain, key=repr)
+    return domain[0], domain[-1]
+
+
+class TestGameProperties:
+    @_SETTINGS
+    @given(entity_databases(max_facts=4))
+    def test_matches_reference(self, database):
+        domain = sorted(database.domain, key=repr)
+        for left in domain[:3]:
+            for right in domain[:3]:
+                fast = cover_game_holds(
+                    database, (left,), database, (right,), 1
+                )
+                slow = cover_game_holds_reference(
+                    database, (left,), database, (right,), 1
+                )
+                assert fast == slow
+
+    @_SETTINGS
+    @given(entity_databases(max_facts=5))
+    def test_hom_implies_game(self, database):
+        left, right = _some_pair(database)
+        if pointed_has_homomorphism(
+            database, (left,), database, (right,)
+        ):
+            assert cover_game_holds(
+                database, (left,), database, (right,), 1
+            )
+
+    @_SETTINGS
+    @given(entity_databases(max_facts=5))
+    def test_k2_implies_k1(self, database):
+        left, right = _some_pair(database)
+        if cover_game_holds(database, (left,), database, (right,), 2):
+            assert cover_game_holds(
+                database, (left,), database, (right,), 1
+            )
+
+    @_SETTINGS
+    @given(entity_databases(max_facts=5))
+    def test_reflexivity(self, database):
+        for element in sorted(database.domain, key=repr)[:4]:
+            assert cover_game_holds(
+                database, (element,), database, (element,), 1
+            )
+
+
+class TestSection5Properties:
+    @_SETTINGS
+    @given(training_databases(max_facts=5))
+    def test_algorithm_2_output_is_separable(self, training):
+        approximation = ghw_best_relabeling(training, 1)
+        repaired = training.relabel(approximation.relabeled)
+        assert ghw_separable(repaired, 1)
+
+    @_SETTINGS
+    @given(training_databases(max_facts=5))
+    def test_algorithm_2_zero_iff_separable(self, training):
+        approximation = ghw_best_relabeling(training, 1)
+        assert (approximation.disagreement == 0) == ghw_separable(
+            training, 1
+        )
+
+    @_SETTINGS
+    @given(training_databases(max_facts=4))
+    def test_classification_consistent_when_separable(self, training):
+        from repro.core.ghw_classify import GhwClassifier
+
+        if ghw_separable(training, 1):
+            device = GhwClassifier(training, 1)
+            labeling = device.classify(training.database)
+            for entity in training.entities:
+                assert labeling[entity] == training.label(entity)

@@ -1,0 +1,87 @@
+"""Property-based round-trip tests for parsing and serialization."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.parser import parse_cq
+from repro.data import Labeling, TrainingDatabase
+from repro.data.io import (
+    database_from_text,
+    database_to_text,
+    labeling_from_text,
+    labeling_to_text,
+    training_database_from_json,
+    training_database_to_json,
+)
+
+from tests.property.strategies import entity_databases, unary_feature_queries
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_",
+    min_size=1,
+    max_size=8,
+).filter(lambda s: not s[0].isdigit())
+
+
+class TestDatabaseTextRoundtrip:
+    @_SETTINGS
+    @given(entity_databases())
+    def test_roundtrip(self, database):
+        text = database_to_text(database)
+        assert database_from_text(text) == database
+
+    @_SETTINGS
+    @given(entity_databases())
+    def test_roundtrip_is_idempotent(self, database):
+        once = database_to_text(database)
+        twice = database_to_text(database_from_text(once))
+        assert once == twice
+
+
+class TestLabelingRoundtrip:
+    @_SETTINGS
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=99),
+            st.sampled_from((1, -1)),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    def test_roundtrip(self, labels):
+        labeling = Labeling(labels)
+        assert labeling_from_text(labeling_to_text(labeling)) == labeling
+
+
+class TestTrainingJsonRoundtrip:
+    @_SETTINGS
+    @given(entity_databases(), st.randoms(use_true_random=False))
+    def test_roundtrip(self, database, rng):
+        labels = {
+            entity: rng.choice((1, -1))
+            for entity in sorted(database.entities())
+        }
+        training = TrainingDatabase(database, Labeling(labels))
+        restored = training_database_from_json(
+            training_database_to_json(training)
+        )
+        assert restored.labeling == training.labeling
+        assert restored.database == training.database
+
+
+class TestCqParserRoundtrip:
+    @_SETTINGS
+    @given(unary_feature_queries())
+    def test_str_parse_roundtrip(self, query):
+        assert parse_cq(str(query)) == query
+
+    @_SETTINGS
+    @given(unary_feature_queries())
+    def test_standardized_is_stable(self, query):
+        std = query.standardized()
+        assert std.standardized() == std
+        assert parse_cq(str(std)) == std

@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.data import TrainingDatabase
+from repro.data.io import database_to_text, training_database_to_json
+
+
+@pytest.fixture
+def training_file(tmp_path, path_database):
+    training = TrainingDatabase.from_examples(
+        path_database, ["a"], ["b", "d"]
+    )
+    path = tmp_path / "train.json"
+    path.write_text(training_database_to_json(training))
+    return str(path)
+
+
+@pytest.fixture
+def evaluation_file(tmp_path):
+    from repro.data import Database
+
+    evaluation = Database.from_tuples(
+        {
+            "E": [("f", "g"), ("g", "h"), ("i", "j")],
+            "eta": [("f",), ("g",), ("i",)],
+        }
+    )
+    path = tmp_path / "eval.facts"
+    path.write_text(database_to_text(evaluation))
+    return str(path)
+
+
+class TestSeparabilityCommand:
+    def test_ghw_separable(self, training_file, capsys):
+        code = main(["separability", training_file, "--language", "ghw"])
+        assert code == 0
+        assert "separable" in capsys.readouterr().out
+
+    def test_cqm_one_atom_fails(self, training_file, capsys):
+        code = main(
+            ["separability", training_file, "--language", "cqm", "--m", "1"]
+        )
+        assert code == 1
+        assert "NOT separable" in capsys.readouterr().out
+
+    def test_cq_language(self, training_file):
+        assert main(
+            ["separability", training_file, "--language", "cq"]
+        ) == 0
+
+
+class TestClassifyCommand:
+    def test_labels_printed(self, training_file, evaluation_file, capsys):
+        code = main(
+            [
+                "classify",
+                training_file,
+                evaluation_file,
+                "--language",
+                "ghw",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+f" in out
+        assert "-g" in out
+        assert "-i" in out
+
+    def test_cq_classify(self, training_file, evaluation_file, capsys):
+        code = main(
+            [
+                "classify",
+                training_file,
+                evaluation_file,
+                "--language",
+                "cq",
+            ]
+        )
+        assert code == 0
+        assert "+f" in capsys.readouterr().out
+
+    def test_cqm_classify(self, training_file, evaluation_file, capsys):
+        code = main(
+            [
+                "classify",
+                training_file,
+                evaluation_file,
+                "--language",
+                "cqm",
+                "--m",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "+f" in capsys.readouterr().out
+
+
+class TestFeaturesCommand:
+    def test_materializes(self, training_file, capsys):
+        code = main(
+            ["features", training_file, "--language", "cqm", "--m", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dimension" in out
+        assert "q(x)" in out
+
+
+class TestQbeCommand:
+    def test_explainable(self, tmp_path, capsys):
+        facts = tmp_path / "db.facts"
+        facts.write_text("E(0, 1)\nE(1, 2)\nE(8, 9)\n")
+        code = main(
+            [
+                "qbe",
+                str(facts),
+                "--positives",
+                "0",
+                "--negatives",
+                "8",
+                "--language",
+                "cqm",
+                "--m",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explainable: True" in out
+        assert "explanation:" in out
+
+    def test_not_explainable(self, tmp_path, capsys):
+        facts = tmp_path / "db.facts"
+        facts.write_text("E(0, 1)\nE(1, 2)\nE(8, 9)\n")
+        code = main(
+            [
+                "qbe",
+                str(facts),
+                "--positives",
+                "8",
+                "--negatives",
+                "0",
+                "--language",
+                "cq",
+            ]
+        )
+        assert code == 1
+        assert "explainable: False" in capsys.readouterr().out
+
+    def test_error_handling(self, tmp_path, capsys):
+        facts = tmp_path / "db.facts"
+        facts.write_text("E(0, 1)\n")
+        code = main(
+            [
+                "qbe",
+                str(facts),
+                "--positives",
+                "99",
+                "--negatives",
+                "0",
+                "--language",
+                "cq",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,88 @@
+"""Tests for the bibliography and molecule workloads plus noise injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.evaluation import evaluate_unary
+from repro.exceptions import LabelingError
+from repro.workloads.bibliography import (
+    bibliography_database,
+    bibliography_schema_concept,
+)
+from repro.workloads.molecules import carbonyl_concept, molecule_database
+from repro.workloads.noise import flip_labels, with_noise
+
+
+class TestBibliography:
+    def test_deterministic(self):
+        assert bibliography_database(seed=2).labeling == (
+            bibliography_database(seed=2).labeling
+        )
+
+    def test_labels_match_concept(self):
+        training = bibliography_database(seed=1)
+        answers = evaluate_unary(
+            bibliography_schema_concept(), training.database
+        )
+        for entity in training.entities:
+            assert (training.label(entity) == 1) == (entity in answers)
+
+    def test_entity_count(self):
+        training = bibliography_database(n_papers=7, seed=0)
+        assert len(training.entities) == 7
+
+    def test_cq2_separable(self):
+        from repro.core.separability import cqm_separability
+
+        assert cqm_separability(bibliography_database(seed=0), 2).separable
+
+
+class TestMolecules:
+    def test_planted_fraction(self):
+        training = molecule_database(
+            n_molecules=6, carbonyl_fraction=0.5, seed=0
+        )
+        assert len(training.positives) >= 3  # planted ones at least
+
+    def test_labels_match_concept(self):
+        training = molecule_database(n_molecules=5, seed=3)
+        answers = evaluate_unary(carbonyl_concept(), training.database)
+        for entity in training.entities:
+            assert (training.label(entity) == 1) == (entity in answers)
+
+    def test_concept_is_tree_shaped(self):
+        from repro.hypergraph.ghw import ghw_at_most
+
+        assert ghw_at_most(carbonyl_concept(), 1)
+
+
+class TestNoise:
+    def test_flip_labels(self, path_training):
+        flipped = flip_labels(path_training, ("a",))
+        assert flipped.label("a") == -path_training.label("a")
+        assert flipped.label("b") == path_training.label("b")
+
+    def test_with_noise_counts(self, path_training):
+        noisy, flipped = with_noise(path_training, 1 / 3, seed=0)
+        assert len(flipped) == 1
+        assert noisy.labeling.disagreement(path_training.labeling) == 1
+
+    def test_zero_noise(self, path_training):
+        noisy, flipped = with_noise(path_training, 0.0, seed=0)
+        assert flipped == frozenset()
+        assert noisy.labeling == path_training.labeling
+
+    def test_full_noise(self, path_training):
+        noisy, flipped = with_noise(path_training, 1.0, seed=0)
+        assert len(flipped) == 3
+        assert noisy.labeling.disagreement(path_training.labeling) == 3
+
+    def test_deterministic(self, path_training):
+        left = with_noise(path_training, 2 / 3, seed=9)
+        right = with_noise(path_training, 2 / 3, seed=9)
+        assert left[1] == right[1]
+
+    def test_fraction_validated(self, path_training):
+        with pytest.raises(LabelingError):
+            with_noise(path_training, 1.5)

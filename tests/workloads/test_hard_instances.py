@@ -1,0 +1,174 @@
+"""Tests for the hard-instance families (Theorems 5.7 / 6.7 substitutes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.evaluation import evaluate_unary
+from repro.exceptions import SeparabilityError
+from repro.hypergraph.ghw import ghw_at_most
+from repro.workloads.hard_instances import (
+    chain_family,
+    clique_family,
+    example_6_2,
+    minimal_path_feature_length,
+    path_to_marker_query,
+    prime_cycle_family,
+)
+from repro.core.ghw_sep import ghw_separable
+
+
+class TestExample62:
+    def test_shape(self):
+        training = example_6_2()
+        assert training.positives == {"a", "b"}
+        assert training.negatives == {"c"}
+
+
+class TestPrimeCycleFamily:
+    def test_structure(self):
+        training = prime_cycle_family([2, 3])
+        db = training.database
+        assert len(db.facts_of("E")) == 5
+        assert len(db.facts_of("G")) == 2
+        assert len(training.entities) == 2
+
+    def test_default_alternating_labels(self):
+        training = prime_cycle_family([2, 3, 5])
+        assert training.label((0, 0)) == 1
+        assert training.label((1, 0)) == -1
+        assert training.label((2, 0)) == 1
+
+    def test_custom_positives(self):
+        training = prime_cycle_family([2, 3], positive_indices=[1])
+        assert training.label((1, 0)) == 1
+        assert training.label((0, 0)) == -1
+
+    def test_ghw1_separable(self):
+        assert ghw_separable(prime_cycle_family([2, 3, 5]), 1)
+
+    def test_duplicate_lengths_rejected(self):
+        with pytest.raises(SeparabilityError):
+            prime_cycle_family([3, 3])
+
+    def test_tiny_lengths_rejected(self):
+        with pytest.raises(SeparabilityError):
+            prime_cycle_family([1, 2])
+
+
+class TestPathToMarkerQuery:
+    def test_ghw_one(self):
+        query = path_to_marker_query(3)
+        assert ghw_at_most(query, 1)
+        assert query.atom_count() == 4  # 3 edges + marker
+
+    def test_selects_correct_residues(self):
+        training = prime_cycle_family([2, 3])
+        db = training.database
+        # Length 1 ≡ -1 (mod 2): selects the C2 entity, not the C3 one.
+        assert evaluate_unary(path_to_marker_query(1), db) >= {(0, 0)}
+        assert (1, 0) not in evaluate_unary(path_to_marker_query(1), db)
+
+    def test_positive_length_required(self):
+        with pytest.raises(SeparabilityError):
+            path_to_marker_query(0)
+
+
+class TestMinimalPathFeatureLength:
+    def test_crt_value(self):
+        # Positives on cycles 2 and 5: L ≡ 1 (mod 2), L ≡ 4 (mod 5),
+        # L ≢ 2 (mod 3); the least solution of the first two is 9; 9 ≡ 0
+        # (mod 3) avoids the negative, so L = 9.
+        training = prime_cycle_family([2, 3, 5])
+        assert minimal_path_feature_length(training) == 9
+
+    def test_single_pair(self):
+        training = prime_cycle_family([2, 3], positive_indices=[0])
+        # L ≡ 1 (mod 2) and L ≢ 2 (mod 3): L = 1 works (1 mod 3 = 1).
+        assert minimal_path_feature_length(training) == 1
+
+    def test_growth_with_primes(self):
+        """The measurable Theorem 5.7 shape: lcm-scale length growth.
+
+        With every cycle positive, the single feature must satisfy
+        ``L ≡ −1 (mod p)`` for all primes at once: ``L = lcm − 1``.
+        """
+        lengths = [
+            minimal_path_feature_length(
+                prime_cycle_family(
+                    primes, positive_indices=range(len(primes))
+                )
+            )
+            for primes in ([2, 3], [2, 3, 5])
+        ]
+        # lcm(2,3) - 1 and lcm(2,3,5) - 1; the next step (209) is covered
+        # by benchmarks/bench_blowup_ghw.py to keep the suite fast.
+        assert lengths == [5, 29]
+
+    def test_none_when_bounded(self):
+        training = prime_cycle_family([2, 3, 5])
+        assert minimal_path_feature_length(training, max_length=3) is None
+
+
+class TestCliqueFamily:
+    def test_structure(self):
+        training = clique_family(3)
+        db = training.database
+        # K_2 + K_3 + K_4 directed-symmetric edges: 2 + 6 + 12.
+        assert len(db.facts_of("E")) == 20
+        assert len(training.entities) == 3
+        assert db.relation_names == ("E", "eta")  # single binary relation
+
+    def test_alternating_labels(self):
+        training = clique_family(3)
+        assert training.label((0, 0)) == 1
+        assert training.label((1, 0)) == -1
+        assert training.label((2, 0)) == 1
+
+    def test_linear_family_over_single_relation(self):
+        """Prop 8.6's hypothesis in Theorem 3.2's minimal schema."""
+        from repro.fo.dimension_properties import is_linear_family
+        from repro.core.dimension import realizable_dichotomies
+        from repro.core.languages import CQ_ALL
+
+        training = clique_family(3)
+        dichotomies = realizable_dichotomies(training, CQ_ALL)
+        assert is_linear_family(dichotomies)
+        assert len(dichotomies) == 3  # one threshold per clique size
+
+    def test_min_dimension_grows(self):
+        from repro.core.dimension import min_dimension
+        from repro.core.languages import CQ_ALL
+
+        assert min_dimension(clique_family(2), CQ_ALL) == 1
+        assert min_dimension(clique_family(3), CQ_ALL) == 2
+
+    def test_validation(self):
+        with pytest.raises(SeparabilityError):
+            clique_family(0)
+        with pytest.raises(SeparabilityError):
+            clique_family(2, block=0)
+
+
+class TestChainFamily:
+    def test_structure(self):
+        training = chain_family(4)
+        assert len(training.entities) == 5
+        assert training.label("v0") == 1
+        assert training.label("v1") == -1
+
+    def test_blocked(self):
+        training = chain_family(5, block=3)
+        assert training.label("v2") == 1
+        assert training.label("v3") == -1
+
+    def test_validation(self):
+        with pytest.raises(SeparabilityError):
+            chain_family(0)
+        with pytest.raises(SeparabilityError):
+            chain_family(3, block=0)
+
+    def test_cq_separable(self):
+        from repro.core.brute import cq_separable
+
+        assert cq_separable(chain_family(4))

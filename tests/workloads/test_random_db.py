@@ -1,0 +1,79 @@
+"""Tests for random-database generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.parser import parse_cq
+from repro.data.schema import EntitySchema
+from repro.exceptions import DatabaseError
+from repro.workloads.random_db import (
+    plant_concept_labeling,
+    random_database,
+    random_labeling,
+    random_training_database,
+)
+
+SCHEMA = EntitySchema.from_arities({"E": 2, "G": 1})
+
+
+class TestRandomDatabase:
+    def test_deterministic_given_seed(self):
+        left = random_database(SCHEMA, 10, 15, seed=5)
+        right = random_database(SCHEMA, 10, 15, seed=5)
+        assert left == right
+
+    def test_different_seeds_differ(self):
+        left = random_database(SCHEMA, 10, 15, seed=5)
+        right = random_database(SCHEMA, 10, 15, seed=6)
+        assert left != right
+
+    def test_entity_count(self):
+        db = random_database(SCHEMA, 10, 5, n_entities=4, seed=0)
+        assert len(db.entities()) == 4
+
+    def test_entities_default_to_all_elements(self):
+        db = random_database(SCHEMA, 6, 5, seed=0)
+        assert len(db.entities()) == 6
+
+    def test_fact_counts(self):
+        db = random_database(SCHEMA, 10, 7, seed=0)
+        assert len(db.facts_of("E")) == 7
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatabaseError):
+            random_database(SCHEMA, 0, 5)
+
+
+class TestPlantConceptLabeling:
+    def test_labels_match_concept(self):
+        db = random_database(SCHEMA, 12, 18, seed=1)
+        concept = parse_cq("q(x) :- eta(x), E(x, y)")
+        training = plant_concept_labeling(db, concept)
+        from repro.cq.evaluation import evaluate_unary
+
+        answers = evaluate_unary(concept, db)
+        for entity in training.entities:
+            assert (training.label(entity) == 1) == (entity in answers)
+
+    def test_planted_instance_is_separable(self):
+        concept = parse_cq("q(x) :- eta(x), E(x, y)")
+        training = random_training_database(
+            SCHEMA, concept, 10, 12, seed=3
+        )
+        from repro.core.separability import cqm_separability
+
+        assert cqm_separability(training, 1).separable
+
+
+class TestRandomLabeling:
+    def test_deterministic(self):
+        db = random_database(SCHEMA, 8, 10, seed=2)
+        assert random_labeling(db, seed=4).labeling == random_labeling(
+            db, seed=4
+        ).labeling
+
+    def test_every_entity_labeled(self):
+        db = random_database(SCHEMA, 8, 10, seed=2)
+        training = random_labeling(db, seed=4)
+        assert set(training.labeling) == db.entities()

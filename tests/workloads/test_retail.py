@@ -1,0 +1,58 @@
+"""Tests for the retail workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.evaluation import evaluate_unary
+from repro.exceptions import DatabaseError
+from repro.hypergraph.ghw import ghw_at_most
+from repro.workloads.retail import premium_buyer_concept, retail_database
+from repro.core.separability import cqm_separability
+
+
+class TestRetailDatabase:
+    def test_deterministic(self):
+        assert retail_database(seed=4).labeling == (
+            retail_database(seed=4).labeling
+        )
+
+    def test_labels_match_concept(self):
+        training = retail_database(seed=1)
+        answers = evaluate_unary(
+            premium_buyer_concept(), training.database
+        )
+        for entity in training.entities:
+            assert (training.label(entity) == 1) == (entity in answers)
+
+    def test_imbalance_knob(self):
+        rare = retail_database(
+            n_customers=10, positive_fraction=0.2, seed=3
+        )
+        common = retail_database(
+            n_customers=10, positive_fraction=0.8, seed=3
+        )
+        assert len(rare.positives) <= len(common.positives)
+        assert len(rare.positives) >= 2  # the planted ones
+
+    def test_concept_shape(self):
+        concept = premium_buyer_concept()
+        assert concept.atom_count() == 3
+        assert ghw_at_most(concept, 1)
+
+    def test_cq3_separable(self):
+        training = retail_database(n_customers=8, seed=2)
+        assert cqm_separability(training, 3).separable
+
+    def test_cq1_usually_fails(self):
+        training = retail_database(n_customers=8, seed=2)
+        # One atom cannot see through two joins; unless degenerate
+        # structure helps, this is inseparable.
+        result = cqm_separability(training, 1)
+        assert not result.separable
+
+    def test_validation(self):
+        with pytest.raises(DatabaseError):
+            retail_database(positive_fraction=1.5)
+        with pytest.raises(DatabaseError):
+            retail_database(n_products=2, n_premium=3)
