@@ -15,11 +15,17 @@ from __future__ import annotations
 import math
 import os
 import time
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-__all__ = ["report", "timed", "growth_exponent", "RESULTS_DIR"]
+__all__ = [
+    "report",
+    "timed",
+    "timed_with_counters",
+    "growth_exponent",
+    "RESULTS_DIR",
+]
 
 
 def report(name: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
@@ -50,6 +56,25 @@ def timed(function: Callable[[], object]) -> Tuple[float, object]:
     start = time.perf_counter()
     result = function()
     return time.perf_counter() - start, result
+
+
+def timed_with_counters(
+    engine, function: Callable[[], object]
+) -> Tuple[float, object, Dict[str, int]]:
+    """Wall-clock one call and the engine work it caused.
+
+    ``engine`` is a :class:`repro.cq.engine.EvaluationEngine`; the returned
+    dict is the delta of its :meth:`work_snapshot` across the call (hom
+    checks attempted, backtrack nodes expanded, cover games played, cache
+    hits/misses), so benches can report work done, not just wall-clock.
+    """
+    before = engine.work_snapshot()
+    start = time.perf_counter()
+    result = function()
+    seconds = time.perf_counter() - start
+    after = engine.work_snapshot()
+    delta = {key: after[key] - before[key] for key in after}
+    return seconds, result, delta
 
 
 def growth_exponent(

@@ -19,8 +19,7 @@ from typing import (
     Tuple,
 )
 
-from repro.cq.evaluation import evaluate_unary
-from repro.cq.homomorphism import pointed_has_homomorphism
+from repro.cq.engine import default_engine
 from repro.cq.query import CQ
 from repro.data.database import Database, Fact
 from repro.data.labeling import TrainingDatabase
@@ -177,11 +176,14 @@ def cq_indistinguishable(
 
     ``left`` and ``right`` agree on every CQ iff ``(D, left) → (D, right)``
     and vice versa (the canonical query of the whole pointed database is
-    itself a CQ).
+    itself a CQ).  The brute-ness here is the quadratic pair enumeration in
+    :func:`cq_separable`; the individual checks go through the shared
+    engine, whose cache pays off because each entity appears in many pairs.
     """
-    return pointed_has_homomorphism(
+    engine = default_engine()
+    return engine.pointed_has_homomorphism(
         database, (left,), database, (right,)
-    ) and pointed_has_homomorphism(database, (right,), database, (left,))
+    ) and engine.pointed_has_homomorphism(database, (right,), database, (left,))
 
 
 def cq_separable(training: TrainingDatabase) -> bool:
@@ -224,10 +226,11 @@ def ghw_separable_lower_bound(
         for query in feature_pool(training, max_atoms)
         if ghw_at_most(query, k)
     ]
+    engine = default_engine()
     entities = sorted(training.entities, key=repr)
     labels = [training.label(entity) for entity in entities]
     answers = [
-        evaluate_unary(query, training.database) for query in pool
+        engine.evaluate_unary(query, training.database) for query in pool
     ]
     vectors = [
         tuple(1 if entity in answer else -1 for answer in answers)
@@ -246,7 +249,10 @@ def min_pool_dimension(
     labels = [training.label(entity) for entity in entities]
     if all(label == labels[0] for label in labels):
         return 0
-    answers = [evaluate_unary(query, training.database) for query in pool]
+    engine = default_engine()
+    answers = [
+        engine.evaluate_unary(query, training.database) for query in pool
+    ]
     distinct = sorted(
         {
             frozenset(answer & set(entities))

@@ -21,10 +21,9 @@ facts are:
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Sequence, Tuple
+from typing import Any, FrozenSet, Optional, Tuple
 
-from repro.covergame.equivalence import CoverPreorder
-from repro.covergame.game import cover_game_holds
+from repro.cq.engine import EvaluationEngine, default_engine
 from repro.data.database import Database
 from repro.data.labeling import Labeling, TrainingDatabase
 from repro.exceptions import NotSeparableError
@@ -44,7 +43,13 @@ class GhwClassifier:
     new entity computes the m game values ``(D, e_i) →_k (D', f)``.
     """
 
-    def __init__(self, training: TrainingDatabase, k: int) -> None:
+    def __init__(
+        self,
+        training: TrainingDatabase,
+        k: int,
+        engine: Optional[EvaluationEngine] = None,
+    ) -> None:
+        self._engine = engine or default_engine()
         result = ghw_separability(training, k)
         if not result.separable:
             raise NotSeparableError(
@@ -102,10 +107,15 @@ class GhwClassifier:
     def feature_vector(
         self, database: Database, entity: Element
     ) -> Tuple[int, ...]:
-        """``Π^{D'}(f)`` without materializing Π: m cover-game calls."""
+        """``Π^{D'}(f)`` without materializing Π: m cover-game calls.
+
+        The games go through the engine's memoized cover-game cache, so
+        repeated classification of the same entity (or of the same database
+        by several classifiers sharing an engine) replays cached results.
+        """
         return tuple(
             1
-            if cover_game_holds(
+            if self._engine.cover_game(
                 self._training.database,
                 (representative,),
                 database,
@@ -131,11 +141,14 @@ class GhwClassifier:
 
 
 def ghw_classify(
-    training: TrainingDatabase, evaluation: Database, k: int
+    training: TrainingDatabase,
+    evaluation: Database,
+    k: int,
+    engine: Optional[EvaluationEngine] = None,
 ) -> Labeling:
     """GHW(k)-CLS (Theorem 5.8): label the evaluation database's entities.
 
     Raises :class:`~repro.exceptions.NotSeparableError` when the training
     database is not GHW(k)-separable (the problem's promise).
     """
-    return GhwClassifier(training, k).classify(evaluation)
+    return GhwClassifier(training, k, engine=engine).classify(evaluation)

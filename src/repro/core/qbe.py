@@ -23,10 +23,8 @@ from __future__ import annotations
 
 from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.covergame.game import cover_game_holds
+from repro.cq.engine import EvaluationEngine, default_engine
 from repro.cq.enumeration import enumerate_unary_queries
-from repro.cq.evaluation import evaluate_unary
-from repro.cq.homomorphism import has_homomorphism
 from repro.cq.query import CQ
 from repro.cq.terms import Atom, Variable
 from repro.data.database import Database
@@ -105,14 +103,16 @@ def cq_qbe(
     database: Database,
     positives: Iterable[Element],
     negatives: Iterable[Element],
+    engine: Optional[EvaluationEngine] = None,
 ) -> bool:
     """CQ-QBE decision by the product-homomorphism method."""
+    active = engine or default_engine()
     positive_tuple, negative_tuple = _validate_examples(
         database, positives, negatives
     )
     product, point = pointed_component_product(database, positive_tuple)
     return not any(
-        has_homomorphism(product, database, {point: negative})
+        active.has_homomorphism(product, database, {point: negative})
         for negative in negative_tuple
     )
 
@@ -169,14 +169,16 @@ def ghw_qbe(
     positives: Iterable[Element],
     negatives: Iterable[Element],
     k: int,
+    engine: Optional[EvaluationEngine] = None,
 ) -> bool:
     """GHW(k)-QBE decision: the product under ``→_k`` instead of ``→``."""
+    active = engine or default_engine()
     positive_tuple, negative_tuple = _validate_examples(
         database, positives, negatives
     )
     product, point = pointed_component_product(database, positive_tuple)
     return not any(
-        cover_game_holds(product, (point,), database, (negative,), k)
+        active.cover_game(product, (point,), database, (negative,), k)
         for negative in negative_tuple
     )
 
@@ -187,8 +189,10 @@ def cqm_qbe(
     negatives: Iterable[Element],
     max_atoms: int,
     max_occurrences: Optional[int] = None,
+    engine: Optional[EvaluationEngine] = None,
 ) -> Optional[CQ]:
     """CQ[m]-QBE by enumeration; returns an explanation or ``None``."""
+    active = engine or default_engine()
     positive_tuple, negative_tuple = _validate_examples(
         database, positives, negatives
     )
@@ -197,7 +201,7 @@ def cqm_qbe(
     for query in enumerate_unary_queries(
         database.schema, max_atoms, max_occurrences=max_occurrences
     ):
-        answers = evaluate_unary(query, database)
+        answers = active.evaluate_unary(query, database)
         if positive_set <= answers and not answers & negative_set:
             return query
     return None
@@ -208,7 +212,8 @@ def is_explanation(
     database: Database,
     positives: Iterable[Element],
     negatives: Iterable[Element],
+    engine: Optional[EvaluationEngine] = None,
 ) -> bool:
     """Verify the explanation property ``S+ ⊆ q(D)`` and ``q(D) ∩ S− = ∅``."""
-    answers = evaluate_unary(query, database)
+    answers = (engine or default_engine()).evaluate_unary(query, database)
     return set(positives) <= answers and not answers & set(negatives)

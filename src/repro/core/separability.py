@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cq.engine import EvaluationEngine
 from repro.cq.enumeration import enumerate_feature_queries
 from repro.cq.query import CQ
 from repro.data.labeling import TrainingDatabase
@@ -81,20 +82,24 @@ def cqm_separability(
     max_atoms: int,
     max_occurrences: Optional[int] = None,
     dedupe: str = "equivalence",
+    engine: Optional[EvaluationEngine] = None,
 ) -> SeparabilityResult:
     """CQ[m]-SEP (and CQ[m, p]-SEP) with feature generation (Prop 4.1/4.3).
 
     Enumerates the finite statistic of all feature queries, evaluates it
-    over the training database, and decides exact linear separability by LP;
-    on success the returned pair contains an integral classifier verified to
-    separate the training database.
+    over the training database through the (given or default) evaluation
+    engine, and decides exact linear separability by LP; on success the
+    returned pair contains an integral classifier verified to separate the
+    training database.
     """
     if max_atoms < 0:
         raise SeparabilityError("max_atoms must be nonnegative")
     statistic = Statistic(
         feature_pool(training, max_atoms, max_occurrences, dedupe)
     )
-    vectors, labels, entities = statistic.training_collection(training)
+    vectors, labels, entities = statistic.training_collection(
+        training, engine=engine
+    )
     classifier = find_separator(vectors, labels)
     vector_map = dict(zip(entities, vectors))
     if classifier is None:

@@ -3,6 +3,10 @@
 A statistic ``Π = (q1, ..., qn)`` maps every entity ``e`` of a database to
 the ±1 vector ``Π^D(e) = (1_{q1(D)}(e), ..., 1_{qn(D)}(e))``.  Together with
 a linear classifier it forms a *separating pair*.
+
+Vector materialization goes through the
+:class:`~repro.cq.engine.EvaluationEngine` batch entry points, so repeated
+classification against the same database reuses cached query answers.
 """
 
 from __future__ import annotations
@@ -10,7 +14,6 @@ from __future__ import annotations
 from typing import (
     Any,
     Dict,
-    FrozenSet,
     Iterable,
     Iterator,
     List,
@@ -19,7 +22,7 @@ from typing import (
     Tuple,
 )
 
-from repro.cq.evaluation import evaluate_unary
+from repro.cq.engine import EvaluationEngine, default_engine
 from repro.cq.query import CQ
 from repro.data.database import Database
 from repro.data.labeling import Labeling, TrainingDatabase
@@ -82,40 +85,41 @@ class Statistic:
 
     # ------------------------------------------------------------------
 
-    def vector(self, database: Database, entity: Element) -> Tuple[int, ...]:
-        """``Π^D(e)`` for a single entity."""
-        return tuple(
-            1 if entity in evaluate_unary(query, database) else -1
-            for query in self._queries
+    def vector(
+        self,
+        database: Database,
+        entity: Element,
+        engine: Optional[EvaluationEngine] = None,
+    ) -> Tuple[int, ...]:
+        """``Π^D(e)`` for a single entity (memoized pointed checks)."""
+        return (engine or default_engine()).indicator_vector(
+            self._queries, database, entity
         )
 
     def vectors(
-        self, database: Database, entities: Optional[Sequence[Element]] = None
+        self,
+        database: Database,
+        entities: Optional[Sequence[Element]] = None,
+        engine: Optional[EvaluationEngine] = None,
     ) -> Dict[Element, Tuple[int, ...]]:
         """``Π^D`` over all (or the given) entities, evaluated batch-wise.
 
-        Each feature query is evaluated once over the database, so the cost
-        is ``dimension`` query evaluations rather than ``dimension × n``
-        pointed checks.
+        Each feature query is evaluated once over the database (and the
+        engine memoizes the answer), so the cost is ``dimension`` query
+        evaluations rather than ``dimension × n`` pointed checks.
         """
-        if entities is None:
-            entities = sorted(database.entities(), key=repr)
-        answers: List[FrozenSet[Element]] = [
-            evaluate_unary(query, database) for query in self._queries
-        ]
-        return {
-            entity: tuple(
-                1 if entity in answer else -1 for answer in answers
-            )
-            for entity in entities
-        }
+        return (engine or default_engine()).evaluate_statistic(
+            self._queries, database, entities
+        )
 
     def training_collection(
-        self, training: TrainingDatabase
+        self,
+        training: TrainingDatabase,
+        engine: Optional[EvaluationEngine] = None,
     ) -> Tuple[List[Tuple[int, ...]], List[int], List[Element]]:
         """``(Π^D(e), λ(e))`` rows in a deterministic entity order."""
         entities = sorted(training.entities, key=repr)
-        vector_map = self.vectors(training.database, entities)
+        vector_map = self.vectors(training.database, entities, engine=engine)
         vectors = [vector_map[entity] for entity in entities]
         labels = [training.label(entity) for entity in entities]
         return vectors, labels, entities
@@ -145,15 +149,24 @@ class SeparatingPair:
     def classifier(self) -> LinearClassifier:
         return self._classifier
 
-    def predict(self, database: Database, entity: Element) -> int:
+    def predict(
+        self,
+        database: Database,
+        entity: Element,
+        engine: Optional[EvaluationEngine] = None,
+    ) -> int:
         """``Λ_w̄(Π^D(e))``."""
         return self._classifier.predict(
-            self._statistic.vector(database, entity)
+            self._statistic.vector(database, entity, engine=engine)
         )
 
-    def classify(self, database: Database) -> Labeling:
+    def classify(
+        self,
+        database: Database,
+        engine: Optional[EvaluationEngine] = None,
+    ) -> Labeling:
         """The labeling of all entities of an evaluation database."""
-        vector_map = self._statistic.vectors(database)
+        vector_map = self._statistic.vectors(database, engine=engine)
         return Labeling(
             {
                 entity: self._classifier.predict(vector)
@@ -161,14 +174,24 @@ class SeparatingPair:
             }
         )
 
-    def errors(self, training: TrainingDatabase) -> int:
+    def errors(
+        self,
+        training: TrainingDatabase,
+        engine: Optional[EvaluationEngine] = None,
+    ) -> int:
         """Number of training entities classified against their label."""
-        vectors, labels, _ = self._statistic.training_collection(training)
+        vectors, labels, _ = self._statistic.training_collection(
+            training, engine=engine
+        )
         return self._classifier.errors(vectors, labels)
 
-    def separates(self, training: TrainingDatabase) -> bool:
+    def separates(
+        self,
+        training: TrainingDatabase,
+        engine: Optional[EvaluationEngine] = None,
+    ) -> bool:
         """Whether the pair classifies every training entity correctly."""
-        return self.errors(training) == 0
+        return self.errors(training, engine=engine) == 0
 
     def __repr__(self) -> str:
         return (

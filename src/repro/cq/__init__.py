@@ -2,6 +2,13 @@
 
 from repro.cq.containment import are_equivalent, is_contained_in
 from repro.cq.core import core_of
+from repro.cq.engine import (
+    CacheInfo,
+    EngineCounters,
+    EvaluationEngine,
+    default_engine,
+    set_default_engine,
+)
 from repro.cq.enumeration import (
     count_feature_queries,
     enumerate_feature_queries,
@@ -14,6 +21,7 @@ from repro.cq.evaluation import (
     selects,
 )
 from repro.cq.homomorphism import (
+    SearchCounters,
     all_homomorphisms,
     find_homomorphism,
     has_homomorphism,
@@ -33,6 +41,12 @@ __all__ = [
     "CQ",
     "Atom",
     "Variable",
+    "CacheInfo",
+    "EngineCounters",
+    "EvaluationEngine",
+    "SearchCounters",
+    "default_engine",
+    "set_default_engine",
     "parse_cq",
     "evaluate",
     "evaluate_unary",

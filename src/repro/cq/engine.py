@@ -1,0 +1,434 @@
+"""Indexed, memoized CQ evaluation engine (the library's hot path).
+
+Every paper algorithm — separability checks (Prop 4.1/4.3), statistic
+materialization (Section 3), QBE (Section 6), and GHW(k) classification
+(Algorithm 1) — bottoms out in pointed homomorphism checks.  The
+:class:`EvaluationEngine` makes repeated checks cheap in three ways:
+
+- **Indexing.**  Checks read the target database's lazily-built
+  :class:`~repro.data.database.DatabaseIndex` (per-(relation, position)
+  occurrence sets, facts-by-relation maps), computed once per
+  :class:`~repro.data.database.Database` instance and reused across all
+  searches against it.
+- **Memoization.**  Pointed hom-check results are cached in a bounded LRU
+  keyed by ``(canonical database, target database, frozen fixed
+  assignment)``.  Keys hold the actual :class:`Database` objects, whose
+  value-based ``__eq__``/``__hash__`` make aliasing impossible: two
+  databases share an entry iff they have exactly the same facts (in which
+  case every check result coincides), and a hash collision between distinct
+  databases is resolved by equality like in any dict.  Databases are
+  immutable, so entries never go stale; derived databases are new objects
+  with new keys.  Whole query answers (``q(D)``) and cover-game results get
+  their own LRUs with the same key discipline.
+- **Batching.**  :meth:`evaluate_statistic` and :meth:`indicator_matrix`
+  evaluate each feature query once per database and read vectors off the
+  answer sets, instead of re-deriving candidates per ``selects`` call.
+
+Instrumentation counters (hom checks attempted, backtrack nodes expanded,
+cache hits/misses, cover games played) are threaded through to
+``benchmarks/harness.py`` so benches report work done, not just wall-clock.
+
+The module-level functions in :mod:`repro.cq.evaluation` are thin wrappers
+over a process-wide default engine; the frozen uncached reference lives in
+:mod:`repro.cq.naive` for differential testing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.cq.homomorphism import SearchCounters, has_homomorphism
+from repro.cq.query import CQ
+from repro.data.database import Database
+from repro.exceptions import DatabaseError, QueryError
+
+__all__ = [
+    "CacheInfo",
+    "EngineCounters",
+    "EvaluationEngine",
+    "default_engine",
+    "set_default_engine",
+]
+
+Element = Any
+
+DEFAULT_CACHE_SIZE = 4096
+
+
+class CacheInfo(NamedTuple):
+    """``functools.lru_cache``-style cache statistics."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+class EngineCounters:
+    """Work counters for one :class:`EvaluationEngine`.
+
+    ``search`` tallies the underlying backtracking searches (checks started
+    and nodes expanded); ``cover_games`` counts cover-game decisions actually
+    played (cache misses of the game cache).
+    """
+
+    __slots__ = ("search", "cover_games")
+
+    def __init__(self) -> None:
+        self.search = SearchCounters()
+        self.cover_games = 0
+
+    @property
+    def hom_checks(self) -> int:
+        return self.search.hom_checks
+
+    @property
+    def backtrack_nodes(self) -> int:
+        return self.search.backtrack_nodes
+
+    def reset(self) -> None:
+        self.search = SearchCounters()
+        self.cover_games = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineCounters(hom_checks={self.hom_checks}, "
+            f"backtrack_nodes={self.backtrack_nodes}, "
+            f"cover_games={self.cover_games})"
+        )
+
+
+class _LRUCache:
+    """A small bounded LRU over an :class:`OrderedDict`."""
+
+    __slots__ = ("maxsize", "_data", "hits", "misses")
+
+    _MISSING = object()
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Any) -> Any:
+        value = self._data.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return self._MISSING
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def store(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(self.hits, self.misses, self.maxsize, len(self._data))
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class EvaluationEngine:
+    """Indexed and memoized evaluation of CQs and homomorphism relations.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum number of entries per internal cache (pointed hom checks,
+        query answers, cover games).  Results are exact regardless of the
+        size; a small cache only trades speed for memory.
+    """
+
+    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        self._hom_cache = _LRUCache(cache_size)
+        self._answer_cache = _LRUCache(cache_size)
+        self._game_cache = _LRUCache(cache_size)
+        self.counters = EngineCounters()
+
+    # ------------------------------------------------------------------
+    # Homomorphism checks
+    # ------------------------------------------------------------------
+
+    def has_homomorphism(
+        self,
+        source: Database,
+        target: Database,
+        fixed: Optional[Mapping[Element, Element]] = None,
+    ) -> bool:
+        """Memoized ``source → target`` extending ``fixed``."""
+        frozen = frozenset(fixed.items()) if fixed else frozenset()
+        key = (source, target, frozen)
+        cached = self._hom_cache.lookup(key)
+        if cached is not _LRUCache._MISSING:
+            return cached
+        result = has_homomorphism(source, target, fixed, self.counters.search)
+        self._hom_cache.store(key, result)
+        return result
+
+    def pointed_has_homomorphism(
+        self,
+        source: Database,
+        source_tuple: Sequence[Element],
+        target: Database,
+        target_tuple: Sequence[Element],
+    ) -> bool:
+        """Memoized ``(D, ā) → (D', b̄)``."""
+        if len(source_tuple) != len(target_tuple):
+            raise DatabaseError(
+                "pointed homomorphism requires equal-length tuples"
+            )
+        fixed: Dict[Element, Element] = {}
+        for element, image in zip(source_tuple, target_tuple):
+            existing = fixed.get(element)
+            if existing is not None and existing != image:
+                return False
+            fixed[element] = image
+        return self.has_homomorphism(source, target, fixed)
+
+    # ------------------------------------------------------------------
+    # CQ evaluation
+    # ------------------------------------------------------------------
+
+    def _free_variable_candidates(
+        self, query: CQ, database: Database
+    ) -> List[Set[Element]]:
+        """Per-free-variable candidate sets from the database's index.
+
+        Raises :class:`~repro.exceptions.QueryError` for a free variable
+        that appears in no atom: it has no positional constraint at all, so
+        no candidate set is sound, and the historical behavior (an empty set,
+        silently dropping the variable from all results) hid the malformed
+        query.  :class:`~repro.cq.query.CQ` rejects detached free variables
+        at construction, so this only triggers on hand-rolled query objects.
+        """
+        positions = database.index.positions
+        candidate_sets: List[Set[Element]] = []
+        for variable in query.free_variables:
+            candidates: Optional[Set[Element]] = None
+            for atom in query.atoms:
+                for index, argument in enumerate(atom.arguments):
+                    if argument != variable:
+                        continue
+                    allowed = positions.get((atom.relation, index), frozenset())
+                    candidates = (
+                        set(allowed)
+                        if candidates is None
+                        else candidates & allowed
+                    )
+            if candidates is None:
+                raise QueryError(
+                    f"free variable {variable} does not occur in any atom"
+                )
+            candidate_sets.append(candidates)
+        return candidate_sets
+
+    def evaluate(
+        self, query: CQ, database: Database
+    ) -> FrozenSet[Tuple[Element, ...]]:
+        """``q(D)`` as a set of tuples, memoized per ``(query, database)``.
+
+        One memoized pointed check per candidate assignment of the free
+        variables; candidates are pre-filtered through the database index.
+        """
+        key = (query, database)
+        cached = self._answer_cache.lookup(key)
+        if cached is not _LRUCache._MISSING:
+            return cached
+
+        candidate_sets = self._free_variable_candidates(query, database)
+        if any(not candidates for candidates in candidate_sets):
+            result: FrozenSet[Tuple[Element, ...]] = frozenset()
+            self._answer_cache.store(key, result)
+            return result
+
+        canonical = query.canonical_database
+        free = query.free_variables
+        ordered = [sorted(candidates, key=repr) for candidates in candidate_sets]
+        results: Set[Tuple[Element, ...]] = set()
+        for values in itertools.product(*ordered):
+            if self.has_homomorphism(
+                canonical, database, dict(zip(free, values))
+            ):
+                results.add(values)
+        result = frozenset(results)
+        self._answer_cache.store(key, result)
+        return result
+
+    def evaluate_unary(
+        self, query: CQ, database: Database
+    ) -> FrozenSet[Element]:
+        """``q(D)`` for a unary query, as a set of elements."""
+        if not query.is_unary:
+            raise QueryError("evaluate_unary requires a unary CQ")
+        return frozenset(row[0] for row in self.evaluate(query, database))
+
+    def selects(self, query: CQ, database: Database, element: Element) -> bool:
+        """Whether ``element ∈ q(D)``, by one memoized pointed check."""
+        if not query.is_unary:
+            raise QueryError("selects requires a unary CQ")
+        return self.has_homomorphism(
+            query.canonical_database,
+            database,
+            {query.free_variable: element},
+        )
+
+    def indicator(
+        self, query: CQ, database: Database, element: Element
+    ) -> int:
+        """The paper's ``1_{q(D)}(e)``: +1 if selected, -1 otherwise."""
+        return 1 if self.selects(query, database, element) else -1
+
+    def indicator_vector(
+        self, queries: Iterable[CQ], database: Database, element: Element
+    ) -> Tuple[int, ...]:
+        """``Π^D(e)`` for one element via memoized pointed checks."""
+        return tuple(
+            self.indicator(query, database, element) for query in queries
+        )
+
+    # ------------------------------------------------------------------
+    # Batch entry points
+    # ------------------------------------------------------------------
+
+    def indicator_matrix(
+        self,
+        queries: Sequence[CQ],
+        database: Database,
+        elements: Sequence[Element],
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Rows ``Π^D(e)`` for each element, amortizing across elements.
+
+        Each query is evaluated once over the database (memoized), and all
+        element rows are read off the answer sets — ``len(queries)`` query
+        evaluations instead of ``len(queries) × len(elements)`` independent
+        ``selects`` candidate derivations.
+        """
+        answers = [self.evaluate_unary(query, database) for query in queries]
+        return tuple(
+            tuple(1 if element in answer else -1 for answer in answers)
+            for element in elements
+        )
+
+    def evaluate_statistic(
+        self,
+        statistic: Iterable[CQ],
+        database: Database,
+        entities: Optional[Sequence[Element]] = None,
+    ) -> Dict[Element, Tuple[int, ...]]:
+        """``Π^D`` over all (or the given) entities, evaluated batch-wise.
+
+        Accepts a :class:`~repro.core.statistic.Statistic` or any iterable
+        of unary feature queries.
+        """
+        queries = list(statistic)
+        if entities is None:
+            entities = sorted(database.entities(), key=repr)
+        rows = self.indicator_matrix(queries, database, entities)
+        return dict(zip(entities, rows))
+
+    # ------------------------------------------------------------------
+    # Cover games (Section 5; used by Algorithm 1 and GHW-QBE)
+    # ------------------------------------------------------------------
+
+    def cover_game(
+        self,
+        source: Database,
+        source_tuple: Sequence[Element],
+        target: Database,
+        target_tuple: Sequence[Element],
+        k: int,
+    ) -> bool:
+        """Memoized ``(D, ā) →_k (D', b̄)`` (existential k-cover game)."""
+        key = (source, tuple(source_tuple), target, tuple(target_tuple), k)
+        cached = self._game_cache.lookup(key)
+        if cached is not _LRUCache._MISSING:
+            return cached
+        # Local import: repro.covergame imports repro.cq at module load.
+        from repro.covergame.game import cover_game_holds
+
+        self.counters.cover_games += 1
+        result = cover_game_holds(source, source_tuple, target, target_tuple, k)
+        self._game_cache.store(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Cache management and instrumentation
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        """Aggregated statistics over all internal caches."""
+        infos = [
+            self._hom_cache.info(),
+            self._answer_cache.info(),
+            self._game_cache.info(),
+        ]
+        return CacheInfo(
+            hits=sum(info.hits for info in infos),
+            misses=sum(info.misses for info in infos),
+            maxsize=sum(info.maxsize for info in infos),
+            currsize=sum(info.currsize for info in infos),
+        )
+
+    def cache_details(self) -> Dict[str, CacheInfo]:
+        """Per-cache statistics keyed by cache name."""
+        return {
+            "hom": self._hom_cache.info(),
+            "answers": self._answer_cache.info(),
+            "games": self._game_cache.info(),
+        }
+
+    def clear(self) -> None:
+        """Drop all cached results (and their hit/miss tallies)."""
+        self._hom_cache.clear()
+        self._answer_cache.clear()
+        self._game_cache.clear()
+
+    def work_snapshot(self) -> Dict[str, int]:
+        """Cumulative work counters, for delta-based benchmark reporting."""
+        info = self.cache_info()
+        return {
+            "hom_checks": self.counters.hom_checks,
+            "backtrack_nodes": self.counters.backtrack_nodes,
+            "cover_games": self.counters.cover_games,
+            "cache_hits": info.hits,
+            "cache_misses": info.misses,
+        }
+
+
+_default_engine = EvaluationEngine()
+
+
+def default_engine() -> EvaluationEngine:
+    """The process-wide engine behind the module-level wrapper functions."""
+    return _default_engine
+
+
+def set_default_engine(engine: EvaluationEngine) -> EvaluationEngine:
+    """Swap the process-wide engine; returns the previous one."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous

@@ -3,16 +3,22 @@
 ``q(D)`` is the set of tuples ``ā`` with ``(D_q, x̄) → (D, ā)``.  For unary
 queries the result is exposed as a set of elements, and the *indicator
 function* ``1_{q(D)} : η(D) → {1, -1}`` of the paper is provided directly.
+
+These module-level functions are thin compatible wrappers over the
+process-wide :class:`~repro.cq.engine.EvaluationEngine`, which attaches a
+lazily-built index to each database and memoizes pointed homomorphism
+checks; pass ``engine=`` to use a private engine (e.g. with its own cache
+bounds).  The uncached reference implementations live in
+:mod:`repro.cq.naive`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, FrozenSet, Iterable, Optional, Tuple
 
-from repro.cq.homomorphism import has_homomorphism
+from repro.cq.engine import EvaluationEngine, default_engine
 from repro.cq.query import CQ
 from repro.data.database import Database
-from repro.exceptions import QueryError
 
 __all__ = [
     "evaluate",
@@ -25,91 +31,57 @@ __all__ = [
 Element = Any
 
 
-def _free_variable_candidates(
-    query: CQ, database: Database
-) -> List[Set[Element]]:
-    """Cheap per-free-variable candidate sets from positional occurrence."""
-    positions: Dict[Tuple[str, int], Set[Element]] = {}
-    for fact in database.facts:
-        for index, element in enumerate(fact.arguments):
-            positions.setdefault((fact.relation, index), set()).add(element)
-
-    candidate_sets: List[Set[Element]] = []
-    for variable in query.free_variables:
-        candidates: Optional[Set[Element]] = None
-        for atom in query.atoms:
-            for index, argument in enumerate(atom.arguments):
-                if argument != variable:
-                    continue
-                allowed = positions.get((atom.relation, index), set())
-                candidates = (
-                    set(allowed)
-                    if candidates is None
-                    else candidates & allowed
-                )
-        candidate_sets.append(candidates if candidates is not None else set())
-    return candidate_sets
-
-
-def evaluate(query: CQ, database: Database) -> FrozenSet[Tuple[Element, ...]]:
+def evaluate(
+    query: CQ,
+    database: Database,
+    engine: Optional[EvaluationEngine] = None,
+) -> FrozenSet[Tuple[Element, ...]]:
     """``q(D)`` as a set of tuples over ``dom(D)``.
 
-    Implemented as one pointed homomorphism check per candidate assignment of
-    the free variables; candidates are pre-filtered by positional occurrence,
-    so unary feature queries only ever test entities.
+    Implemented as one memoized pointed homomorphism check per candidate
+    assignment of the free variables; candidates are pre-filtered by the
+    database's positional-occurrence index, so unary feature queries only
+    ever test entities.
     """
-    candidate_sets = _free_variable_candidates(query, database)
-    if any(not candidates for candidates in candidate_sets):
-        return frozenset()
-
-    canonical = query.canonical_database
-    free = query.free_variables
-    results: Set[Tuple[Element, ...]] = set()
-
-    def assign(index: int, fixed: Dict[Any, Element]) -> None:
-        if index == len(free):
-            if has_homomorphism(canonical, database, fixed):
-                results.add(tuple(fixed[v] for v in free))
-            return
-        variable = free[index]
-        for value in sorted(candidate_sets[index], key=repr):
-            previous = fixed.get(variable)
-            if previous is not None and previous != value:
-                continue
-            fixed[variable] = value
-            assign(index + 1, fixed)
-            if previous is None:
-                del fixed[variable]
-
-    assign(0, {})
-    return frozenset(results)
+    return (engine or default_engine()).evaluate(query, database)
 
 
-def evaluate_unary(query: CQ, database: Database) -> FrozenSet[Element]:
+def evaluate_unary(
+    query: CQ,
+    database: Database,
+    engine: Optional[EvaluationEngine] = None,
+) -> FrozenSet[Element]:
     """``q(D)`` for a unary query, as a set of elements (paper convention)."""
-    if not query.is_unary:
-        raise QueryError("evaluate_unary requires a unary CQ")
-    return frozenset(row[0] for row in evaluate(query, database))
+    return (engine or default_engine()).evaluate_unary(query, database)
 
 
-def selects(query: CQ, database: Database, element: Element) -> bool:
+def selects(
+    query: CQ,
+    database: Database,
+    element: Element,
+    engine: Optional[EvaluationEngine] = None,
+) -> bool:
     """Whether ``element ∈ q(D)`` for a unary query (single pointed check)."""
-    if not query.is_unary:
-        raise QueryError("selects requires a unary CQ")
-    return has_homomorphism(
-        query.canonical_database,
-        database,
-        {query.free_variable: element},
-    )
+    return (engine or default_engine()).selects(query, database, element)
 
 
-def indicator(query: CQ, database: Database, element: Element) -> int:
+def indicator(
+    query: CQ,
+    database: Database,
+    element: Element,
+    engine: Optional[EvaluationEngine] = None,
+) -> int:
     """The paper's ``1_{q(D)}(e)``: +1 if selected, -1 otherwise."""
-    return 1 if selects(query, database, element) else -1
+    return (engine or default_engine()).indicator(query, database, element)
 
 
 def indicator_vector(
-    queries: Iterable[CQ], database: Database, element: Element
+    queries: Iterable[CQ],
+    database: Database,
+    element: Element,
+    engine: Optional[EvaluationEngine] = None,
 ) -> Tuple[int, ...]:
     """``Π^D(e)`` for the statistic given as an iterable of feature queries."""
-    return tuple(indicator(query, database, element) for query in queries)
+    return (engine or default_engine()).indicator_vector(
+        queries, database, element
+    )

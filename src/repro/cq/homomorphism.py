@@ -9,6 +9,12 @@ database: facts are ordered to maximize connectivity with already-assigned
 elements, and positional-occurrence candidate sets provide a cheap
 arc-consistency-style prefilter.  Deciding existence is NP-complete in
 general; the instances in this library are small by design.
+
+The prefilter reads the target's lazily-built
+:class:`~repro.data.database.DatabaseIndex`, so repeated checks against the
+same database never rebuild its occurrence table; pass a
+:class:`SearchCounters` to tally the work actually done.  Memoization of
+whole check results lives one level up, in :mod:`repro.cq.engine`.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.data.database import Database, Fact
 from repro.exceptions import DatabaseError
 
 __all__ = [
+    "SearchCounters",
     "find_homomorphism",
     "has_homomorphism",
     "all_homomorphisms",
@@ -42,6 +49,32 @@ Element = Any
 Assignment = Dict[Element, Element]
 
 
+class SearchCounters:
+    """Mutable tally of homomorphism-search work.
+
+    ``hom_checks`` counts top-level searches started; ``backtrack_nodes``
+    counts candidate target facts tried (search-tree nodes expanded).  Both
+    the instrumented path here and the frozen naive path in
+    :mod:`repro.cq.naive` accept one, so benchmarks can compare work done,
+    not just wall-clock.
+    """
+
+    __slots__ = ("hom_checks", "backtrack_nodes")
+
+    def __init__(self) -> None:
+        self.hom_checks = 0
+        self.backtrack_nodes = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.hom_checks, self.backtrack_nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchCounters(hom_checks={self.hom_checks}, "
+            f"backtrack_nodes={self.backtrack_nodes})"
+        )
+
+
 def _positional_candidates(
     source: Database, target: Database
 ) -> Optional[Dict[Element, Set[Element]]]:
@@ -50,14 +83,10 @@ def _positional_candidates(
     If a source element occurs at position ``i`` of relation ``R``, its image
     must occur at position ``i`` of some ``R``-fact of the target.  Returns
     ``None`` if some source element has no candidate at all (no homomorphism
-    exists).
+    exists).  The target side reads the database's cached index instead of
+    rescanning its facts.
     """
-    target_positions: Dict[Tuple[str, int], Set[Element]] = {}
-    for fact in target.facts:
-        for index, element in enumerate(fact.arguments):
-            target_positions.setdefault((fact.relation, index), set()).add(
-                element
-            )
+    target_positions = target.index.positions
 
     candidates: Dict[Element, Set[Element]] = {}
     for fact in source.facts:
@@ -103,12 +132,15 @@ def all_homomorphisms(
     source: Database,
     target: Database,
     fixed: Optional[Mapping[Element, Element]] = None,
+    counters: Optional[SearchCounters] = None,
 ) -> Iterator[Assignment]:
     """Yield every homomorphism from ``source`` to ``target`` extending ``fixed``.
 
     The yielded dictionaries are fresh copies covering all of ``dom(source)``
     plus any extra keys provided in ``fixed``.
     """
+    if counters is not None:
+        counters.hom_checks += 1
     assignment: Assignment = dict(fixed) if fixed else {}
 
     candidates = _positional_candidates(source, target)
@@ -146,6 +178,8 @@ def all_homomorphisms(
         while index < len(options):
             target_fact = options[index]
             index += 1
+            if counters is not None:
+                counters.backtrack_nodes += 1
             newly_bound: List[Element] = []
             consistent = True
             for element, image in zip(fact.arguments, target_fact.arguments):
@@ -180,9 +214,10 @@ def find_homomorphism(
     source: Database,
     target: Database,
     fixed: Optional[Mapping[Element, Element]] = None,
+    counters: Optional[SearchCounters] = None,
 ) -> Optional[Assignment]:
     """The first homomorphism found, or ``None`` if none exists."""
-    for assignment in all_homomorphisms(source, target, fixed):
+    for assignment in all_homomorphisms(source, target, fixed, counters):
         return assignment
     return None
 
@@ -191,9 +226,14 @@ def has_homomorphism(
     source: Database,
     target: Database,
     fixed: Optional[Mapping[Element, Element]] = None,
+    counters: Optional[SearchCounters] = None,
 ) -> bool:
-    """Whether ``source → target`` (extending ``fixed`` if given)."""
-    return find_homomorphism(source, target, fixed) is not None
+    """Whether ``source → target`` (extending ``fixed`` if given).
+
+    This is the direct, non-memoized decision; for cached repeated checks
+    go through :class:`repro.cq.engine.EvaluationEngine`.
+    """
+    return find_homomorphism(source, target, fixed, counters) is not None
 
 
 def pointed_has_homomorphism(

@@ -1,6 +1,6 @@
 """Relational data layer: schemas, databases, labelings, products, I/O."""
 
-from repro.data.database import Database, DatabaseBuilder, Fact
+from repro.data.database import Database, DatabaseBuilder, DatabaseIndex, Fact
 from repro.data.labeling import (
     NEGATIVE,
     POSITIVE,
@@ -24,6 +24,7 @@ from repro.data.schema import (
 __all__ = [
     "Database",
     "DatabaseBuilder",
+    "DatabaseIndex",
     "Fact",
     "Labeling",
     "TrainingDatabase",

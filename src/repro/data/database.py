@@ -29,7 +29,7 @@ from typing import (
 from repro.data.schema import ENTITY_SYMBOL, EntitySchema, RelationSymbol, Schema
 from repro.exceptions import DatabaseError, SchemaError
 
-__all__ = ["Fact", "Database", "DatabaseBuilder"]
+__all__ = ["Fact", "Database", "DatabaseIndex", "DatabaseBuilder"]
 
 Element = Any
 
@@ -68,6 +68,41 @@ class Fact:
         return f"{self.relation}({inner})"
 
 
+class DatabaseIndex:
+    """Immutable positional-occurrence index of a :class:`Database`.
+
+    Built lazily, once per database instance, and shared by every
+    homomorphism check against that database (see
+    :mod:`repro.cq.homomorphism` and :mod:`repro.cq.engine`):
+
+    - ``positions`` maps ``(relation, position)`` to the frozenset of
+      elements occurring at that argument position of some fact;
+    - ``facts_by_relation`` maps each relation name to its fact tuple
+      (the database's own per-relation index, re-exposed here so engine
+      code needs only the index object).
+    """
+
+    __slots__ = ("positions", "facts_by_relation")
+
+    def __init__(self, database: "Database") -> None:
+        occurrence: Dict[Tuple[str, int], set] = {}
+        for fact in database.facts:
+            for position, element in enumerate(fact.arguments):
+                occurrence.setdefault((fact.relation, position), set()).add(
+                    element
+                )
+        self.positions: Mapping[Tuple[str, int], FrozenSet[Element]] = {
+            key: frozenset(elements) for key, elements in occurrence.items()
+        }
+        self.facts_by_relation: Mapping[str, Tuple[Fact, ...]] = {
+            name: database.facts_of(name) for name in database.relation_names
+        }
+
+    def occurrences(self, relation: str, position: int) -> FrozenSet[Element]:
+        """Elements occurring at ``position`` of ``relation`` (possibly empty)."""
+        return self.positions.get((relation, position), frozenset())
+
+
 class Database:
     """An immutable finite set of facts with per-relation indexes.
 
@@ -82,7 +117,14 @@ class Database:
         entity-aware (see :meth:`entities`).
     """
 
-    __slots__ = ("_facts", "_schema", "_by_relation", "_domain", "_hash")
+    __slots__ = (
+        "_facts",
+        "_schema",
+        "_by_relation",
+        "_domain",
+        "_hash",
+        "_index",
+    )
 
     def __init__(
         self,
@@ -121,6 +163,7 @@ class Database:
         }
         self._domain = domain
         self._hash: Optional[int] = None
+        self._index: Optional[DatabaseIndex] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -180,6 +223,18 @@ class Database:
     def facts_of(self, relation: str) -> Tuple[Fact, ...]:
         """All facts over the given relation (empty tuple if none)."""
         return self._by_relation.get(relation, ())
+
+    @property
+    def index(self) -> DatabaseIndex:
+        """The positional-occurrence index, built on first access.
+
+        The database is immutable, so the index never invalidates; derived
+        databases (:meth:`union`, :meth:`restrict_to_relations`, ...) are new
+        objects and build their own.
+        """
+        if self._index is None:
+            self._index = DatabaseIndex(self)
+        return self._index
 
     def tuples_of(self, relation: str) -> Tuple[Tuple[Element, ...], ...]:
         """Argument tuples of all facts over ``relation``."""

@@ -1,0 +1,169 @@
+"""Cache correctness for the EvaluationEngine.
+
+Covers: hit/miss accounting of ``cache_info()``, freshness across new
+``Database`` objects, hash-collision non-aliasing, bounded LRU eviction,
+and ``clear()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.engine import (
+    EvaluationEngine,
+    default_engine,
+    set_default_engine,
+)
+from repro.cq.parser import parse_cq
+from repro.data import Database
+
+
+@pytest.fixture
+def query():
+    return parse_cq("q(x) :- eta(x), E(x, y)")
+
+
+@pytest.fixture
+def database():
+    return Database.from_tuples(
+        {"E": [("a", "b"), ("b", "c")], "eta": [("a",), ("c",)]}
+    )
+
+
+class TestCacheInfoAccounting:
+    def test_fresh_engine_is_empty(self):
+        engine = EvaluationEngine()
+        info = engine.cache_info()
+        assert info.hits == 0
+        assert info.misses == 0
+        assert info.currsize == 0
+
+    def test_hits_and_misses_are_counted(self, query, database):
+        engine = EvaluationEngine()
+        first = engine.evaluate_unary(query, database)
+        after_miss = engine.cache_info()
+        assert after_miss.misses > 0
+        assert after_miss.hits == 0
+        assert after_miss.currsize > 0
+
+        second = engine.evaluate_unary(query, database)
+        after_hit = engine.cache_info()
+        assert second == first == {"a"}
+        assert after_hit.hits == after_miss.hits + 1
+        # The replay touched only the answer cache, not the hom cache.
+        assert after_hit.misses == after_miss.misses
+
+    def test_cache_details_names_all_caches(self):
+        details = EvaluationEngine().cache_details()
+        assert set(details) == {"hom", "answers", "games"}
+
+    def test_work_snapshot_keys(self, query, database):
+        engine = EvaluationEngine()
+        engine.evaluate_unary(query, database)
+        snapshot = engine.work_snapshot()
+        assert snapshot["hom_checks"] > 0
+        assert snapshot["backtrack_nodes"] > 0
+        assert snapshot["cache_misses"] > 0
+
+
+class TestFreshness:
+    def test_new_database_never_serves_stale_entries(self, query, database):
+        engine = EvaluationEngine()
+        assert engine.evaluate_unary(query, database) == {"a"}
+
+        # A *new* database grown from the old one is a distinct cache key.
+        grown = database.builder().add("E", "c", "a").build()
+        assert engine.evaluate_unary(query, grown) == {"a", "c"}
+        # The original database still answers from its own entry.
+        assert engine.evaluate_unary(query, database) == {"a"}
+
+    def test_equal_databases_share_entries_soundly(self, query, database):
+        engine = EvaluationEngine()
+        first = engine.evaluate_unary(query, database)
+        clone = Database(database.facts)
+        hits_before = engine.cache_info().hits
+        assert engine.evaluate_unary(query, clone) == first
+        # Value-equal databases may share the entry — that is sound, the
+        # answer depends only on the fact set.
+        assert engine.cache_info().hits == hits_before + 1
+
+    def test_hash_collisions_do_not_alias(self, query):
+        engine = EvaluationEngine()
+        db1 = Database.from_tuples(
+            {"E": [("a", "b")], "eta": [("a",)]}
+        )
+        db2 = Database.from_tuples(
+            {"E": [("b", "a")], "eta": [("a",)]}
+        )
+        # Force a hash collision between the two (the lazy-hash slot is
+        # written before either object's first __hash__ call).
+        db1._hash = 12345
+        db2._hash = 12345
+        assert hash(db1) == hash(db2)
+        assert engine.evaluate_unary(query, db1) == {"a"}
+        assert engine.evaluate_unary(query, db2) == frozenset()
+        # Replays stay distinct too.
+        assert engine.evaluate_unary(query, db1) == {"a"}
+        assert engine.evaluate_unary(query, db2) == frozenset()
+
+
+class TestBoundedLru:
+    def test_eviction_respects_maxsize(self, query):
+        engine = EvaluationEngine(cache_size=4)
+        databases = [
+            Database.from_tuples(
+                {"E": [("a", f"b{i}")], "eta": [("a",)]}
+            )
+            for i in range(10)
+        ]
+        for db in databases:
+            engine.evaluate_unary(query, db)
+        for name, info in engine.cache_details().items():
+            assert info.currsize <= 4, name
+
+    def test_evicted_entries_recompute_correctly(self, query):
+        engine = EvaluationEngine(cache_size=1)
+        db1 = Database.from_tuples({"E": [("a", "b")], "eta": [("a",)]})
+        db2 = Database.from_tuples({"E": [("b", "a")], "eta": [("a",)]})
+        assert engine.evaluate_unary(query, db1) == {"a"}
+        assert engine.evaluate_unary(query, db2) == frozenset()
+        # db1's entry was evicted; recomputation gives the same answer.
+        assert engine.evaluate_unary(query, db1) == {"a"}
+
+    def test_rejects_nonpositive_cache_size(self):
+        with pytest.raises(ValueError):
+            EvaluationEngine(cache_size=0)
+
+
+class TestClear:
+    def test_clear_drops_entries_and_tallies(self, query, database):
+        engine = EvaluationEngine()
+        engine.evaluate_unary(query, database)
+        engine.evaluate_unary(query, database)
+        assert engine.cache_info().currsize > 0
+        engine.clear()
+        info = engine.cache_info()
+        assert info.currsize == 0
+        assert info.hits == 0
+        assert info.misses == 0
+        # Results after clear are recomputed, not stale.
+        assert engine.evaluate_unary(query, database) == {"a"}
+
+    def test_counters_reset(self, query, database):
+        engine = EvaluationEngine()
+        engine.evaluate_unary(query, database)
+        assert engine.counters.hom_checks > 0
+        engine.counters.reset()
+        assert engine.counters.hom_checks == 0
+        assert engine.counters.backtrack_nodes == 0
+
+
+class TestDefaultEngineSwap:
+    def test_set_default_engine_roundtrip(self):
+        replacement = EvaluationEngine(cache_size=8)
+        previous = set_default_engine(replacement)
+        try:
+            assert default_engine() is replacement
+        finally:
+            set_default_engine(previous)
+        assert default_engine() is previous

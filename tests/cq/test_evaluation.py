@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cq.engine import EvaluationEngine
 from repro.cq.evaluation import (
     evaluate,
     evaluate_unary,
@@ -11,7 +12,9 @@ from repro.cq.evaluation import (
     indicator_vector,
     selects,
 )
+from repro.cq.naive import naive_evaluate
 from repro.cq.parser import parse_cq
+from repro.cq.terms import Atom, Variable
 from repro.data import Database
 from repro.exceptions import QueryError
 
@@ -52,6 +55,49 @@ class TestEvaluate:
         q = parse_cq("q(x, y) :- E(x, y)")
         with pytest.raises(QueryError):
             evaluate_unary(q, path_database)
+
+
+class _DetachedFreeVariableQuery:
+    """A CQ-like stub whose free variable occurs in no atom.
+
+    :class:`~repro.cq.query.CQ` rejects this shape at construction, so the
+    evaluation layer's defensive check can only be exercised with a
+    hand-rolled stand-in.
+    """
+
+    atoms = (Atom("E", (Variable("y"), Variable("z"))),)
+    free_variables = (Variable("x"),)
+    is_unary = True
+    free_variable = Variable("x")
+
+    @property
+    def canonical_database(self):
+        return Database.from_tuples({"E": [("y", "z")]})
+
+    def __hash__(self):
+        return id(self)
+
+
+class TestDetachedFreeVariableRegression:
+    """A free variable in no atom must raise, not silently select nothing.
+
+    Historically ``_free_variable_candidates`` gave such a variable an empty
+    candidate set, so the whole query silently evaluated to ∅ instead of
+    surfacing the malformed query.
+    """
+
+    def test_cq_constructor_rejects_detached_free_variable(self):
+        with pytest.raises(QueryError):
+            parse_cq("q(x) :- E(y, z)")
+
+    def test_engine_raises_on_detached_free_variable(self, path_database):
+        engine = EvaluationEngine()
+        with pytest.raises(QueryError, match="does not occur in any atom"):
+            engine.evaluate(_DetachedFreeVariableQuery(), path_database)
+
+    def test_naive_path_raises_identically(self, path_database):
+        with pytest.raises(QueryError, match="does not occur in any atom"):
+            naive_evaluate(_DetachedFreeVariableQuery(), path_database)
 
 
 class TestSelects:

@@ -12,8 +12,11 @@ __all__ = [
     "elements",
     "edge_databases",
     "entity_databases",
+    "mixed_databases",
     "training_databases",
     "unary_feature_queries",
+    "general_queries",
+    "hom_check_instances",
     "pm_one_vectors",
 ]
 
@@ -53,6 +56,29 @@ def entity_databases(draw, max_facts: int = 6):
 
 
 @st.composite
+def mixed_databases(draw, max_facts: int = 7):
+    """Databases over the mixed schema {E/2, R/1, eta/1}."""
+    facts = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("E"), elements, elements).map(
+                    lambda t: Fact(t[0], (t[1], t[2]))
+                ),
+                st.tuples(st.just("R"), elements).map(
+                    lambda t: Fact(t[0], (t[1],))
+                ),
+                st.tuples(st.just("eta"), elements).map(
+                    lambda t: Fact(t[0], (t[1],))
+                ),
+            ),
+            min_size=1,
+            max_size=max_facts,
+        )
+    )
+    return Database(facts)
+
+
+@st.composite
 def training_databases(draw, max_facts: int = 6):
     database = draw(entity_databases(max_facts=max_facts))
     labels = {
@@ -75,6 +101,63 @@ def unary_feature_queries(draw, max_atoms: int = 3):
         right = draw(st.sampled_from(variables))
         atoms.append(Atom("E", (left, right)))
     return CQ.feature(atoms, Variable("x"))
+
+
+@st.composite
+def general_queries(draw, max_atoms: int = 3, max_free: int = 2):
+    """General CQs over {E/2, R/1} with one or two free variables.
+
+    Every free variable is forced into some atom (the CQ well-formedness
+    invariant), so these exercise the full multi-free-variable evaluation
+    path rather than only unary feature queries.
+    """
+    n_free = draw(st.integers(min_value=1, max_value=max_free))
+    free = [Variable(f"x{i}") for i in range(n_free)]
+    bound = [Variable(f"y{i}") for i in range(max_atoms)]
+    variables = free + bound
+    atoms = []
+    for variable in free:
+        other = draw(st.sampled_from(variables))
+        if draw(st.booleans()):
+            atoms.append(Atom("E", (variable, other)))
+        else:
+            atoms.append(Atom("R", (variable,)))
+    extra = draw(st.integers(min_value=0, max_value=max_atoms - 1))
+    for _ in range(extra):
+        relation = draw(st.sampled_from(("E", "R")))
+        if relation == "E":
+            left = draw(st.sampled_from(variables))
+            right = draw(st.sampled_from(variables))
+            atoms.append(Atom("E", (left, right)))
+        else:
+            atoms.append(Atom("R", (draw(st.sampled_from(variables)),)))
+    return CQ(atoms, tuple(free))
+
+
+@st.composite
+def hom_check_instances(draw, max_facts: int = 6, max_fixed: int = 2):
+    """A (source, target, fixed) triple for pointed hom-check testing.
+
+    ``fixed`` is a (possibly empty) partial map from dom(source) into
+    dom(target).
+    """
+    source = draw(mixed_databases(max_facts=max_facts))
+    target = draw(mixed_databases(max_facts=max_facts))
+    source_domain = sorted(source.domain)
+    target_domain = sorted(target.domain)
+    fixed = {}
+    if source_domain and target_domain:
+        keys = draw(
+            st.lists(
+                st.sampled_from(source_domain),
+                max_size=max_fixed,
+                unique=True,
+            )
+        )
+        fixed = {
+            key: draw(st.sampled_from(target_domain)) for key in keys
+        }
+    return source, target, fixed
 
 
 @st.composite
