@@ -1,0 +1,120 @@
+"""Ablation A7 — parallel scaling of sharded statistic evaluation.
+
+The runtime subsystem (:mod:`repro.runtime`) shards the per-query work of
+``indicator_matrix`` across worker processes, each holding its own
+:class:`~repro.cq.engine.EvaluationEngine`.  This bench materializes CQ[2]
+feature-pool statistics over the retail and molecules workloads serially
+and with 2 and 4 workers, asserting the parallel matrices are
+**bit-identical** to the serial ones and reporting the wall-clock speedup
+per worker count.
+
+Speedup assertions are gated on ``os.cpu_count()``: a worker pool cannot
+beat serial on fewer cores than workers (it only adds dispatch overhead),
+so on starved machines the bench still checks correctness and records the
+measured — honest — numbers, but skips the speedup floor.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.separability import feature_pool
+from repro.cq.engine import EvaluationEngine
+from repro.runtime import ParallelExecutor
+from repro.workloads.molecules import molecule_database
+from repro.workloads.retail import retail_database
+
+from harness import report, timed
+
+#: Worker counts to scale across (serial is the implicit baseline).
+WORKER_COUNTS = (2, 4)
+
+#: Speedup floors, asserted only when the machine has at least as many
+#: cores as workers.  The 4-worker floor is the subsystem's acceptance
+#: criterion; the 2-worker floor allows for dispatch overhead.
+SPEEDUP_FLOORS = {2: 1.3, 4: 2.0}
+
+
+def _workloads():
+    retail = retail_database(n_customers=80, seed=7)
+    molecules_small = molecule_database(n_molecules=40, seed=7)
+    molecules_large = molecule_database(n_molecules=64, seed=7)
+    return (
+        ("retail-80", retail, feature_pool(retail, 2)),
+        ("molecules-40", molecules_small, feature_pool(molecules_small, 2)),
+        ("molecules-64", molecules_large, feature_pool(molecules_large, 2)),
+    )
+
+
+def test_parallel_scaling(benchmark):
+    cores = os.cpu_count() or 1
+
+    rows = []
+    for name, training, queries in _workloads():
+        assert len(queries) >= 8  # the statistic must be worth sharding
+        database = training.database
+        entities = sorted(database.entities(), key=repr)
+
+        serial_seconds, serial_matrix = timed(
+            lambda q=queries, d=database, e=entities: EvaluationEngine()
+            .indicator_matrix(q, d, e)
+        )
+        rows.append(
+            (
+                name,
+                len(queries),
+                "serial",
+                f"{serial_seconds * 1e3:.0f} ms",
+                "1.00x",
+            )
+        )
+
+        for workers in WORKER_COUNTS:
+            with ParallelExecutor(workers) as executor:
+                parallel_seconds, parallel_matrix = timed(
+                    lambda q=queries, d=database, e=entities, x=executor: (
+                        EvaluationEngine().indicator_matrix(
+                            q, d, e, executor=x
+                        )
+                    )
+                )
+                assert executor.fallback_reason is None
+
+            # Correctness is unconditional: bit-identical to serial.
+            assert parallel_matrix == serial_matrix
+
+            speedup = serial_seconds / parallel_seconds
+            rows.append(
+                (
+                    name,
+                    len(queries),
+                    f"{workers} workers",
+                    f"{parallel_seconds * 1e3:.0f} ms",
+                    f"{speedup:.2f}x",
+                )
+            )
+            if cores >= workers:
+                assert speedup >= SPEEDUP_FLOORS[workers], (
+                    f"{workers} workers on {cores} cores: expected "
+                    f">= {SPEEDUP_FLOORS[workers]}x, got {speedup:.2f}x"
+                )
+
+    rows.append(("-", "-", f"cores={cores}", "-", "-"))
+    report(
+        "A7_parallel_scaling",
+        ("workload", "features", "mode", "wall-clock", "speedup"),
+        rows,
+    )
+
+    # Steady-state timing: serial evaluation on a warm engine, the
+    # baseline the parallel path is measured against.
+    training = retail_database(n_customers=20, seed=7)
+    queries = feature_pool(training, 2)
+    entities = sorted(training.database.entities(), key=repr)
+    warm = EvaluationEngine()
+    warm.indicator_matrix(queries, training.database, entities)
+    benchmark(
+        lambda: warm.indicator_matrix(
+            queries, training.database, entities
+        )
+    )

@@ -1,4 +1,4 @@
-"""Make the benchmarks directory importable as plain modules."""
+"""Make the benchmarks directory importable and add the ``--workers`` flag."""
 
 from __future__ import annotations
 
@@ -6,3 +6,22 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=None,
+        help="worker processes for sharded benches "
+        "(exported as REPRO_BENCH_WORKERS; default: serial)",
+    )
+
+
+def pytest_configure(config):
+    workers = config.getoption("--workers", default=None)
+    if workers is not None:
+        from harness import WORKERS_ENV
+
+        os.environ[WORKERS_ENV] = str(workers)

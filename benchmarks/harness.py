@@ -19,13 +19,39 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Environment knob behind the benchmark suite's ``--workers`` flag
+#: (``pytest benchmarks/ --workers N`` sets it; see benchmarks/conftest.py).
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
 __all__ = [
     "report",
     "timed",
     "timed_with_counters",
+    "bench_workers",
+    "bench_executor",
     "growth_exponent",
     "RESULTS_DIR",
+    "WORKERS_ENV",
 ]
+
+
+def bench_workers(default: int = 1) -> int:
+    """The worker count benches should shard over (the ``--workers`` flag)."""
+    try:
+        return max(1, int(os.environ.get(WORKERS_ENV, default)))
+    except ValueError:
+        return max(1, default)
+
+
+def bench_executor(workers: int = None):
+    """A fresh :class:`repro.runtime.Executor` for ``workers`` processes.
+
+    ``None`` reads the suite-wide ``--workers`` flag.  Callers own the
+    executor and should ``close()`` it (or use it as a context manager).
+    """
+    from repro.runtime import make_executor
+
+    return make_executor(bench_workers() if workers is None else workers)
 
 
 def report(name: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:

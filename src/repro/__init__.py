@@ -11,6 +11,7 @@ full surface:
 - :mod:`repro.core` — the paper's separability / generation / classification algorithms.
 - :mod:`repro.fo` — first-order feature languages (Section 8).
 - :mod:`repro.workloads` — synthetic data generators and hard-instance families.
+- :mod:`repro.runtime` — sharded parallel execution across worker processes.
 """
 
 from repro.cq import CQ, Atom, Variable, parse_cq

@@ -68,6 +68,13 @@ def _add_language_options(parser: argparse.ArgumentParser) -> None:
         default=0.0,
         help="allowed misclassification fraction (Section 7)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded evaluation/generation "
+        "(default 1: fully serial)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,30 +166,33 @@ def _parse_elements(raw: str) -> List:
 
 def _run_separability(args: argparse.Namespace) -> int:
     training = _load_training(args.training)
-    session = FeatureEngineeringSession(
-        training, _language_from_args(args), args.epsilon
-    )
-    print(session.report())
-    return 0 if session.separable else 1
+    with FeatureEngineeringSession(
+        training, _language_from_args(args), args.epsilon,
+        workers=args.workers,
+    ) as session:
+        print(session.report())
+        return 0 if session.separable else 1
 
 
 def _run_classify(args: argparse.Namespace) -> int:
     training = _load_training(args.training)
     evaluation = _load_database(args.evaluation)
-    session = FeatureEngineeringSession(
-        training, _language_from_args(args), args.epsilon
-    )
-    labeling = session.classify(evaluation)
+    with FeatureEngineeringSession(
+        training, _language_from_args(args), args.epsilon,
+        workers=args.workers,
+    ) as session:
+        labeling = session.classify(evaluation)
     sys.stdout.write(labeling_to_text(labeling))
     return 0
 
 
 def _run_features(args: argparse.Namespace) -> int:
     training = _load_training(args.training)
-    session = FeatureEngineeringSession(
-        training, _language_from_args(args), args.epsilon
-    )
-    pair = session.materialize()
+    with FeatureEngineeringSession(
+        training, _language_from_args(args), args.epsilon,
+        workers=args.workers,
+    ) as session:
+        pair = session.materialize()
     print(f"# dimension {pair.statistic.dimension}, "
           f"threshold {pair.classifier.threshold:g}")
     for query, weight in zip(pair.statistic, pair.classifier.weights):

@@ -20,9 +20,12 @@ CQ-SEP.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.cq.homomorphism import pointed_has_homomorphism
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.executor import Executor
 from repro.cq.query import CQ
 from repro.cq.terms import Atom, Variable
 from repro.data.database import Database
@@ -65,20 +68,48 @@ def canonical_feature(database: Database, entity: Element) -> CQ:
 
 
 class _HomPreorder:
-    """``e ≼ e' iff (D, e) → (D, e')`` over the entities."""
+    """``e ≼ e' iff (D, e) → (D, e')`` over the entities.
 
-    def __init__(self, database: Database) -> None:
+    Building the preorder is quadratically many independent pointed hom
+    checks — the candidate-containment bag of the runtime subsystem; a
+    multi-worker executor shards the off-diagonal pairs across worker
+    processes (each check is a pure function of the pair, so the sharded
+    table is identical to the serial one).
+    """
+
+    def __init__(
+        self, database: Database, executor: Optional["Executor"] = None
+    ) -> None:
         self.elements: Tuple[Element, ...] = tuple(
             sorted(database.entities(), key=repr)
         )
         self._leq: Dict[Tuple[Element, Element], bool] = {}
-        for left in self.elements:
-            for right in self.elements:
-                self._leq[(left, right)] = left == right or (
-                    pointed_has_homomorphism(
-                        database, (left,), database, (right,)
-                    )
+        pairs = [
+            (left, right)
+            for left in self.elements
+            for right in self.elements
+            if left != right
+        ]
+        if executor is not None and executor.workers > 1 and len(pairs) > 1:
+            # Local import: repro.runtime imports repro.cq at load time.
+            from repro.runtime.tasks import pointed_hom_checks
+
+            answers = executor.run(
+                pointed_hom_checks,
+                pairs,
+                lambda chunk: (database, database, tuple(chunk)),
+            )
+        else:
+            answers = [
+                pointed_has_homomorphism(
+                    database, (left,), database, (right,)
                 )
+                for left, right in pairs
+            ]
+        for element in self.elements:
+            self._leq[(element, element)] = True
+        for (left, right), holds in zip(pairs, answers):
+            self._leq[(left, right)] = holds
 
     def leq(self, left: Element, right: Element) -> bool:
         return self._leq[(left, right)]
@@ -129,8 +160,12 @@ class CqClassifier:
     test per equivalence class.
     """
 
-    def __init__(self, training: TrainingDatabase) -> None:
-        preorder = _HomPreorder(training.database)
+    def __init__(
+        self,
+        training: TrainingDatabase,
+        executor: Optional["Executor"] = None,
+    ) -> None:
+        preorder = _HomPreorder(training.database, executor=executor)
         for i, left in enumerate(preorder.elements):
             for right in preorder.elements[i + 1:]:
                 if training.label(left) != training.label(
@@ -201,20 +236,24 @@ class CqClassifier:
 
 
 def cq_classify(
-    training: TrainingDatabase, evaluation: Database
+    training: TrainingDatabase,
+    evaluation: Database,
+    executor: Optional["Executor"] = None,
 ) -> Labeling:
     """CQ-CLS: label the evaluation database (requires CQ-separability)."""
-    return CqClassifier(training).classify(evaluation)
+    return CqClassifier(training, executor=executor).classify(evaluation)
 
 
-def generate_cq_statistic(training: TrainingDatabase) -> SeparatingPair:
+def generate_cq_statistic(
+    training: TrainingDatabase, executor: Optional["Executor"] = None
+) -> SeparatingPair:
     """An explicit CQ separating pair with ``|D|``-atom canonical features.
 
     Unlike the GHW(k) case (Theorem 5.7's blowup), plain-CQ feature
     generation is cheap: each feature is the training database itself,
     pointed at a class representative.
     """
-    device = CqClassifier(training)
+    device = CqClassifier(training, executor=executor)
     features = [
         canonical_feature(training.database, representative)
         for representative in device.representatives

@@ -14,9 +14,12 @@ blowup and the benchmarks measure it.
 
 from __future__ import annotations
 
-from typing import Any, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Tuple
 
 from repro.covergame.unravel import generate_equivalent_feature
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.executor import Executor
 from repro.data.database import Database
 from repro.data.labeling import TrainingDatabase
 from repro.exceptions import NotSeparableError
@@ -34,13 +37,17 @@ def generate_ghw_statistic(
     evaluation_databases: Sequence[Database] = (),
     max_depth: int = 12,
     max_nodes: int = 50_000,
+    executor: Optional["Executor"] = None,
 ) -> SeparatingPair:
     """A materialized separating pair of GHW(k) features (Prop 5.6).
 
     The statistic has one unraveling feature per equivalence class and the
     staircase classifier of Algorithm 1; the pair separates ``training`` and
     agrees with :class:`~repro.core.ghw_classify.GhwClassifier` on every
-    database listed in ``evaluation_databases``.
+    database listed in ``evaluation_databases``.  Each class's unraveling
+    is independent of the others, so a multi-worker executor shards the
+    representatives across worker processes (order-preserving; the
+    statistic is identical to the serial one).
 
     Raises :class:`~repro.exceptions.NotSeparableError` when the training
     database is not GHW(k)-separable, and
@@ -48,17 +55,40 @@ def generate_ghw_statistic(
     budget before stabilizing — the Theorem 5.7 blowup made tangible.
     """
     device = GhwClassifier(training, k)  # raises NotSeparableError if needed
-    features = []
-    for representative in device.representatives:
-        feature, _depth = generate_equivalent_feature(
-            training.database,
-            representative,
-            k,
-            evaluation_databases=evaluation_databases,
-            max_depth=max_depth,
-            max_nodes=max_nodes,
+    representatives = list(device.representatives)
+    if (
+        executor is not None
+        and executor.workers > 1
+        and len(representatives) > 1
+    ):
+        # Local import: repro.runtime imports repro.cq at load time.
+        from repro.runtime.tasks import unravel_features
+
+        generated = executor.run(
+            unravel_features,
+            representatives,
+            lambda chunk: (
+                training.database,
+                tuple(chunk),
+                k,
+                tuple(evaluation_databases),
+                max_depth,
+                max_nodes,
+            ),
         )
-        features.append(feature)
+        features = [feature for feature, _depth in generated]
+    else:
+        features = []
+        for representative in representatives:
+            feature, _depth = generate_equivalent_feature(
+                training.database,
+                representative,
+                k,
+                evaluation_databases=evaluation_databases,
+                max_depth=max_depth,
+                max_nodes=max_nodes,
+            )
+            features.append(feature)
     pair = SeparatingPair(Statistic(features), device.classifier)
     if not pair.separates(training):  # pragma: no cover - construction bug
         raise NotSeparableError(

@@ -21,9 +21,12 @@ exist (Algorithm 2 for GHW(k), branch-and-bound for CQ[m]).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.data.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.executor import Executor
 from repro.data.labeling import Labeling, TrainingDatabase
 from repro.exceptions import NotSeparableError, SeparabilityError
 from repro.core.approx import cqm_approx_separability
@@ -80,6 +83,15 @@ class FeatureEngineeringSession:
         A :class:`~repro.core.languages.QueryClass` — the regularization.
     epsilon:
         Error budget in [0, 1); 0 demands perfect separation.
+    workers:
+        Degree of parallelism for the sharded stages (statistic
+        evaluation, hom-preorder construction, feature generation); 1 (the
+        default) stays fully in-process.  Ignored when ``executor`` is
+        given.
+    executor:
+        An explicit :class:`~repro.runtime.Executor` to use instead of one
+        owned by the session.  The caller keeps ownership (the session
+        never closes it).
     """
 
     def __init__(
@@ -87,12 +99,25 @@ class FeatureEngineeringSession:
         training: TrainingDatabase,
         language: QueryClass,
         epsilon: float = 0.0,
+        workers: int = 1,
+        executor: Optional["Executor"] = None,
     ) -> None:
         if not 0 <= epsilon < 1:
             raise SeparabilityError("epsilon must lie in [0, 1)")
         self._training = training
         self._language = language
         self._epsilon = epsilon
+        if executor is not None:
+            self._executor: Optional["Executor"] = executor
+            self._owns_executor = False
+        elif workers > 1:
+            from repro.runtime import make_executor
+
+            self._executor = make_executor(workers)
+            self._owns_executor = True
+        else:
+            self._executor = None
+            self._owns_executor = False
         self._pair: Optional[SeparatingPair] = None
         self._ghw_device: Optional[GhwClassifier] = None
         self._cq_device = None
@@ -110,7 +135,10 @@ class FeatureEngineeringSession:
         if isinstance(language, BoundedAtomsCQ):
             if self._epsilon == 0:
                 result = cqm_separability(
-                    training, language.max_atoms, language.max_occurrences
+                    training,
+                    language.max_atoms,
+                    language.max_occurrences,
+                    executor=self._executor,
                 )
                 self._separable = result.separable
                 self._pair = result.separating_pair
@@ -121,6 +149,7 @@ class FeatureEngineeringSession:
                     language.max_atoms,
                     self._epsilon,
                     language.max_occurrences,
+                    executor=self._executor,
                 )
                 self._separable = result.separable
                 self._pair = result.pair if result.separable else None
@@ -145,7 +174,9 @@ class FeatureEngineeringSession:
             if self._separable:
                 from repro.core.cq_generate import CqClassifier
 
-                self._cq_device = CqClassifier(training)
+                self._cq_device = CqClassifier(
+                    training, executor=self._executor
+                )
         elif _is_first_order(language):
             from repro.fo.separability import fo_separability
 
@@ -176,6 +207,26 @@ class FeatureEngineeringSession:
     @property
     def training(self) -> TrainingDatabase:
         return self._training
+
+    @property
+    def executor(self) -> Optional["Executor"]:
+        """The executor sharded stages run on (None when fully serial)."""
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the session-owned worker pool, if any.
+
+        A no-op for serial sessions and for sessions handed an external
+        executor.  Sessions also work as context managers.
+        """
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "FeatureEngineeringSession":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
 
     def report(self) -> SessionReport:
         dimension: Optional[int] = None
@@ -212,7 +263,7 @@ class FeatureEngineeringSession:
 
             return fo_classify(self._fo_training, evaluation)
         if self._pair is not None:
-            return self._pair.classify(evaluation)
+            return self._pair.classify(evaluation, executor=self._executor)
         raise SeparabilityError(  # pragma: no cover - all languages covered
             f"{self._language!r} has no classification routine"
         )
@@ -231,12 +282,16 @@ class FeatureEngineeringSession:
         if self._ghw_device is not None:
             assert isinstance(self._language, GhwClass)
             return generate_ghw_statistic(
-                self._ghw_device.training, self._language.k
+                self._ghw_device.training,
+                self._language.k,
+                executor=self._executor,
             )
         if self._cq_device is not None:
             from repro.core.cq_generate import generate_cq_statistic
 
-            return generate_cq_statistic(self._training)
+            return generate_cq_statistic(
+                self._training, executor=self._executor
+            )
         raise SeparabilityError(  # pragma: no cover - all languages covered
             f"{self._language!r} has no materialization routine"
         )

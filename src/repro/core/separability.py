@@ -11,9 +11,12 @@ occurrences gives the PTIME class CQ[m, p] of Prop 4.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.cq.engine import EvaluationEngine
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.executor import Executor
 from repro.cq.enumeration import enumerate_feature_queries
 from repro.cq.query import CQ
 from repro.data.labeling import TrainingDatabase
@@ -83,6 +86,7 @@ def cqm_separability(
     max_occurrences: Optional[int] = None,
     dedupe: str = "equivalence",
     engine: Optional[EvaluationEngine] = None,
+    executor: Optional["Executor"] = None,
 ) -> SeparabilityResult:
     """CQ[m]-SEP (and CQ[m, p]-SEP) with feature generation (Prop 4.1/4.3).
 
@@ -90,7 +94,9 @@ def cqm_separability(
     over the training database through the (given or default) evaluation
     engine, and decides exact linear separability by LP; on success the
     returned pair contains an integral classifier verified to separate the
-    training database.
+    training database.  A multi-worker executor shards the per-feature
+    evaluations — the ``dimension`` independent CQ evaluations of Prop 4.1
+    — across worker processes.
     """
     if max_atoms < 0:
         raise SeparabilityError("max_atoms must be nonnegative")
@@ -98,7 +104,7 @@ def cqm_separability(
         feature_pool(training, max_atoms, max_occurrences, dedupe)
     )
     vectors, labels, entities = statistic.training_collection(
-        training, engine=engine
+        training, engine=engine, executor=executor
     )
     classifier = find_separator(vectors, labels)
     vector_map = dict(zip(entities, vectors))

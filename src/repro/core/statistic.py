@@ -12,6 +12,7 @@ classification against the same database reuses cached query answers.
 from __future__ import annotations
 
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     Iterable,
@@ -23,6 +24,9 @@ from typing import (
 )
 
 from repro.cq.engine import EvaluationEngine, default_engine
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.executor import Executor
 from repro.cq.query import CQ
 from repro.data.database import Database
 from repro.data.labeling import Labeling, TrainingDatabase
@@ -101,25 +105,31 @@ class Statistic:
         database: Database,
         entities: Optional[Sequence[Element]] = None,
         engine: Optional[EvaluationEngine] = None,
+        executor: Optional["Executor"] = None,
     ) -> Dict[Element, Tuple[int, ...]]:
         """``Π^D`` over all (or the given) entities, evaluated batch-wise.
 
         Each feature query is evaluated once over the database (and the
         engine memoizes the answer), so the cost is ``dimension`` query
-        evaluations rather than ``dimension × n`` pointed checks.
+        evaluations rather than ``dimension × n`` pointed checks.  A
+        multi-worker :class:`~repro.runtime.Executor` shards the
+        per-query evaluations across worker processes.
         """
         return (engine or default_engine()).evaluate_statistic(
-            self._queries, database, entities
+            self._queries, database, entities, executor=executor
         )
 
     def training_collection(
         self,
         training: TrainingDatabase,
         engine: Optional[EvaluationEngine] = None,
+        executor: Optional["Executor"] = None,
     ) -> Tuple[List[Tuple[int, ...]], List[int], List[Element]]:
         """``(Π^D(e), λ(e))`` rows in a deterministic entity order."""
         entities = sorted(training.entities, key=repr)
-        vector_map = self.vectors(training.database, entities, engine=engine)
+        vector_map = self.vectors(
+            training.database, entities, engine=engine, executor=executor
+        )
         vectors = [vector_map[entity] for entity in entities]
         labels = [training.label(entity) for entity in entities]
         return vectors, labels, entities
@@ -164,9 +174,12 @@ class SeparatingPair:
         self,
         database: Database,
         engine: Optional[EvaluationEngine] = None,
+        executor: Optional["Executor"] = None,
     ) -> Labeling:
         """The labeling of all entities of an evaluation database."""
-        vector_map = self._statistic.vectors(database, engine=engine)
+        vector_map = self._statistic.vectors(
+            database, engine=engine, executor=executor
+        )
         return Labeling(
             {
                 entity: self._classifier.predict(vector)

@@ -38,6 +38,7 @@ from __future__ import annotations
 import itertools
 from collections import OrderedDict
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     FrozenSet,
@@ -52,6 +53,9 @@ from typing import (
 )
 
 from repro.cq.homomorphism import SearchCounters, has_homomorphism
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.runtime.executor import Executor
 from repro.cq.query import CQ
 from repro.data.database import Database
 from repro.exceptions import DatabaseError, QueryError
@@ -113,7 +117,19 @@ class EngineCounters:
 
 
 class _LRUCache:
-    """A small bounded LRU over an :class:`OrderedDict`."""
+    """A small bounded LRU over an :class:`OrderedDict`.
+
+    **Concurrency contract.**  The cache (like the whole engine) is
+    single-threaded per process: the runtime subsystem parallelizes across
+    *processes* with one engine each (:mod:`repro.runtime`), never across
+    threads sharing an engine, so no locking is needed here.  The one
+    re-entrancy hazard within a single thread is user-defined
+    ``__hash__``/``__eq__`` on cache keys (databases hold arbitrary
+    hashable elements) calling back into engine code and thereby into
+    ``lookup``/``store`` while a lookup or eviction is mid-flight;
+    both methods below tolerate the entry they are touching having been
+    evicted or the dict having been cleared by such a re-entrant call.
+    """
 
     __slots__ = ("maxsize", "_data", "hits", "misses")
 
@@ -133,14 +149,26 @@ class _LRUCache:
             self.misses += 1
             return self._MISSING
         self.hits += 1
-        self._data.move_to_end(key)
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            # The key's __eq__/__hash__ re-entered store()/clear() during
+            # the get above and this entry was evicted; the value we read
+            # is still the correct result.
+            pass
         return value
 
     def store(self, key: Any, value: Any) -> None:
         self._data[key] = value
-        self._data.move_to_end(key)
+        try:
+            self._data.move_to_end(key)
+        except KeyError:  # re-entrant clear()/eviction removed the entry
+            return
         while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+            try:
+                self._data.popitem(last=False)
+            except KeyError:  # re-entrant clear() emptied the dict
+                break
 
     def info(self) -> CacheInfo:
         return CacheInfo(self.hits, self.misses, self.maxsize, len(self._data))
@@ -313,20 +341,71 @@ class EvaluationEngine:
     # Batch entry points
     # ------------------------------------------------------------------
 
+    def _evaluate_queries(
+        self,
+        queries: Sequence[CQ],
+        database: Database,
+        executor: Optional["Executor"],
+    ) -> List[FrozenSet[Element]]:
+        """Answer sets for a batch of unary queries, optionally sharded.
+
+        With a multi-worker executor, queries missing from the answer cache
+        are dispatched as shards to worker processes (each running the same
+        pure :meth:`evaluate_unary` on its own engine), merged back in query
+        order, and stored into this engine's cache — so parallel results are
+        bit-identical to serial ones and later serial calls stay warm.
+        """
+        if executor is None or executor.workers <= 1 or len(queries) <= 1:
+            return [self.evaluate_unary(query, database) for query in queries]
+        for query in queries:
+            if not query.is_unary:
+                raise QueryError("evaluate_unary requires a unary CQ")
+        # Local import: repro.runtime imports this module at load time.
+        from repro.runtime.tasks import evaluate_unary_queries
+
+        answers: Dict[CQ, FrozenSet[Element]] = {}
+        pending: List[CQ] = []
+        for query in queries:
+            cached = self._answer_cache.lookup((query, database))
+            if cached is _LRUCache._MISSING:
+                if query not in answers:
+                    answers[query] = frozenset()  # placeholder, filled below
+                    pending.append(query)
+            else:
+                answers[query] = frozenset(
+                    row[0] for row in cached
+                )
+        if pending:
+            evaluated = executor.run(
+                evaluate_unary_queries,
+                pending,
+                lambda chunk: (tuple(chunk), database),
+            )
+            for query, answer in zip(pending, evaluated):
+                answers[query] = answer
+                self._answer_cache.store(
+                    (query, database),
+                    frozenset((element,) for element in answer),
+                )
+        return [answers[query] for query in queries]
+
     def indicator_matrix(
         self,
         queries: Sequence[CQ],
         database: Database,
         elements: Sequence[Element],
+        executor: Optional["Executor"] = None,
     ) -> Tuple[Tuple[int, ...], ...]:
         """Rows ``Π^D(e)`` for each element, amortizing across elements.
 
         Each query is evaluated once over the database (memoized), and all
         element rows are read off the answer sets — ``len(queries)`` query
         evaluations instead of ``len(queries) × len(elements)`` independent
-        ``selects`` candidate derivations.
+        ``selects`` candidate derivations.  With a multi-worker
+        ``executor`` the query evaluations are sharded across worker
+        processes (order-preserving, bit-identical results).
         """
-        answers = [self.evaluate_unary(query, database) for query in queries]
+        answers = self._evaluate_queries(queries, database, executor)
         return tuple(
             tuple(1 if element in answer else -1 for answer in answers)
             for element in elements
@@ -337,16 +416,18 @@ class EvaluationEngine:
         statistic: Iterable[CQ],
         database: Database,
         entities: Optional[Sequence[Element]] = None,
+        executor: Optional["Executor"] = None,
     ) -> Dict[Element, Tuple[int, ...]]:
         """``Π^D`` over all (or the given) entities, evaluated batch-wise.
 
         Accepts a :class:`~repro.core.statistic.Statistic` or any iterable
-        of unary feature queries.
+        of unary feature queries, and an optional
+        :class:`~repro.runtime.Executor` to shard the per-query work.
         """
         queries = list(statistic)
         if entities is None:
             entities = sorted(database.entities(), key=repr)
-        rows = self.indicator_matrix(queries, database, entities)
+        rows = self.indicator_matrix(queries, database, entities, executor)
         return dict(zip(entities, rows))
 
     # ------------------------------------------------------------------

@@ -312,6 +312,21 @@ class CQ:
             self._hash = hash((self._atoms, self._free))
         return self._hash
 
+    def __getstate__(self) -> Tuple[Tuple[Atom, ...], Tuple[Variable, ...]]:
+        """Pickle the atoms and free variables, not the lazy caches.
+
+        The canonical database (itself holding an index) is rebuilt on
+        demand after unpickling, keeping shard payloads
+        (:mod:`repro.runtime`) lean.
+        """
+        return (self._atoms, self._free)
+
+    def __setstate__(
+        self, state: Tuple[Tuple[Atom, ...], Tuple[Variable, ...]]
+    ) -> None:
+        atoms, free = state
+        self.__init__(atoms, free)  # type: ignore[misc]
+
     def __repr__(self) -> str:
         return f"CQ({self})"
 

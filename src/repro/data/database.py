@@ -265,6 +265,23 @@ class Database:
         return f"{type(self).__name__}({{{preview}{suffix}}})"
 
     # ------------------------------------------------------------------
+    # Pickling (shard dispatch ships databases to worker processes)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> Tuple[FrozenSet[Fact], Schema]:
+        """Pickle only the facts and schema, never the lazy caches.
+
+        The positional index and memoized hash can be large and are cheap
+        to rebuild, so shard payloads (:mod:`repro.runtime`) stay lean and
+        each worker builds its own index on first use.
+        """
+        return (self._facts, self._schema)
+
+    def __setstate__(self, state: Tuple[FrozenSet[Fact], Schema]) -> None:
+        facts, schema = state
+        self.__init__(facts, schema=schema)  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
     # Entity support (Section 3)
     # ------------------------------------------------------------------
 

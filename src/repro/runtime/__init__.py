@@ -1,0 +1,36 @@
+"""repro.runtime: sharded parallel execution of statistic and feature work.
+
+The paper's tractability results bottom out in embarrassingly-parallel
+bags of independent checks — ``dimension × databases`` CQ evaluations
+behind every indicator matrix, one hom check per entity pair behind
+CQ-CLS, one unraveling per ``→_k`` class behind Prop 5.6 generation.
+This package executes those bags across worker processes:
+
+- :class:`~repro.runtime.shard.ShardPlan` — deterministic chunking with an
+  order-preserving merge (parallel results are bit-identical to serial);
+- :class:`~repro.runtime.executor.SerialExecutor` /
+  :class:`~repro.runtime.executor.ParallelExecutor` — the executor
+  contract, with one :class:`~repro.cq.engine.EvaluationEngine` per worker
+  process and aggregated work/cache accounting;
+- :mod:`~repro.runtime.tasks` — the picklable shard tasks.
+
+Entry points (`EvaluationEngine.indicator_matrix`, ``Statistic.vectors``,
+the generators, ``FeatureEngineeringSession``, the CLI's ``--workers``)
+accept an executor and skip dispatch entirely when ``workers <= 1``.
+"""
+
+from repro.runtime.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.shard import ShardPlan
+
+__all__ = [
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "ShardPlan",
+    "make_executor",
+]

@@ -1,0 +1,273 @@
+"""Executors: serial and process-pool execution of shard tasks.
+
+The :class:`Executor` contract is deliberately narrow (DESIGN.md §3.8):
+
+- :meth:`~Executor.map_shards` runs one picklable task over a list of
+  picklable payloads and returns the results **in payload order** — never
+  in completion order — so callers can merge with
+  :meth:`~repro.runtime.shard.ShardPlan.merge` and get results
+  bit-identical to a serial loop.
+- :meth:`~Executor.run` is the convenience composition: plan shards over an
+  item sequence, build per-shard payloads, dispatch, merge.
+- Executors aggregate the engine work and cache statistics their shards
+  caused (:meth:`~Executor.work_done`, :meth:`~Executor.cache_info`), the
+  multi-process analogue of one engine's counters.
+
+:class:`SerialExecutor` is the zero-dependency fallback: it runs every
+shard in the calling process on the process-default engine.
+:class:`ParallelExecutor` dispatches to a ``ProcessPoolExecutor`` whose
+workers each hold one :class:`~repro.cq.engine.EvaluationEngine`
+(initialized once per worker); if a task or payload fails to pickle — or
+the pool breaks — it falls back to the serial path and remembers the
+failure, so callers never see a pickling error from a computation that a
+plain loop could finish.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cq.engine import CacheInfo
+from repro.exceptions import ReproError
+from repro.runtime.shard import DEFAULT_SHARDS_PER_WORKER, ShardPlan
+from repro.runtime.tasks import (
+    Payload,
+    ShardOutcome,
+    Task,
+    initialize_worker,
+    instrumented,
+    run_instrumented,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+]
+
+#: Exceptions that mean "this work cannot ship to a worker process", as
+#: opposed to the task itself failing.  ``TypeError``/``AttributeError``
+#: appear here only via the up-front pickle probe, never from task bodies.
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
+_EMPTY_WORK = ("hom_checks", "backtrack_nodes", "cover_games",
+               "cache_hits", "cache_misses")
+
+
+class Executor:
+    """Order-preserving shard execution with work aggregation."""
+
+    #: Degree of parallelism; callers skip dispatch entirely when <= 1.
+    workers: int = 1
+
+    def __init__(self) -> None:
+        self._work: Dict[str, int] = {key: 0 for key in _EMPTY_WORK}
+        self._worker_caches: Dict[int, CacheInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Contract
+    # ------------------------------------------------------------------
+
+    def map_shards(self, task: Task, payloads: Sequence[Payload]) -> List[Any]:
+        """Run ``task`` over each payload; results in payload order."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        task: Task,
+        items: Sequence[Any],
+        payload: Callable[[Sequence[Any]], Payload],
+        plan: Optional[ShardPlan] = None,
+        shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
+    ) -> List[Any]:
+        """Shard ``items``, run ``task`` per shard, merge in item order.
+
+        ``payload`` maps each item chunk to the task's payload tuple (e.g.
+        attaching the shared database).  Each shard result must be a
+        sequence with one entry per item of its chunk.
+        """
+        if plan is None:
+            plan = ShardPlan.for_workers(
+                len(items), self.workers, shards_per_worker
+            )
+        payloads = [payload(chunk) for chunk in plan.chunk(items)]
+        shard_results = self.map_shards(task, payloads)
+        return ShardPlan.merge(shard_results)
+
+    def close(self) -> None:
+        """Release any worker processes; the executor stays usable serially."""
+
+    # ------------------------------------------------------------------
+    # Aggregated accounting
+    # ------------------------------------------------------------------
+
+    def _absorb(self, outcome: ShardOutcome) -> None:
+        for key, value in outcome.work.items():
+            self._work[key] = self._work.get(key, 0) + value
+        self._worker_caches[outcome.worker_pid] = outcome.cache_info
+
+    def work_done(self) -> Dict[str, int]:
+        """Summed engine work across all shards this executor ran."""
+        return dict(self._work)
+
+    def cache_info(self) -> CacheInfo:
+        """Aggregated cache statistics over the per-worker engines.
+
+        Sums the most recent :class:`CacheInfo` observed from each worker
+        process (workers never share cache entries, so the sum is exact).
+        """
+        infos = self._worker_caches.values()
+        return CacheInfo(
+            hits=sum(info.hits for info in infos),
+            misses=sum(info.misses for info in infos),
+            maxsize=sum(info.maxsize for info in infos),
+            currsize=sum(info.currsize for info in infos),
+        )
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every shard in the calling process, on its default engine.
+
+    The zero-dependency fallback of the runtime subsystem: no processes,
+    no pickling, identical results — engine entry points skip dispatch for
+    ``workers <= 1``, so wiring a :class:`SerialExecutor` through an
+    algorithm exercises exactly the plain serial code path while still
+    recording per-shard work via :meth:`work_done`.
+    """
+
+    workers = 1
+
+    def map_shards(self, task: Task, payloads: Sequence[Payload]) -> List[Any]:
+        results: List[Any] = []
+        for payload in payloads:
+            outcome = instrumented(task, payload)
+            self._absorb(outcome)
+            results.append(outcome.result)
+        return results
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with one evaluation engine per worker.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (must be >= 2; use :func:`make_executor` to
+        pick serial vs parallel from a ``workers=`` knob).
+    cache_size:
+        Per-worker engine cache size; ``None`` keeps the engine default.
+
+    Workers are started lazily on first dispatch and reused across calls,
+    so per-worker caches stay warm over a whole session.  Dispatch falls
+    back to in-process serial execution when the task graph cannot be
+    pickled or the pool dies; :attr:`fallback_reason` records why.
+    """
+
+    def __init__(self, workers: int, cache_size: Optional[int] = None) -> None:
+        super().__init__()
+        if workers < 2:
+            raise ReproError(
+                "ParallelExecutor needs >= 2 workers; "
+                "use SerialExecutor (or make_executor) for workers <= 1"
+            )
+        self.workers = workers
+        self._cache_size = cache_size
+        self._pool: Optional[Any] = None
+        #: Last reason parallel dispatch fell back to serial, or None.
+        self.fallback_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> Any:
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=initialize_worker,
+                initargs=(self._cache_size,),
+            )
+        return self._pool
+
+    def _serial_fallback(
+        self, task: Task, payloads: Sequence[Payload], reason: str
+    ) -> List[Any]:
+        self.fallback_reason = reason
+        results: List[Any] = []
+        for payload in payloads:
+            outcome = instrumented(task, payload)
+            self._absorb(outcome)
+            results.append(outcome.result)
+        return results
+
+    def map_shards(self, task: Task, payloads: Sequence[Payload]) -> List[Any]:
+        if not payloads:
+            return []
+        # Probe the first work item up front: a payload that cannot pickle
+        # would otherwise surface as an opaque error from a future, and the
+        # remaining shards would be wasted pool churn.
+        try:
+            pickle.dumps((task, payloads[0]))
+        except _PICKLE_ERRORS as error:
+            return self._serial_fallback(
+                task, payloads, f"unpicklable task or payload: {error}"
+            )
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(run_instrumented, (task, payload))
+                for payload in payloads
+            ]
+            outcomes: List[ShardOutcome] = [
+                future.result() for future in futures
+            ]
+        except _PICKLE_ERRORS as error:
+            # A later payload (or a task result) failed to pickle.
+            return self._serial_fallback(
+                task, payloads, f"pickling failed during dispatch: {error}"
+            )
+        except BrokenProcessPool as error:
+            self._discard_pool()
+            return self._serial_fallback(
+                task, payloads, f"worker pool broke: {error}"
+            )
+
+        results: List[Any] = []
+        for outcome in outcomes:
+            self._absorb(outcome)
+            results.append(outcome.result)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(
+    workers: Optional[int], cache_size: Optional[int] = None
+) -> Executor:
+    """The executor for a ``workers=`` knob: serial iff ``workers <= 1``."""
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers, cache_size=cache_size)

@@ -1,0 +1,145 @@
+"""Picklable shard tasks executed inside worker processes.
+
+Every function here takes one picklable *payload* tuple and returns a
+picklable result, so it can be shipped to a ``ProcessPoolExecutor`` worker
+by reference (module-level functions pickle by qualified name).  Tasks run
+against the worker process's own :class:`~repro.cq.engine.EvaluationEngine`
+— created once per worker by :func:`initialize_worker` and reused across
+all shards that worker processes — so caches are worker-local and warm up
+over a worker's lifetime without any cross-process synchronization.
+
+Each task is a pure function of its payload: given the same shard it
+returns the same result regardless of which process runs it, or of the
+state of any cache.  That purity is the whole determinism argument of the
+runtime subsystem (DESIGN.md §3.8); new tasks must preserve it.
+
+:func:`instrumented` wraps a task so the executor can aggregate the engine
+work (hom checks, backtrack nodes, cache hits/misses) each shard caused in
+its worker — the per-worker analogue of the parent engine's counters.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, NamedTuple, Optional, Sequence, Tuple
+
+from repro.cq.engine import (
+    CacheInfo,
+    EvaluationEngine,
+    default_engine,
+    set_default_engine,
+)
+from repro.cq.query import CQ
+from repro.data.database import Database
+
+__all__ = [
+    "ShardOutcome",
+    "initialize_worker",
+    "instrumented",
+    "run_instrumented",
+    "evaluate_unary_queries",
+    "pointed_hom_checks",
+    "unravel_features",
+]
+
+Element = Any
+Payload = Tuple[Any, ...]
+Task = Callable[[Payload], Any]
+
+
+class ShardOutcome(NamedTuple):
+    """One shard's result plus the worker-side accounting for it."""
+
+    result: Any
+    #: Delta of the worker engine's ``work_snapshot()`` across the shard.
+    work: Dict[str, int]
+    #: The worker process id — lets the parent keep per-worker cache stats.
+    worker_pid: int
+    #: The worker engine's cache statistics *after* the shard.
+    cache_info: CacheInfo
+
+
+def initialize_worker(cache_size: Optional[int] = None) -> None:
+    """Install a fresh engine as the worker process's default engine.
+
+    Runs once per worker (``ProcessPoolExecutor(initializer=...)``).  A
+    fresh engine rather than a fork-inherited copy keeps worker counters
+    attributable: everything they report happened in this worker.
+    """
+    engine = (
+        EvaluationEngine() if cache_size is None else EvaluationEngine(cache_size)
+    )
+    set_default_engine(engine)
+
+
+def instrumented(task: Task, payload: Payload) -> ShardOutcome:
+    """Run ``task(payload)`` on this process's engine, with accounting."""
+    engine = default_engine()
+    before = engine.work_snapshot()
+    result = task(payload)
+    after = engine.work_snapshot()
+    work = {key: after[key] - before[key] for key in after}
+    return ShardOutcome(result, work, os.getpid(), engine.cache_info())
+
+
+def run_instrumented(task_and_payload: Tuple[Task, Payload]) -> ShardOutcome:
+    """Entry point submitted to the pool: unpack and run one shard."""
+    task, payload = task_and_payload
+    return instrumented(task, payload)
+
+
+# ----------------------------------------------------------------------
+# Shard tasks
+# ----------------------------------------------------------------------
+
+
+def evaluate_unary_queries(payload: Payload) -> Tuple[Any, ...]:
+    """Answer sets of a shard of unary feature queries over one database.
+
+    Payload: ``(queries, database)``.  Returns one frozenset per query, in
+    shard order — the unit of work behind ``indicator_matrix`` and
+    ``evaluate_statistic``.
+    """
+    queries, database = payload
+    engine = default_engine()
+    return tuple(engine.evaluate_unary(query, database) for query in queries)
+
+
+def pointed_hom_checks(payload: Payload) -> Tuple[bool, ...]:
+    """Decide a shard of pointed homomorphism checks.
+
+    Payload: ``(source, target, pairs)`` with ``pairs`` a sequence of
+    ``(source_element, target_element)``; returns one bool per pair.  The
+    unit of work behind the CQ-CLS hom-preorder (quadratic in entities).
+    """
+    source, target, pairs = payload
+    engine = default_engine()
+    return tuple(
+        engine.pointed_has_homomorphism(source, (left,), target, (right,))
+        for left, right in pairs
+    )
+
+
+def unravel_features(payload: Payload) -> Tuple[Tuple[CQ, int], ...]:
+    """Generate GHW(k) unraveling features for a shard of representatives.
+
+    Payload: ``(database, representatives, k, evaluation_databases,
+    max_depth, max_nodes)``.  Returns ``(feature, depth)`` per
+    representative — the per-class work of Prop 5.6 generation.
+    """
+    database, representatives, k, evaluation_databases, max_depth, max_nodes = (
+        payload
+    )
+    from repro.covergame.unravel import generate_equivalent_feature
+
+    return tuple(
+        generate_equivalent_feature(
+            database,
+            representative,
+            k,
+            evaluation_databases=evaluation_databases,
+            max_depth=max_depth,
+            max_nodes=max_nodes,
+        )
+        for representative in representatives
+    )

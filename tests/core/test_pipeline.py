@@ -150,3 +150,95 @@ class TestValidation:
             FeatureEngineeringSession(
                 path_training, GhwClass(1), epsilon=1.0
             )
+
+
+def _fo():
+    from repro.fo.fragments import FO
+
+    return FO
+
+
+class TestEndToEndMatrix:
+    """One full train → report → classify run per query-class row.
+
+    Covers every language of the paper's Table 1 (CQ[m], GHW(k), CQ, FO)
+    end to end on a held-out evaluation database, plus the ``epsilon > 0``
+    branch for the classes that support approximate separability.
+    """
+
+    @pytest.mark.parametrize(
+        "make_language, epsilon",
+        [
+            (lambda: BoundedAtomsCQ(2), 0.0),
+            (lambda: GhwClass(1), 0.0),
+            (lambda: CQ_ALL, 0.0),
+            (_fo, 0.0),
+        ],
+        ids=["CQ[2]", "GHW(1)", "CQ", "FO"],
+    )
+    def test_exact_rows(
+        self, path_training, evaluation, make_language, epsilon
+    ):
+        with FeatureEngineeringSession(
+            path_training, make_language(), epsilon=epsilon
+        ) as session:
+            assert session.separable
+            report = session.report()
+            assert report.training_errors == 0
+
+            # Training data must be reproduced exactly at epsilon = 0.
+            training_labels = session.classify(path_training.database)
+            for entity in path_training.entities:
+                assert training_labels[entity] == path_training.label(
+                    entity
+                )
+
+            # The held-out database gets a total ±1 labeling.
+            evaluation_labels = session.classify(evaluation)
+            assert set(evaluation_labels) == evaluation.entities()
+            assert all(
+                evaluation_labels[e] in (1, -1)
+                for e in evaluation.entities()
+            )
+
+    @pytest.mark.parametrize(
+        "make_language",
+        [lambda: BoundedAtomsCQ(1), lambda: GhwClass(1)],
+        ids=["CQ[1]", "GHW(1)"],
+    )
+    def test_epsilon_rows(self, make_language):
+        """epsilon > 0 rescues instances the exact branch rejects."""
+        db = Database.from_tuples(
+            {
+                "R": [("a",), ("b",), ("c",), ("d",)],
+                "eta": [("a",), ("b",), ("c",), ("d",)],
+            }
+        )
+        training = TrainingDatabase.from_examples(
+            db, ["a", "b", "c"], ["d"]
+        )
+        exact = FeatureEngineeringSession(training, make_language())
+        assert not exact.separable
+
+        with FeatureEngineeringSession(
+            training, make_language(), epsilon=0.25
+        ) as approx:
+            assert approx.separable
+            report = approx.report()
+            assert 0 < report.training_errors <= 0.25 * len(
+                training.entities
+            )
+            labels = approx.classify(db)
+            assert set(labels) == db.entities()
+
+    def test_workers_matrix_row(self, path_training, evaluation):
+        """A workers=2 session runs the same e2e path as serial."""
+        with FeatureEngineeringSession(
+            path_training, BoundedAtomsCQ(2), workers=2
+        ) as session:
+            assert session.separable
+            labels = session.classify(evaluation)
+        serial = FeatureEngineeringSession(
+            path_training, BoundedAtomsCQ(2)
+        ).classify(evaluation)
+        assert labels == serial

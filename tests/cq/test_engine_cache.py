@@ -167,3 +167,78 @@ class TestDefaultEngineSwap:
         finally:
             set_default_engine(previous)
         assert default_engine() is previous
+
+
+class TestReentrancy:
+    """Re-entrant ``__eq__``/``__hash__`` callbacks must not corrupt the LRU.
+
+    The engine's concurrency contract is single-threaded per process (the
+    runtime subsystem forks one engine per worker), so the only re-entrancy
+    the ``_LRUCache`` must survive is a key whose dunder methods call back
+    into the cache mid-operation — e.g. a database element with an exotic
+    ``__eq__`` that triggers another evaluation.
+    """
+
+    def _cache(self, maxsize=4):
+        from repro.cq.engine import _LRUCache
+
+        return _LRUCache(maxsize)
+
+    def test_lookup_survives_reentrant_clear(self):
+        cache = self._cache()
+
+        class Key:
+            def __init__(self, tag):
+                self.tag = tag
+                self.armed = False
+
+            def __hash__(self):
+                return hash(self.tag)
+
+            def __eq__(self, other):
+                if self.armed:
+                    self.armed = False
+                    cache.clear()  # re-enter mid-lookup
+                return isinstance(other, Key) and self.tag == other.tag
+
+        key = Key("k")
+        cache.store(key, "value")
+        key.armed = True  # the *resident* key's __eq__ runs on lookup
+        probe = Key("k")
+        # The get() comparison fires clear(); move_to_end then sees a
+        # missing key and must not raise.
+        value = cache.lookup(probe)
+        assert value in ("value", cache._MISSING)
+        assert len(cache._data) == 0
+
+    def test_store_survives_reentrant_clear_during_eviction(self):
+        cache = self._cache(maxsize=1)
+
+        class Key:
+            def __init__(self, tag, armed=False):
+                self.tag = tag
+                self.armed = armed
+
+            def __hash__(self):
+                return 17  # force collision so __eq__ runs
+
+            def __eq__(self, other):
+                if self.armed:
+                    self.armed = False
+                    cache.clear()  # re-enter mid-store
+                return isinstance(other, Key) and self.tag == other.tag
+
+        cache.store(Key("old", armed=True), 1)
+        # Storing a colliding key compares against the armed resident,
+        # which clears the cache; the eviction loop must tolerate the
+        # now-empty dict instead of raising KeyError.
+        cache.store(Key("new"), 2)
+        assert len(cache._data) <= 1
+
+    def test_cache_stays_usable_after_reentrant_calls(self):
+        cache = self._cache(maxsize=2)
+        cache.store("a", 1)
+        cache.clear()
+        cache.store("b", 2)
+        assert cache.lookup("b") == 2
+        assert cache.info().currsize == 1

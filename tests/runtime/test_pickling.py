@@ -1,0 +1,118 @@
+"""Pickle round-trip regression tests for shard-payload types.
+
+The runtime subsystem ships :class:`Database`, :class:`CQ`,
+:class:`Statistic`, and :class:`Labeling` values across process
+boundaries; these tests pin down that round-tripping preserves equality
+and behaviour, and that the lean ``__getstate__`` implementations keep
+lazy caches out of the payload.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.statistic import Statistic
+from repro.cq.query import CQ
+from repro.cq.terms import Atom, Variable
+from repro.data.database import Database, Fact
+from repro.data.labeling import Labeling, TrainingDatabase
+from repro.workloads.retail import retail_database
+
+PROTOCOLS = range(2, pickle.HIGHEST_PROTOCOL + 1)
+
+
+@pytest.fixture(scope="module")
+def training():
+    return retail_database(n_customers=4, seed=11)
+
+
+def _roundtrip(value, protocol):
+    return pickle.loads(pickle.dumps(value, protocol=protocol))
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestRoundTrips:
+    def test_database(self, training, protocol):
+        database = training.database
+        copy = _roundtrip(database, protocol)
+        assert copy == database
+        assert hash(copy) == hash(database)
+        assert copy.schema == database.schema
+        assert copy.entities() == database.entities()
+
+    def test_cq(self, training, protocol):
+        x, y = Variable("x"), Variable("y")
+        query = CQ.feature(
+            [Atom("ordered", (x, y)), Atom("contains", (y, x))]
+        )
+        copy = _roundtrip(query, protocol)
+        assert copy == query
+        assert hash(copy) == hash(query)
+        assert copy.canonical_database == query.canonical_database
+
+    def test_statistic(self, training, protocol):
+        x = Variable("x")
+        statistic = Statistic(
+            [
+                CQ.entity_only(),
+                CQ.feature([Atom("ordered", (x, Variable("y")))]),
+            ]
+        )
+        copy = _roundtrip(statistic, protocol)
+        assert copy == statistic
+        assert copy.vectors(training.database) == statistic.vectors(
+            training.database
+        )
+
+    def test_labeling(self, training, protocol):
+        labeling = training.labeling
+        copy = _roundtrip(labeling, protocol)
+        assert copy == labeling
+        assert copy.positives == labeling.positives
+        assert copy.negatives == labeling.negatives
+
+    def test_training_database(self, training, protocol):
+        copy = _roundtrip(training, protocol)
+        assert copy.database == training.database
+        assert copy.labeling == training.labeling
+
+
+class TestLeanState:
+    """Lazy caches must never travel inside a pickle."""
+
+    def test_database_state_is_facts_and_schema(self, training):
+        database = training.database
+        database.index  # force the lazy index
+        hash(database)  # force the memoized hash
+        state = database.__getstate__()
+        assert state == (database.facts, database.schema)
+
+    def test_database_rebuilds_index_after_unpickling(self, training):
+        database = training.database
+        database.index
+        copy = _roundtrip(database, pickle.HIGHEST_PROTOCOL)
+        assert copy._index is None  # noqa: SLF001 - regression check
+        assert copy.index.positions == database.index.positions
+
+    def test_cq_state_drops_canonical_database(self):
+        query = CQ.feature([Atom("edge", (Variable("x"), Variable("y")))])
+        query.canonical_database  # force the lazy canonical database
+        hash(query)
+        state = query.__getstate__()
+        assert state == (query.atoms, query.free_variables)
+        copy = _roundtrip(query, pickle.HIGHEST_PROTOCOL)
+        assert copy._canonical is None  # noqa: SLF001 - regression check
+
+    def test_fresh_pickle_smaller_than_eager_state(self, training):
+        """Shipping a warmed database must cost the same as a cold one."""
+        cold = Database(training.database.facts, training.database.schema)
+        warmed = training.database
+        warmed.index
+        hash(warmed)
+        assert len(pickle.dumps(warmed)) == len(pickle.dumps(cold))
+
+    def test_fact_roundtrip(self):
+        fact = Fact("ordered", ("customer", "order"))
+        assert _roundtrip(fact, pickle.HIGHEST_PROTOCOL) == fact

@@ -168,3 +168,49 @@ class TestQbeCommand:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestWorkersFlag:
+    def test_separability_with_workers(self, training_file, capsys):
+        code = main(
+            [
+                "separability",
+                training_file,
+                "--language",
+                "ghw",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "separable" in capsys.readouterr().out
+
+    def test_classify_with_workers_matches_serial(
+        self, training_file, evaluation_file, capsys
+    ):
+        assert main(
+            [
+                "classify",
+                training_file,
+                evaluation_file,
+                "--language",
+                "cqm",
+                "--m",
+                "2",
+            ]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            [
+                "classify",
+                training_file,
+                evaluation_file,
+                "--language",
+                "cqm",
+                "--m",
+                "2",
+                "--workers",
+                "2",
+            ]
+        ) == 0
+        assert capsys.readouterr().out == serial

@@ -32,6 +32,10 @@ MODULES = [
     "repro.linsep",
     "repro.core",
     "repro.fo",
+    "repro.runtime",
+    "repro.runtime.shard",
+    "repro.runtime.executor",
+    "repro.runtime.tasks",
     "repro.workloads",
     "repro.cli",
     "repro.exceptions",
