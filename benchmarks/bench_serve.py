@@ -1,0 +1,105 @@
+"""Ablation A8 — serving throughput of the exported-model inference path.
+
+The serving subsystem (:mod:`repro.serve`) splits train-once from
+serve-many: ``FeatureEngineeringSession.export_artifact()`` captures the
+separating pair as a checksummed JSON artifact, and
+:class:`~repro.serve.InferenceService` serves predictions from it through
+micro-batched sharding over the runtime executor.  This bench trains the
+retail CQ[3] model once, then serves a fixed micro-batch of request
+databases serially and with 2 and 4 workers, asserting every served
+labeling is **bit-identical** to ``FeatureEngineeringSession.classify``
+and recording throughput (requests/s) and the p95 request latency from
+the service's own metrics.
+
+As in A7, speedup floors are gated on ``os.cpu_count()``: on starved
+machines the bench still checks bit-identity and records the honest
+numbers, but skips the floor assertion.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.languages import BoundedAtomsCQ
+from repro.core.pipeline import FeatureEngineeringSession
+from repro.serve import InferenceService
+from repro.workloads.retail import retail_database
+
+from harness import report, timed
+
+#: Worker counts to scale across (serial is the implicit baseline).
+WORKER_COUNTS = (2, 4)
+
+#: Speedup floors, asserted only when the machine has at least as many
+#: cores as workers.  Serving shards whole request databases (coarser
+#: units than A7's per-query shards), so the floors allow for the
+#: per-batch dispatch and artifact-pickling overhead.
+SPEEDUP_FLOORS = {2: 1.2, 4: 1.8}
+
+#: Micro-batch served at each worker count.
+N_REQUESTS = 16
+
+
+def test_serving_throughput(benchmark):
+    cores = os.cpu_count() or 1
+
+    training = retail_database(n_customers=8, seed=3)
+    with FeatureEngineeringSession(training, BoundedAtomsCQ(3)) as session:
+        assert session.separable
+        artifact = session.export_artifact()
+        requests = [
+            retail_database(n_customers=30, seed=100 + i).database
+            for i in range(N_REQUESTS)
+        ]
+        # The reference labels every served configuration must reproduce.
+        expected = [session.classify(database) for database in requests]
+
+    rows = []
+    serial_seconds = None
+    for workers in (1,) + WORKER_COUNTS:
+        with InferenceService(artifact, workers=workers) as service:
+            service.warm_up()  # compile queries / start the pool untimed
+            seconds, results = timed(
+                lambda s=service: s.predict_batch(requests)
+            )
+
+        # Correctness is unconditional: bit-identical to classify().
+        assert results == expected
+
+        snapshot = service.metrics_snapshot()
+        if workers == 1:
+            serial_seconds = seconds
+            speedup = 1.0
+        else:
+            speedup = serial_seconds / seconds
+        rows.append(
+            (
+                "serial" if workers == 1 else f"{workers} workers",
+                len(requests),
+                f"{seconds * 1e3:.0f} ms",
+                f"{len(requests) / seconds:.1f} req/s",
+                f"{snapshot['latency_ms']['p95']:.0f} ms",
+                f"{speedup:.2f}x",
+            )
+        )
+        if workers > 1 and cores >= workers:
+            assert speedup >= SPEEDUP_FLOORS[workers], (
+                f"{workers} workers on {cores} cores: expected "
+                f">= {SPEEDUP_FLOORS[workers]}x, got {speedup:.2f}x"
+            )
+
+    rows.append(
+        (f"cores={cores}", "-", "-", "-", "-", f"dim={artifact.dimension}")
+    )
+    report(
+        "A8_serving_throughput",
+        ("mode", "requests", "wall-clock", "throughput", "p95", "speedup"),
+        rows,
+    )
+
+    # Steady-state timing: one served request on a warm engine — the
+    # per-request cost once the model is compiled and caches are hot.
+    warm = InferenceService(artifact)
+    warm.warm_up()
+    warm.predict(requests[0])
+    benchmark(lambda: warm.predict(requests[0]))

@@ -7,24 +7,37 @@ Usage (after ``pip install -e .``)::
     python -m repro classify train.json eval.facts --language ghw --k 1
     python -m repro features train.json --language cqm --m 2
     python -m repro qbe db.facts --positives a,b --negatives c --language cq
+    python -m repro train train.json --language cqm --m 2 --out model.json
+    python -m repro predict requests.jsonl --model model.json --metrics
 
 Training databases are the JSON documents of
 :func:`repro.data.io.training_database_to_json`; evaluation databases and
 plain QBE databases use the line-oriented fact syntax of
-:func:`repro.data.io.database_from_text`.
+:func:`repro.data.io.database_from_text`.  ``predict`` consumes a JSONL
+stream (one ``{"id": ..., "facts": [...]}`` request per line, ``-`` for
+stdin) and produces one ``{"id": ..., "labels": {...}}`` JSON line per
+request on stdout.
+
+Every failure the library reports — missing or corrupt model/training
+files included — exits with code 2 and a one-line ``error:`` message.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.data.database import Database
 from repro.data.io import (
+    _element_to_str,
     database_from_text,
+    facts_from_json,
     labeling_to_text,
     training_database_from_json,
 )
+from repro.exceptions import ParseError
 from repro.exceptions import ReproError
 from repro.core.languages import CQ_ALL, BoundedAtomsCQ, GhwClass, QueryClass
 from repro.core.pipeline import FeatureEngineeringSession
@@ -98,7 +111,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify.add_argument("training", help="training database JSON file")
     classify.add_argument("evaluation", help="evaluation database fact file")
+    classify.add_argument(
+        "--model",
+        default=None,
+        help="serve from an exported model artifact instead of refitting "
+        "(the training file and language options are ignored)",
+    )
     _add_language_options(classify)
+
+    train = commands.add_parser(
+        "train",
+        help="fit a session and export the model artifact (train-once)",
+    )
+    train.add_argument("training", help="training database JSON file")
+    train.add_argument(
+        "--out", required=True, help="path to write the model artifact JSON"
+    )
+    _add_language_options(train)
+
+    predict = commands.add_parser(
+        "predict",
+        help="serve predictions from a model artifact over a JSONL stream",
+    )
+    predict.add_argument(
+        "requests",
+        help="JSONL request file ({'id', 'facts'} per line; '-' for stdin)",
+    )
+    predict.add_argument(
+        "--model", required=True, help="model artifact JSON file"
+    )
+    predict.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for micro-batched serving (default 1)",
+    )
+    predict.add_argument(
+        "--on-error",
+        choices=("fail", "abstain"),
+        default="fail",
+        help="degradation when a request's feature evaluation fails: "
+        "fail the run (default) or abstain on that request",
+    )
+    predict.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a metrics snapshot (latency quantiles, throughput, "
+        "engine work) as JSON on stderr",
+    )
 
     features = commands.add_parser(
         "features", help="materialize a separating statistic"
@@ -175,14 +235,105 @@ def _run_separability(args: argparse.Namespace) -> int:
 
 
 def _run_classify(args: argparse.Namespace) -> int:
-    training = _load_training(args.training)
     evaluation = _load_database(args.evaluation)
+    if args.model is not None:
+        from repro.serve import InferenceService, ModelArtifact
+
+        artifact = ModelArtifact.load(args.model)
+        with InferenceService(artifact, workers=args.workers) as service:
+            labeling = service.predict(evaluation)
+        assert labeling is not None  # on_error="fail" raises instead
+    else:
+        training = _load_training(args.training)
+        with FeatureEngineeringSession(
+            training, _language_from_args(args), args.epsilon,
+            workers=args.workers,
+        ) as session:
+            labeling = session.classify(evaluation)
+    sys.stdout.write(labeling_to_text(labeling))
+    return 0
+
+
+def _run_train(args: argparse.Namespace) -> int:
+    training = _load_training(args.training)
     with FeatureEngineeringSession(
         training, _language_from_args(args), args.epsilon,
         workers=args.workers,
     ) as session:
-        labeling = session.classify(evaluation)
-    sys.stdout.write(labeling_to_text(labeling))
+        print(session.report())
+        if not session.separable:
+            print(
+                "error: training database is not separable under this "
+                "language and budget; no artifact written",
+                file=sys.stderr,
+            )
+            return 1
+        artifact = session.export_artifact()
+    artifact.save(args.out)
+    print(
+        f"wrote {args.out}: dimension {artifact.dimension}, "
+        f"{artifact.checksum()}"
+    )
+    return 0
+
+
+def _read_requests(path: str) -> List[Tuple[Any, Database]]:
+    """Parse a JSONL request stream into (request id, database) pairs."""
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            text = handle.read()
+    requests: List[Tuple[Any, Database]] = []
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ParseError(f"request line {lineno}: invalid JSON: {exc}")
+        if not isinstance(payload, dict) or "facts" not in payload:
+            raise ParseError(
+                f"request line {lineno}: expected an object with a "
+                "'facts' list"
+            )
+        request_id = payload.get("id", lineno)
+        requests.append((request_id, Database(facts_from_json(payload["facts"]))))
+    return requests
+
+
+def _run_predict(args: argparse.Namespace) -> int:
+    from repro.serve import InferenceService, ModelArtifact
+
+    artifact = ModelArtifact.load(args.model)
+    requests = _read_requests(args.requests)
+    with InferenceService(
+        artifact, workers=args.workers, on_error=args.on_error
+    ) as service:
+        labelings = service.predict_batch(
+            [database for _, database in requests]
+        )
+        for (request_id, _), labeling in zip(requests, labelings):
+            if labeling is None:
+                payload = {
+                    "id": request_id,
+                    "error": "feature evaluation failed; abstained",
+                }
+            else:
+                payload = {
+                    "id": request_id,
+                    "labels": {
+                        _element_to_str(entity): labeling[entity]
+                        for entity in sorted(labeling, key=str)
+                    },
+                }
+            sys.stdout.write(json.dumps(payload, sort_keys=True) + "\n")
+        if args.metrics:
+            print(
+                json.dumps(service.metrics_snapshot(), sort_keys=True),
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -253,10 +404,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "info": _run_info,
         "profile": _run_profile,
         "qbe": _run_qbe,
+        "train": _run_train,
+        "predict": _run_predict,
     }
     try:
         return handlers[args.command](args)
-    except ReproError as error:
+    except (ReproError, OSError) as error:
+        # One-line diagnostics for every library failure *and* for missing
+        # or unreadable input/model files — never a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

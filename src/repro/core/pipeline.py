@@ -124,7 +124,14 @@ class FeatureEngineeringSession:
         self._fo_training = None
         self._separable = False
         self._training_errors = 0
-        self._fit()
+        try:
+            self._fit()
+        except BaseException:
+            # Fitting raised before the caller ever saw the session: a
+            # session-owned worker pool would leak (no handle to close it
+            # on), so release it here and re-raise.
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
 
@@ -217,10 +224,15 @@ class FeatureEngineeringSession:
         """Shut down the session-owned worker pool, if any.
 
         A no-op for serial sessions and for sessions handed an external
-        executor.  Sessions also work as context managers.
+        executor, and idempotent: repeated calls (or a context-manager
+        exit after an explicit ``close()``) never double-shutdown the
+        pool.  After closing, the session stays usable — sharded stages
+        simply fall back to the serial path.  Sessions also work as
+        context managers.
         """
         if self._owns_executor and self._executor is not None:
-            self._executor.close()
+            executor, self._executor = self._executor, None
+            executor.close()
 
     def __enter__(self) -> "FeatureEngineeringSession":
         return self
@@ -295,3 +307,19 @@ class FeatureEngineeringSession:
         raise SeparabilityError(  # pragma: no cover - all languages covered
             f"{self._language!r} has no materialization routine"
         )
+
+    def export_artifact(self, metadata: Optional[dict] = None):
+        """Export the fitted model as a :class:`~repro.serve.ModelArtifact`.
+
+        The artifact captures this session's *exact* separating pair —
+        statistic queries, separator weights and threshold — plus schema,
+        query class, and training metadata, so held-out evaluation and
+        serving run against the trained hypothesis rather than a refit.
+        For GHW(k) this materializes via Prop 5.6 (see
+        :meth:`materialize`); FO sessions have no finite statistic and
+        raise.  ``metadata`` entries are merged over the defaults and
+        become part of the checksummed payload.
+        """
+        from repro.serve.artifact import ModelArtifact
+
+        return ModelArtifact.from_session(self, metadata=metadata)

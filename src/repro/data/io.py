@@ -30,6 +30,8 @@ __all__ = [
     "database_from_text",
     "labeling_to_text",
     "labeling_from_text",
+    "facts_to_json",
+    "facts_from_json",
     "training_database_to_json",
     "training_database_from_json",
 ]
@@ -109,16 +111,45 @@ def labeling_from_text(text: str) -> Labeling:
     return Labeling(labels)
 
 
+def facts_to_json(database: Database) -> List[Dict[str, Any]]:
+    """The facts of a database as JSON-able dicts (deterministic order).
+
+    The shared fact encoding of training-database JSON and the serving
+    subsystem's JSONL request streams.
+    """
+    entries = [
+        {
+            "relation": fact.relation,
+            "arguments": [_element_to_str(a) for a in fact.arguments],
+        }
+        for fact in database
+    ]
+    # Sort on the encoded form: raw argument tuples may mix element types
+    # (ints and strings) that Python refuses to order.
+    entries.sort(key=lambda entry: (entry["relation"], entry["arguments"]))
+    return entries
+
+
+def facts_from_json(entries: Iterable[Any]) -> List[Fact]:
+    """Parse a list of ``{"relation", "arguments"}`` dicts into facts."""
+    facts: List[Fact] = []
+    try:
+        for entry in entries:
+            facts.append(
+                Fact(
+                    entry["relation"],
+                    tuple(_element_from_str(a) for a in entry["arguments"]),
+                )
+            )
+    except (KeyError, TypeError) as exc:
+        raise ParseError(f"malformed fact JSON: {exc}") from exc
+    return facts
+
+
 def training_database_to_json(training: TrainingDatabase) -> str:
     """Serialize a training database as a JSON document."""
     payload = {
-        "facts": [
-            {
-                "relation": fact.relation,
-                "arguments": [_element_to_str(a) for a in fact.arguments],
-            }
-            for fact in training.database
-        ],
+        "facts": facts_to_json(training.database),
         "labels": {
             _element_to_str(entity): label
             for entity, label in training.labeling.items()
@@ -133,13 +164,7 @@ def training_database_from_json(text: str) -> TrainingDatabase:
     except json.JSONDecodeError as exc:
         raise ParseError(f"invalid JSON: {exc}") from exc
     try:
-        facts = [
-            Fact(
-                entry["relation"],
-                tuple(_element_from_str(a) for a in entry["arguments"]),
-            )
-            for entry in payload["facts"]
-        ]
+        facts = facts_from_json(payload["facts"])
         labels = {
             _element_from_str(entity): int(label)
             for entity, label in payload["labels"].items()

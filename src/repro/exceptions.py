@@ -18,6 +18,8 @@ __all__ = [
     "SeparabilityError",
     "NotSeparableError",
     "SolverError",
+    "ArtifactError",
+    "ServeError",
 ]
 
 
@@ -59,3 +61,11 @@ class NotSeparableError(SeparabilityError):
 
 class SolverError(ReproError):
     """The underlying LP/optimization backend failed unexpectedly."""
+
+
+class ArtifactError(ReproError):
+    """A model artifact is malformed, tampered with, or unsupported."""
+
+
+class ServeError(ReproError):
+    """An inference request failed inside the serving subsystem."""

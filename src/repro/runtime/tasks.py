@@ -40,6 +40,7 @@ __all__ = [
     "evaluate_unary_queries",
     "pointed_hom_checks",
     "unravel_features",
+    "classify_databases",
 ]
 
 Element = Any
@@ -118,6 +119,41 @@ def pointed_hom_checks(payload: Payload) -> Tuple[bool, ...]:
         engine.pointed_has_homomorphism(source, (left,), target, (right,))
         for left, right in pairs
     )
+
+
+def classify_databases(payload: Payload) -> Tuple[Tuple[str, Any], ...]:
+    """Classify a shard of pointed databases under one separating pair.
+
+    Payload: ``(queries, weights, threshold, databases)``.  Returns one
+    ``("ok", {entity: label})`` or ``("error", message)`` outcome per
+    database, in shard order — the unit of work behind
+    :meth:`repro.serve.InferenceService.predict_batch`.  Per-database
+    errors are captured as data (rather than raised) so one malformed
+    request cannot poison the whole shard; the service decides whether to
+    fail or abstain.
+    """
+    queries, weights, threshold, databases = payload
+    from repro.exceptions import ReproError
+    from repro.linsep.classifier import LinearClassifier
+
+    engine = default_engine()
+    classifier = LinearClassifier(tuple(weights), threshold)
+    outcomes = []
+    for database in databases:
+        try:
+            vectors = engine.evaluate_statistic(queries, database)
+            outcomes.append(
+                (
+                    "ok",
+                    {
+                        entity: classifier.predict(vector)
+                        for entity, vector in vectors.items()
+                    },
+                )
+            )
+        except ReproError as error:
+            outcomes.append(("error", str(error)))
+    return tuple(outcomes)
 
 
 def unravel_features(payload: Payload) -> Tuple[Tuple[CQ, int], ...]:

@@ -1,0 +1,39 @@
+"""repro.serve: model artifacts and batched inference serving.
+
+The train-once / serve-many split of the production story (ROADMAP):
+
+- :mod:`repro.serve.artifact` — a versioned, deterministic, pickle-free
+  JSON format for trained models (schema, query class, statistic,
+  separator, metadata) with strict validation, a content checksum, and
+  bit-identical round-trips;
+- :mod:`repro.serve.service` — :class:`InferenceService`: load an
+  artifact, compile its queries once, serve ``predict`` /
+  ``predict_batch`` over pointed databases with micro-batching through
+  :mod:`repro.runtime` and configurable fail/abstain degradation;
+- :mod:`repro.serve.metrics` — per-request counters and latency /
+  throughput snapshots (p50/p95, engine work, cache hit rates).
+
+Entry points: ``FeatureEngineeringSession.export_artifact()``, the CLI's
+``repro train --out model.json`` / ``repro predict --model model.json``,
+and ``repro classify --model`` for refit-free classification.
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ModelArtifact,
+    language_from_spec,
+    language_to_spec,
+)
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.service import InferenceService
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ModelArtifact",
+    "ServiceMetrics",
+    "InferenceService",
+    "language_from_spec",
+    "language_to_spec",
+]

@@ -1,0 +1,470 @@
+"""Versioned, pickle-free JSON artifacts for trained models.
+
+A :class:`ModelArtifact` captures a fitted classifier end-to-end — entity
+schema, query class, the statistic's feature queries (in the parser's
+textual rule syntax), the linear separator's weights and threshold, and
+training metadata — so the *exact* trained model can be served without a
+refit (the generalization concern of ten Cate et al.: evaluating a refit
+instead of the fitted hypothesis silently changes the experiment).
+
+Design constraints, in order:
+
+- **Pickle-free.**  The payload is plain JSON; queries round-trip through
+  :func:`~repro.cq.parser.parse_cq` / ``str(CQ)``, never ``pickle``, so
+  artifacts are inspectable, diffable, and safe to load from untrusted
+  storage.
+- **Deterministic.**  Serialization is canonical (sorted keys, sorted
+  feature order preserved as trained, shortest-round-trip floats), so
+  ``parse → serialize → parse`` is a fixed point and equal models produce
+  byte-identical files.
+- **Tamper-evident.**  A SHA-256 checksum over the canonical payload is
+  embedded and verified on load.
+- **Strict.**  Loading validates the full schema — unknown top-level keys,
+  missing fields, arity mismatches between queries and the declared
+  relational schema, classifier/statistic dimension mismatches, and
+  artifacts from a *newer* format version are all
+  :class:`~repro.exceptions.ArtifactError`\\ s, never silent coercions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.cq.parser import parse_cq
+from repro.cq.query import CQ
+from repro.core.languages import AllCQ, BoundedAtomsCQ, GhwClass, QueryClass
+from repro.core.statistic import SeparatingPair, Statistic
+from repro.data.schema import ENTITY_SYMBOL, EntitySchema, RelationSymbol
+from repro.exceptions import ArtifactError, ReproError
+from repro.linsep.classifier import LinearClassifier
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ModelArtifact",
+    "language_to_spec",
+    "language_from_spec",
+]
+
+#: Magic format tag; rejects arbitrary JSON documents early.
+ARTIFACT_FORMAT = "repro-model"
+
+#: Current (and only) artifact format version.
+ARTIFACT_VERSION = 1
+
+_TOP_LEVEL_KEYS = frozenset(
+    ("format", "version", "schema", "language", "statistic", "classifier",
+     "metadata", "checksum")
+)
+
+_METADATA_SCALARS = (str, int, float, bool, type(None))
+
+
+# ----------------------------------------------------------------------
+# Language descriptors <-> specs
+# ----------------------------------------------------------------------
+
+
+def language_to_spec(language: QueryClass) -> Dict[str, Any]:
+    """Serialize a query-class descriptor to a plain JSON-able spec."""
+    if isinstance(language, BoundedAtomsCQ):
+        return {
+            "kind": "cqm",
+            "max_atoms": language.max_atoms,
+            "max_occurrences": language.max_occurrences,
+        }
+    if isinstance(language, GhwClass):
+        return {"kind": "ghw", "k": language.k}
+    if isinstance(language, AllCQ):
+        return {"kind": "cq"}
+    raise ArtifactError(
+        f"query class {language!r} has no artifact spec (FO models have "
+        "no finite statistic to persist)"
+    )
+
+
+def language_from_spec(spec: Any) -> QueryClass:
+    """Rebuild a query-class descriptor from its spec, strictly."""
+    if not isinstance(spec, dict):
+        raise ArtifactError(f"language spec must be an object, got {spec!r}")
+    kind = spec.get("kind")
+    try:
+        if kind == "cq":
+            _require_keys(spec, {"kind"}, "language")
+            return AllCQ()
+        if kind == "ghw":
+            _require_keys(spec, {"kind", "k"}, "language")
+            return GhwClass(_expect_int(spec["k"], "language.k"))
+        if kind == "cqm":
+            _require_keys(
+                spec, {"kind", "max_atoms", "max_occurrences"}, "language"
+            )
+            occurrences = spec["max_occurrences"]
+            if occurrences is not None:
+                occurrences = _expect_int(
+                    occurrences, "language.max_occurrences"
+                )
+            return BoundedAtomsCQ(
+                _expect_int(spec["max_atoms"], "language.max_atoms"),
+                occurrences,
+            )
+    except ReproError as error:
+        if isinstance(error, ArtifactError):
+            raise
+        raise ArtifactError(f"invalid language spec: {error}") from error
+    raise ArtifactError(f"unknown language kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Strict-validation helpers
+# ----------------------------------------------------------------------
+
+
+def _require_keys(obj: Mapping[str, Any], keys: frozenset, where: str) -> None:
+    missing = sorted(set(keys) - set(obj))
+    unknown = sorted(set(obj) - set(keys))
+    if missing:
+        raise ArtifactError(f"{where}: missing keys {', '.join(missing)}")
+    if unknown:
+        raise ArtifactError(f"{where}: unknown keys {', '.join(unknown)}")
+
+
+def _expect_int(value: Any, where: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ArtifactError(f"{where} must be an integer, got {value!r}")
+    return value
+
+
+def _expect_number(value: Any, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ArtifactError(f"{where} must be a number, got {value!r}")
+    return float(value)
+
+
+def _canonical_dump(payload: Dict[str, Any]) -> str:
+    """The canonical byte form the checksum is computed over."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def _checksum(payload: Dict[str, Any]) -> str:
+    digest = hashlib.sha256(_canonical_dump(payload).encode("ascii"))
+    return f"sha256:{digest.hexdigest()}"
+
+
+# ----------------------------------------------------------------------
+# The artifact
+# ----------------------------------------------------------------------
+
+
+class ModelArtifact:
+    """A trained model, complete enough to serve without the training data.
+
+    Parameters
+    ----------
+    schema:
+        The entity schema the model was trained over.
+    language:
+        The regularized query class (the paper's L).
+    statistic:
+        The fitted statistic Π (feature order is part of the model).
+    classifier:
+        The fitted linear separator Λ_w̄.
+    metadata:
+        Flat ``str -> scalar`` training metadata (epsilon, training sizes,
+        …).  Persisted and checksummed verbatim; must be deterministic for
+        byte-identical artifacts (no timestamps unless the caller wants
+        them in the checksum).
+    """
+
+    __slots__ = ("schema", "language", "statistic", "classifier", "metadata")
+
+    def __init__(
+        self,
+        schema: EntitySchema,
+        language: QueryClass,
+        statistic: Statistic,
+        classifier: LinearClassifier,
+        metadata: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if not isinstance(schema, EntitySchema):
+            raise ArtifactError("artifact schema must be an EntitySchema")
+        if classifier.arity != statistic.dimension:
+            raise ArtifactError(
+                f"classifier arity {classifier.arity} does not match "
+                f"statistic dimension {statistic.dimension}"
+            )
+        clean_metadata: Dict[str, Any] = {}
+        for key, value in sorted((metadata or {}).items()):
+            if not isinstance(key, str):
+                raise ArtifactError(f"metadata key {key!r} must be a string")
+            if not isinstance(value, _METADATA_SCALARS):
+                raise ArtifactError(
+                    f"metadata value for {key!r} must be a JSON scalar, "
+                    f"got {type(value).__name__}"
+                )
+            clean_metadata[key] = value
+        self._validate_queries(schema, statistic)
+        self.schema = schema
+        self.language = language
+        self.statistic = statistic
+        self.classifier = classifier
+        self.metadata = clean_metadata
+
+    @staticmethod
+    def _validate_queries(schema: EntitySchema, statistic: Statistic) -> None:
+        for query in statistic:
+            for atom in query.atoms:
+                if atom.relation not in schema:
+                    raise ArtifactError(
+                        f"feature query mentions relation {atom.relation!r} "
+                        "absent from the artifact schema"
+                    )
+                declared = schema.arity_of(atom.relation)
+                if declared != atom.arity:
+                    raise ArtifactError(
+                        f"feature query uses {atom.relation!r} with arity "
+                        f"{atom.arity}, schema declares {declared}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Derived accessors
+    # ------------------------------------------------------------------
+
+    def pair(self) -> SeparatingPair:
+        """The model as a classifying :class:`SeparatingPair`."""
+        return SeparatingPair(self.statistic, self.classifier)
+
+    @property
+    def dimension(self) -> int:
+        return self.statistic.dimension
+
+    def checksum(self) -> str:
+        """The content checksum (as embedded in the serialized form)."""
+        return _checksum(self._payload())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def _payload(self) -> Dict[str, Any]:
+        return {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "schema": {
+                "entity_symbol": self.schema.entity_symbol,
+                "relations": {
+                    symbol.name: symbol.arity for symbol in self.schema
+                },
+            },
+            "language": language_to_spec(self.language),
+            "statistic": [str(query) for query in self.statistic],
+            "classifier": {
+                "weights": list(self.classifier.weights),
+                "threshold": self.classifier.threshold,
+            },
+            "metadata": dict(self.metadata),
+        }
+
+    def to_json(self) -> str:
+        """Canonical, human-readable JSON with an embedded checksum."""
+        payload = self._payload()
+        payload["checksum"] = _checksum(payload)
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelArtifact":
+        """Parse and strictly validate a serialized artifact."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ArtifactError(f"artifact is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ArtifactError("artifact must be a JSON object")
+        if payload.get("format") != ARTIFACT_FORMAT:
+            raise ArtifactError(
+                f"not a {ARTIFACT_FORMAT} artifact "
+                f"(format={payload.get('format')!r})"
+            )
+        version = _expect_int(payload.get("version"), "version")
+        if version > ARTIFACT_VERSION:
+            raise ArtifactError(
+                f"artifact version {version} is newer than the supported "
+                f"version {ARTIFACT_VERSION}; upgrade the library to load it"
+            )
+        if version < 1:
+            raise ArtifactError(f"invalid artifact version {version}")
+        _require_keys(payload, _TOP_LEVEL_KEYS, "artifact")
+
+        claimed = payload["checksum"]
+        body = {key: payload[key] for key in payload if key != "checksum"}
+        actual = _checksum(body)
+        if claimed != actual:
+            raise ArtifactError(
+                f"checksum mismatch: artifact claims {claimed!r} but the "
+                f"payload hashes to {actual!r} (corrupt or tampered file)"
+            )
+
+        schema = cls._schema_from_payload(payload["schema"])
+        language = language_from_spec(payload["language"])
+        statistic = cls._statistic_from_payload(payload["statistic"])
+        classifier = cls._classifier_from_payload(
+            payload["classifier"], statistic.dimension
+        )
+        metadata = payload["metadata"]
+        if not isinstance(metadata, dict):
+            raise ArtifactError("metadata must be an object")
+        return cls(schema, language, statistic, classifier, metadata)
+
+    # -- payload section parsers ---------------------------------------
+
+    @staticmethod
+    def _schema_from_payload(spec: Any) -> EntitySchema:
+        if not isinstance(spec, dict):
+            raise ArtifactError("schema must be an object")
+        _require_keys(spec, frozenset(("entity_symbol", "relations")), "schema")
+        entity_symbol = spec["entity_symbol"]
+        if not isinstance(entity_symbol, str) or not entity_symbol:
+            raise ArtifactError("schema.entity_symbol must be a nonempty string")
+        relations = spec["relations"]
+        if not isinstance(relations, dict):
+            raise ArtifactError("schema.relations must be an object")
+        try:
+            symbols = [
+                RelationSymbol(name, _expect_int(arity, f"arity of {name!r}"))
+                for name, arity in relations.items()
+            ]
+            return EntitySchema(symbols, entity_symbol=entity_symbol)
+        except ReproError as error:
+            if isinstance(error, ArtifactError):
+                raise
+            raise ArtifactError(f"invalid artifact schema: {error}") from error
+
+    @staticmethod
+    def _statistic_from_payload(spec: Any) -> Statistic:
+        if not isinstance(spec, list):
+            raise ArtifactError("statistic must be a list of query rules")
+        queries: List[CQ] = []
+        for index, rule in enumerate(spec):
+            if not isinstance(rule, str):
+                raise ArtifactError(
+                    f"statistic[{index}] must be a string rule, got {rule!r}"
+                )
+            try:
+                queries.append(parse_cq(rule))
+            except ReproError as error:
+                raise ArtifactError(
+                    f"statistic[{index}] does not parse: {error}"
+                ) from error
+        try:
+            return Statistic(queries)
+        except ReproError as error:
+            raise ArtifactError(f"invalid statistic: {error}") from error
+
+    @staticmethod
+    def _classifier_from_payload(spec: Any, dimension: int) -> LinearClassifier:
+        if not isinstance(spec, dict):
+            raise ArtifactError("classifier must be an object")
+        _require_keys(spec, frozenset(("weights", "threshold")), "classifier")
+        weights = spec["weights"]
+        if not isinstance(weights, list):
+            raise ArtifactError("classifier.weights must be a list")
+        parsed = tuple(
+            _expect_number(w, f"classifier.weights[{i}]")
+            for i, w in enumerate(weights)
+        )
+        if len(parsed) != dimension:
+            raise ArtifactError(
+                f"classifier has {len(parsed)} weights for a "
+                f"{dimension}-dimensional statistic"
+            )
+        threshold = _expect_number(spec["threshold"], "classifier.threshold")
+        return LinearClassifier(parsed, threshold)
+
+    # ------------------------------------------------------------------
+    # File round-trip
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the canonical JSON form to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ModelArtifact":
+        """Load and validate an artifact file.
+
+        Missing or unreadable files surface as :class:`ArtifactError` (the
+        CLI maps every :class:`~repro.exceptions.ReproError` to exit 2).
+        """
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as error:
+            raise ArtifactError(
+                f"cannot read model artifact {path!r}: {error}"
+            ) from error
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------
+    # Session export
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_session(
+        cls,
+        session: Any,
+        metadata: Optional[Mapping[str, Any]] = None,
+    ) -> "ModelArtifact":
+        """Export a fitted :class:`FeatureEngineeringSession` as an artifact.
+
+        Materializes the session's separating pair (for GHW(k) this runs
+        the exponential Prop 5.6 generation; Algorithm 1 sessions that only
+        ever call ``classify`` never pay this — exporting is the trade).
+        FO sessions have no finite statistic and cannot be exported.
+        """
+        language_spec_check = language_to_spec(session.language)  # fail fast
+        del language_spec_check
+        pair = session.materialize()
+        training = session.training
+        database = training.database
+        schema = database.schema
+        symbols = list(schema)
+        for query in pair.statistic:
+            for atom in query.atoms:
+                if atom.relation not in schema:
+                    symbols.append(RelationSymbol(atom.relation, atom.arity))
+        entity_symbol = getattr(database, "entity_symbol", ENTITY_SYMBOL)
+        report = session.report()
+        merged: Dict[str, Any] = {
+            "epsilon": report.epsilon,
+            "training_errors": report.training_errors,
+            "training_entities": len(training.entities),
+            "training_facts": len(database),
+            "library": "repro",
+        }
+        merged.update(metadata or {})
+        return cls(
+            EntitySchema(symbols, entity_symbol=entity_symbol),
+            session.language,
+            pair.statistic,
+            pair.classifier,
+            merged,
+        )
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ModelArtifact):
+            return NotImplemented
+        return self._payload() == other._payload()
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelArtifact(language={self.language!r}, "
+            f"dimension={self.dimension}, "
+            f"checksum={self.checksum()[:15]}…)"
+        )

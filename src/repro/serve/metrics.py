@@ -1,0 +1,152 @@
+"""Per-request serving metrics: counters, latency quantiles, throughput.
+
+The serving subsystem is measured the way a traffic-facing service is: how
+many requests and entities it labeled, how long each request waited
+(p50/p95 over a bounded reservoir of recent observations), and how much
+engine work the requests caused.  :class:`ServiceMetrics` is deliberately
+dependency-free — plain counters and a nearest-rank percentile over a
+bounded deque — so recording a request costs O(1) and a snapshot is a
+plain dict the CLI can print as JSON.
+
+Micro-batched requests record the *batch* wall-clock as each member
+request's latency: with synchronous micro-batching a request really does
+wait for its whole batch, so per-request quantiles stay honest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Sequence
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+#: Number of most-recent per-request latencies kept for quantile estimates.
+DEFAULT_RESERVOIR = 4096
+
+
+def percentile(sample: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a sample (0.0 for an empty sample).
+
+    ``fraction`` is in [0, 1]; nearest-rank keeps the estimate an actual
+    observed value, which matters for latency tails.
+    """
+    if not sample:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("percentile fraction must lie in [0, 1]")
+    ordered = sorted(sample)
+    rank = max(1, int(round(fraction * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class ServiceMetrics:
+    """Lightweight request accounting for one :class:`InferenceService`.
+
+    Parameters
+    ----------
+    reservoir:
+        Number of most-recent per-request latencies retained for the
+        quantile estimates (counters and totals are never truncated).
+    """
+
+    __slots__ = (
+        "requests",
+        "batches",
+        "entities",
+        "errors",
+        "warmups",
+        "busy_seconds",
+        "_latencies",
+    )
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir < 1:
+            raise ValueError("latency reservoir must be positive")
+        self.requests = 0
+        self.batches = 0
+        self.entities = 0
+        self.errors = 0
+        self.warmups = 0
+        self.busy_seconds = 0.0
+        self._latencies: Deque[float] = deque(maxlen=reservoir)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def observe_request(
+        self, seconds: float, entities: int, error: bool = False
+    ) -> None:
+        """Record one completed (or degraded) prediction request."""
+        self.requests += 1
+        self.entities += entities
+        self.busy_seconds += seconds
+        if error:
+            self.errors += 1
+        self._latencies.append(seconds)
+
+    def observe_batch(
+        self, seconds: float, requests: int, entities: int, errors: int = 0
+    ) -> None:
+        """Record one micro-batch of ``requests`` synchronous requests.
+
+        Every member waited for the whole batch, so each gets the batch
+        wall-clock as its latency; ``busy_seconds`` absorbs the wall-clock
+        once (the batch occupied the service once, not ``requests`` times).
+        """
+        self.batches += 1
+        self.requests += requests
+        self.entities += entities
+        self.errors += errors
+        self.busy_seconds += seconds
+        for _ in range(requests):
+            self._latencies.append(seconds)
+
+    def observe_warmup(self) -> None:
+        self.warmups += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def latencies(self) -> List[float]:
+        """The retained per-request latencies, oldest first (seconds)."""
+        return list(self._latencies)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters plus derived latency/throughput figures, as a dict.
+
+        Throughput is computed over ``busy_seconds`` (time actually spent
+        serving), so idle gaps between requests do not dilute it.
+        """
+        sample = list(self._latencies)
+        busy = self.busy_seconds
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "entities": self.entities,
+            "errors": self.errors,
+            "warmups": self.warmups,
+            "busy_seconds": busy,
+            "latency_ms": {
+                "p50": percentile(sample, 0.50) * 1e3,
+                "p95": percentile(sample, 0.95) * 1e3,
+                "max": (max(sample) if sample else 0.0) * 1e3,
+                "mean": (sum(sample) / len(sample) if sample else 0.0) * 1e3,
+            },
+            "throughput": {
+                "requests_per_s": self.requests / busy if busy > 0 else 0.0,
+                "entities_per_s": self.entities / busy if busy > 0 else 0.0,
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every counter and drop the latency reservoir."""
+        reservoir = self._latencies.maxlen or DEFAULT_RESERVOIR
+        self.__init__(reservoir)  # type: ignore[misc]
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceMetrics(requests={self.requests}, "
+            f"entities={self.entities}, errors={self.errors})"
+        )

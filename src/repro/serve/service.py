@@ -1,0 +1,285 @@
+"""The inference service: load an artifact once, serve predictions many times.
+
+:class:`InferenceService` is the serving half of the train-once /
+serve-many split.  It loads a :class:`~repro.serve.artifact.ModelArtifact`,
+compiles its feature queries once (canonical databases and their indexes
+are built at warm-up, not on the first request), and then labels pointed
+databases through the same :class:`~repro.cq.engine.EvaluationEngine` batch
+entry points training used — so a served prediction is bit-identical to
+``FeatureEngineeringSession.classify`` on the same input.
+
+Scale-out is micro-batching: :meth:`InferenceService.predict_batch` shards
+a list of request databases across a :class:`~repro.runtime.Executor`
+(``workers=N``), one shard task per chunk, with the runtime subsystem's
+order-preserving merge keeping results deterministic.
+
+Degradation is configurable per service: ``on_error="fail"`` raises a
+:class:`~repro.exceptions.ServeError` on the first request whose feature
+evaluation fails (malformed input databases), ``on_error="abstain"``
+converts the failure into a ``None`` result for that request and counts it
+in the metrics — a production service keeps serving the healthy requests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Optional, Sequence
+
+from repro.cq.engine import EvaluationEngine
+from repro.data.database import Database
+from repro.data.labeling import Labeling
+from repro.exceptions import ReproError, ServeError
+from repro.runtime.executor import Executor
+from repro.serve.artifact import ModelArtifact
+from repro.serve.metrics import ServiceMetrics
+
+__all__ = ["InferenceService", "ON_ERROR_MODES"]
+
+#: Valid degradation modes for feature-evaluation failures.
+ON_ERROR_MODES = ("fail", "abstain")
+
+
+class InferenceService:
+    """Serve ``predict`` / ``predict_batch`` for one loaded model.
+
+    Parameters
+    ----------
+    artifact:
+        The trained model to serve.
+    workers:
+        Degree of micro-batch parallelism; 1 (the default) serves fully
+        in-process on one warm engine.  Ignored when ``executor`` is given.
+    executor:
+        An explicit :class:`~repro.runtime.Executor` to shard batches on.
+        The caller keeps ownership (the service never closes it).
+    on_error:
+        ``"fail"`` raises :class:`ServeError` on a request whose feature
+        evaluation fails; ``"abstain"`` returns ``None`` for that request
+        and keeps serving.
+    engine:
+        An explicit evaluation engine (defaults to a fresh private one, so
+        the service's cache statistics are attributable to serving).
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        workers: int = 1,
+        executor: Optional[Executor] = None,
+        on_error: str = "fail",
+        engine: Optional[EvaluationEngine] = None,
+    ) -> None:
+        if on_error not in ON_ERROR_MODES:
+            raise ServeError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        self._artifact = artifact
+        self._pair = artifact.pair()
+        self._on_error = on_error
+        self._engine = engine if engine is not None else EvaluationEngine()
+        self.metrics = ServiceMetrics()
+        if executor is not None:
+            self._executor: Optional[Executor] = executor
+            self._owns_executor = False
+        elif workers > 1:
+            from repro.runtime import make_executor
+
+            self._executor = make_executor(workers)
+            self._owns_executor = True
+        else:
+            self._executor = None
+            self._owns_executor = False
+        self._warmed = False
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def artifact(self) -> ModelArtifact:
+        return self._artifact
+
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The executor batches shard on (None when fully serial)."""
+        return self._executor
+
+    @property
+    def workers(self) -> int:
+        return self._executor.workers if self._executor is not None else 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Compile the model ahead of the first request.
+
+        Builds every feature query's canonical database and index in this
+        process, and — when serving with a worker pool — pushes one empty
+        micro-batch through the executor so worker processes start (and
+        build their own compiled queries) before traffic arrives.
+        Idempotent; :meth:`predict` and :meth:`predict_batch` call it
+        lazily on first use.
+        """
+        if self._warmed:
+            return
+        for query in self._pair.statistic:
+            query.canonical_database.index  # noqa: B018 - build lazily-cached state
+        if self._executor is not None and self._executor.workers > 1:
+            empty = Database(
+                (), schema=self._artifact.schema
+            )
+            self._dispatch_batch([empty])
+        self._warmed = True
+        self.metrics.observe_warmup()
+
+    def close(self) -> None:
+        """Shut down the service-owned worker pool, if any.  Idempotent."""
+        if self._owns_executor and self._executor is not None:
+            executor, self._executor = self._executor, None
+            executor.close()
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict(self, database: Database) -> Optional[Labeling]:
+        """Label the entities of one pointed database.
+
+        Returns the labeling, or ``None`` when the request degraded under
+        ``on_error="abstain"``.  Bit-identical to
+        ``FeatureEngineeringSession.classify`` for the session the model
+        was exported from.
+        """
+        if not self._warmed:
+            self.warm_up()
+        start = time.perf_counter()
+        try:
+            labeling = self._pair.classify(database, engine=self._engine)
+        except ReproError as error:
+            self.metrics.observe_request(
+                time.perf_counter() - start, 0, error=True
+            )
+            if self._on_error == "fail":
+                raise ServeError(f"prediction failed: {error}") from error
+            return None
+        self.metrics.observe_request(
+            time.perf_counter() - start, len(labeling)
+        )
+        return labeling
+
+    def predict_batch(
+        self, databases: Sequence[Database]
+    ) -> List[Optional[Labeling]]:
+        """Label a micro-batch of pointed databases, one result per input.
+
+        With a multi-worker executor the databases are sharded across
+        worker processes (order-preserving merge: results arrive in input
+        order and are bit-identical to the serial loop).  Entries are
+        ``None`` exactly for requests that degraded under
+        ``on_error="abstain"``.
+        """
+        if not self._warmed:
+            self.warm_up()
+        databases = list(databases)
+        if not databases:
+            return []
+        start = time.perf_counter()
+        if self._executor is None or self._executor.workers <= 1:
+            outcomes = self._serial_batch(databases)
+        else:
+            outcomes = self._dispatch_batch(databases)
+        results: List[Optional[Labeling]] = []
+        errors = 0
+        entities = 0
+        for status, value in outcomes:
+            if status == "ok":
+                labeling = Labeling(value)
+                entities += len(labeling)
+                results.append(labeling)
+            else:
+                errors += 1
+                if self._on_error == "fail":
+                    self.metrics.observe_batch(
+                        time.perf_counter() - start,
+                        len(databases),
+                        entities,
+                        errors,
+                    )
+                    raise ServeError(f"prediction failed: {value}")
+                results.append(None)
+        self.metrics.observe_batch(
+            time.perf_counter() - start, len(databases), entities, errors
+        )
+        return results
+
+    # -- batch execution paths -----------------------------------------
+
+    def _serial_batch(self, databases: Sequence[Database]):
+        outcomes = []
+        for database in databases:
+            try:
+                labeling = self._pair.classify(database, engine=self._engine)
+                outcomes.append(("ok", labeling.as_dict()))
+            except ReproError as error:
+                outcomes.append(("error", str(error)))
+        return outcomes
+
+    def _dispatch_batch(self, databases: Sequence[Database]):
+        from repro.runtime.tasks import classify_databases
+
+        queries = self._pair.statistic.queries
+        weights = self._pair.classifier.weights
+        threshold = self._pair.classifier.threshold
+        assert self._executor is not None
+        return self._executor.run(
+            classify_databases,
+            list(databases),
+            lambda chunk: (queries, weights, threshold, tuple(chunk)),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Request metrics plus engine work counters and cache hit rates.
+
+        Engine figures cover this process's serving engine; with a worker
+        pool the executor's pool-wide aggregates are reported alongside.
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["model"] = {
+            "dimension": self._artifact.dimension,
+            "language": repr(self._artifact.language),
+            "checksum": self._artifact.checksum(),
+        }
+        work = self._engine.work_snapshot()
+        info = self._engine.cache_info()
+        attempts = info.hits + info.misses
+        snapshot["engine"] = dict(work)
+        snapshot["engine"]["cache_hit_rate"] = (
+            info.hits / attempts if attempts else 0.0
+        )
+        if self._executor is not None:
+            pool_info = self._executor.cache_info()
+            pool_attempts = pool_info.hits + pool_info.misses
+            snapshot["pool"] = dict(self._executor.work_done())
+            snapshot["pool"]["workers"] = self._executor.workers
+            snapshot["pool"]["cache_hit_rate"] = (
+                pool_info.hits / pool_attempts if pool_attempts else 0.0
+            )
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceService(model={self._artifact!r}, "
+            f"workers={self.workers}, on_error={self._on_error!r})"
+        )

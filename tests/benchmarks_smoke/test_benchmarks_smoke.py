@@ -38,8 +38,9 @@ class _BenchmarkOnce:
 
 
 def test_all_bench_modules_are_covered():
-    assert len(MODULES) >= 24
+    assert len(MODULES) >= 25
     assert "bench_engine" in MODULES
+    assert "bench_serve" in MODULES
 
 
 @pytest.mark.benchsmoke

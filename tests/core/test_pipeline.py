@@ -242,3 +242,112 @@ class TestEndToEndMatrix:
             path_training, BoundedAtomsCQ(2)
         ).classify(evaluation)
         assert labels == serial
+
+
+class _SpyExecutor:
+    """A SerialExecutor that counts close() calls (for leak regression)."""
+
+    def __init__(self):
+        from repro.runtime import SerialExecutor
+
+        self._inner = SerialExecutor()
+        self.close_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def close(self):
+        self.close_calls += 1
+        self._inner.close()
+
+
+@pytest.fixture
+def spy_executor(monkeypatch):
+    """Make workers>1 sessions own a close-counting serial executor."""
+    import repro.runtime
+
+    spy = _SpyExecutor()
+    monkeypatch.setattr(repro.runtime, "make_executor", lambda *a, **k: spy)
+    return spy
+
+
+class TestLifecycle:
+    """close()/__exit__ must release the owned pool exactly once."""
+
+    def test_fit_failure_closes_owned_executor(
+        self, path_training, spy_executor
+    ):
+        # AllCQ + epsilon raises inside _fit, *after* the session created
+        # its own executor — the regression this guards is that pool
+        # leaking with no handle for the caller to close it on.
+        with pytest.raises(SeparabilityError):
+            FeatureEngineeringSession(
+                path_training, CQ_ALL, epsilon=0.1, workers=2
+            )
+        assert spy_executor.close_calls == 1
+
+    def test_close_is_idempotent(self, path_training, spy_executor):
+        session = FeatureEngineeringSession(
+            path_training, BoundedAtomsCQ(2), workers=2
+        )
+        session.close()
+        session.close()
+        assert spy_executor.close_calls == 1
+
+    def test_exit_after_explicit_close_is_single_shutdown(
+        self, path_training, spy_executor
+    ):
+        with FeatureEngineeringSession(
+            path_training, BoundedAtomsCQ(2), workers=2
+        ) as session:
+            session.close()
+        assert spy_executor.close_calls == 1
+
+    def test_exit_closes_pool_when_classify_raises(self, spy_executor):
+        # E(a,b), E(b,a) makes a and b hom-equivalent points with opposite
+        # labels: the session constructs fine but classify raises — the
+        # pool must still be released on context-manager exit.
+        training = _not_separable_training()
+        with pytest.raises(NotSeparableError):
+            with FeatureEngineeringSession(
+                training, BoundedAtomsCQ(2), workers=2
+            ) as session:
+                session.classify(training.database)
+        assert spy_executor.close_calls == 1
+
+    def test_exit_closes_pool_when_caller_raises(
+        self, path_training, spy_executor
+    ):
+        class _Boom(Exception):
+            pass
+
+        with pytest.raises(_Boom):
+            with FeatureEngineeringSession(
+                path_training, BoundedAtomsCQ(2), workers=2
+            ):
+                raise _Boom()
+        assert spy_executor.close_calls == 1
+
+    def test_session_stays_usable_after_close(
+        self, path_training, evaluation
+    ):
+        session = FeatureEngineeringSession(
+            path_training, BoundedAtomsCQ(2), workers=2
+        )
+        before = session.classify(evaluation)
+        session.close()
+        assert session.executor is None
+        assert session.classify(evaluation) == before  # serial fallback
+
+    def test_serial_session_close_is_a_no_op(self, path_training):
+        session = FeatureEngineeringSession(path_training, BoundedAtomsCQ(2))
+        session.close()
+        session.close()
+        assert session.executor is None
+
+
+def _not_separable_training():
+    db = Database.from_tuples(
+        {"E": [("a", "b"), ("b", "a")], "eta": [("a",), ("b",)]}
+    )
+    return TrainingDatabase.from_examples(db, ["a"], ["b"])

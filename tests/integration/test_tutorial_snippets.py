@@ -123,3 +123,30 @@ class TestSection9:
         assert session.separable
         profile = separability_profile(train)
         assert profile.best_exact() is not None
+
+
+class TestSection10:
+    def test_persist_and_serve(self, tmp_path):
+        from repro.core.languages import BoundedAtomsCQ
+        from repro.serve import InferenceService, ModelArtifact
+
+        train = _tutorial_training()
+        fresh = Database.from_tuples(
+            {
+                "wrote": [("cy", "p9")],
+                "award": [("cy",)],
+                "eta": [("p9",)],
+            }
+        )
+        session = FeatureEngineeringSession(train, BoundedAtomsCQ(2))
+        artifact = session.export_artifact()
+        path = str(tmp_path / "model.json")
+        artifact.save(path)
+
+        loaded = ModelArtifact.load(path)
+        assert loaded == artifact
+        with InferenceService(loaded) as service:
+            assert service.predict(fresh) == session.classify(fresh)
+            snapshot = service.metrics_snapshot()
+        assert snapshot["requests"] == 1
+        assert "latency_ms" in snapshot

@@ -1,0 +1,125 @@
+"""Property-based tests for the model-artifact round trip.
+
+The artifact format promises three things for *every* model: the JSON text
+is a fixed point of serialize∘parse (bit-identical round trips), any edit
+to the payload is caught by the checksum, and artifacts written by a newer
+format version are rejected with a version message rather than
+misinterpreted.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.languages import AllCQ
+from repro.core.statistic import Statistic
+from repro.data.schema import EntitySchema
+from repro.exceptions import ArtifactError
+from repro.linsep.classifier import LinearClassifier
+from repro.serve.artifact import ARTIFACT_VERSION, ModelArtifact, _checksum
+
+from tests.property.strategies import unary_feature_queries
+
+_SETTINGS = settings(max_examples=30, deadline=None)
+
+_weights = st.floats(
+    min_value=-8.0, max_value=8.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def artifacts(draw):
+    """Random artifacts over the {E/2, eta/1} schema."""
+    queries = draw(
+        st.lists(unary_feature_queries(), min_size=1, max_size=4)
+    )
+    weights = tuple(draw(_weights) for _ in queries)
+    threshold = draw(_weights)
+    metadata = draw(
+        st.dictionaries(
+            st.text(
+                alphabet="abcdefghijklmnop_", min_size=1, max_size=8
+            ),
+            st.one_of(
+                st.integers(min_value=-100, max_value=100),
+                st.booleans(),
+                st.text(alphabet="xyz0123456789", max_size=6),
+            ),
+            max_size=3,
+        )
+    )
+    return ModelArtifact(
+        EntitySchema.from_arities({"E": 2}),
+        AllCQ(),
+        Statistic(queries),
+        LinearClassifier(weights, threshold),
+        metadata,
+    )
+
+
+def _reseal(payload: dict) -> str:
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    payload["checksum"] = _checksum(body)
+    return json.dumps(payload)
+
+
+class TestRoundTripProperties:
+    @_SETTINGS
+    @given(artifacts())
+    def test_serialize_parse_is_a_fixed_point(self, artifact):
+        text = artifact.to_json()
+        loaded = ModelArtifact.from_json(text)
+        assert loaded.to_json() == text
+        assert loaded == artifact
+
+    @_SETTINGS
+    @given(artifacts())
+    def test_checksum_is_deterministic(self, artifact):
+        assert (
+            ModelArtifact.from_json(artifact.to_json()).checksum()
+            == artifact.checksum()
+        )
+
+    @_SETTINGS
+    @given(artifacts())
+    def test_queries_round_trip_in_order(self, artifact):
+        loaded = ModelArtifact.from_json(artifact.to_json())
+        assert loaded.statistic.queries == artifact.statistic.queries
+        assert loaded.classifier.weights == artifact.classifier.weights
+        assert loaded.classifier.threshold == artifact.classifier.threshold
+
+
+class TestTamperProperties:
+    @_SETTINGS
+    @given(artifacts(), st.floats(allow_nan=False, allow_infinity=False))
+    def test_any_threshold_edit_is_detected(self, artifact, new_threshold):
+        payload = json.loads(artifact.to_json())
+        if payload["classifier"]["threshold"] == new_threshold:
+            return  # not a tamper
+        payload["classifier"]["threshold"] = new_threshold
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            ModelArtifact.from_json(json.dumps(payload))
+
+    @_SETTINGS
+    @given(artifacts(), st.integers(min_value=0, max_value=3))
+    def test_dropping_any_query_is_detected(self, artifact, index):
+        payload = json.loads(artifact.to_json())
+        del payload["statistic"][index % len(payload["statistic"])]
+        with pytest.raises(ArtifactError):
+            ModelArtifact.from_json(json.dumps(payload))
+
+
+class TestVersionProperties:
+    @_SETTINGS
+    @given(artifacts(), st.integers(min_value=1, max_value=1000))
+    def test_forward_versions_are_rejected_by_version(self, artifact, bump):
+        payload = json.loads(artifact.to_json())
+        payload["version"] = ARTIFACT_VERSION + bump
+        # Reseal so the *only* defect is the version: the rejection must
+        # come from the version gate, not the checksum.
+        with pytest.raises(ArtifactError, match="newer than the supported"):
+            ModelArtifact.from_json(_reseal(payload))

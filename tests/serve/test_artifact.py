@@ -1,0 +1,228 @@
+"""Unit tests for the model artifact format (repro.serve.artifact)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.languages import AllCQ, BoundedAtomsCQ, GhwClass
+from repro.core.pipeline import FeatureEngineeringSession
+from repro.core.statistic import Statistic
+from repro.cq.parser import parse_cq
+from repro.data.schema import EntitySchema
+from repro.exceptions import ArtifactError
+from repro.linsep.classifier import LinearClassifier
+from repro.serve.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ModelArtifact,
+    language_from_spec,
+    language_to_spec,
+)
+
+
+@pytest.fixture
+def small_artifact() -> ModelArtifact:
+    statistic = Statistic(
+        [
+            parse_cq("q(x) :- eta(x), E(x, y)"),
+            parse_cq("q(x) :- eta(x), E(x, y), E(y, z)"),
+        ]
+    )
+    classifier = LinearClassifier((1.0, -0.5), 0.25)
+    return ModelArtifact(
+        EntitySchema.from_arities({"E": 2}),
+        BoundedAtomsCQ(2),
+        statistic,
+        classifier,
+        {"epsilon": 0.0, "training_entities": 3},
+    )
+
+
+class TestRoundTrip:
+    def test_bit_identical_round_trip(self, small_artifact):
+        text = small_artifact.to_json()
+        loaded = ModelArtifact.from_json(text)
+        assert loaded.to_json() == text
+        assert loaded == small_artifact
+        assert loaded.checksum() == small_artifact.checksum()
+
+    def test_file_round_trip(self, small_artifact, tmp_path):
+        path = str(tmp_path / "model.json")
+        small_artifact.save(path)
+        assert ModelArtifact.load(path) == small_artifact
+
+    def test_preserves_feature_order(self, small_artifact):
+        loaded = ModelArtifact.from_json(small_artifact.to_json())
+        assert loaded.statistic.queries == small_artifact.statistic.queries
+
+    def test_classifier_survives_exactly(self, small_artifact):
+        loaded = ModelArtifact.from_json(small_artifact.to_json())
+        assert loaded.classifier.weights == (1.0, -0.5)
+        assert loaded.classifier.threshold == 0.25
+
+    def test_empty_statistic_round_trips(self):
+        artifact = ModelArtifact(
+            EntitySchema.from_arities({}),
+            AllCQ(),
+            Statistic(()),
+            LinearClassifier((), 1.0),
+        )
+        assert ModelArtifact.from_json(artifact.to_json()) == artifact
+
+
+class TestChecksum:
+    def test_tampered_weight_is_detected(self, small_artifact):
+        payload = json.loads(small_artifact.to_json())
+        payload["classifier"]["weights"][0] = 99.0
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            ModelArtifact.from_json(json.dumps(payload))
+
+    def test_tampered_query_is_detected(self, small_artifact):
+        payload = json.loads(small_artifact.to_json())
+        payload["statistic"][0] = "q(x) :- eta(x)"
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            ModelArtifact.from_json(json.dumps(payload))
+
+    def test_tampered_metadata_is_detected(self, small_artifact):
+        payload = json.loads(small_artifact.to_json())
+        payload["metadata"]["training_entities"] = 4096
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            ModelArtifact.from_json(json.dumps(payload))
+
+    def test_checksum_is_stable_across_instances(self, small_artifact):
+        clone = ModelArtifact.from_json(small_artifact.to_json())
+        assert clone.checksum() == small_artifact.checksum()
+
+
+class TestStrictValidation:
+    def _payload(self, artifact):
+        return json.loads(artifact.to_json())
+
+    def _reseal(self, payload):
+        """Recompute the checksum so only the targeted defect remains."""
+        from repro.serve.artifact import _checksum
+
+        body = {k: v for k, v in payload.items() if k != "checksum"}
+        payload["checksum"] = _checksum(body)
+        return json.dumps(payload)
+
+    def test_newer_version_is_rejected(self, small_artifact):
+        payload = self._payload(small_artifact)
+        payload["version"] = ARTIFACT_VERSION + 1
+        with pytest.raises(ArtifactError, match="newer than the supported"):
+            ModelArtifact.from_json(self._reseal(payload))
+
+    def test_wrong_format_tag_is_rejected(self, small_artifact):
+        payload = self._payload(small_artifact)
+        payload["format"] = "not-a-model"
+        with pytest.raises(ArtifactError, match=ARTIFACT_FORMAT):
+            ModelArtifact.from_json(self._reseal(payload))
+
+    def test_unknown_top_level_key_is_rejected(self, small_artifact):
+        payload = self._payload(small_artifact)
+        payload["extra"] = True
+        with pytest.raises(ArtifactError, match="unknown keys extra"):
+            ModelArtifact.from_json(self._reseal(payload))
+
+    def test_missing_section_is_rejected(self, small_artifact):
+        payload = self._payload(small_artifact)
+        del payload["classifier"]
+        with pytest.raises(ArtifactError, match="missing keys classifier"):
+            ModelArtifact.from_json(self._reseal(payload))
+
+    def test_weight_count_mismatch_is_rejected(self, small_artifact):
+        payload = self._payload(small_artifact)
+        payload["classifier"]["weights"].append(0.0)
+        with pytest.raises(ArtifactError, match="weights"):
+            ModelArtifact.from_json(self._reseal(payload))
+
+    def test_unparseable_query_is_rejected(self, small_artifact):
+        payload = self._payload(small_artifact)
+        payload["statistic"][0] = "this is not a rule"
+        with pytest.raises(ArtifactError, match="does not parse"):
+            ModelArtifact.from_json(self._reseal(payload))
+
+    def test_query_outside_schema_is_rejected(self, small_artifact):
+        payload = self._payload(small_artifact)
+        payload["statistic"][0] = "q(x) :- eta(x), S(x, y)"
+        with pytest.raises(ArtifactError, match="absent from the artifact"):
+            ModelArtifact.from_json(self._reseal(payload))
+
+    def test_query_arity_mismatch_is_rejected(self, small_artifact):
+        payload = self._payload(small_artifact)
+        payload["statistic"][0] = "q(x) :- eta(x), E(x, y, z)"
+        with pytest.raises(ArtifactError, match="arity"):
+            ModelArtifact.from_json(self._reseal(payload))
+
+    def test_not_json_is_rejected(self):
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            ModelArtifact.from_json("garbage{")
+
+    def test_missing_file_is_artifact_error(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            ModelArtifact.load(str(tmp_path / "nope.json"))
+
+    def test_non_scalar_metadata_is_rejected(self):
+        with pytest.raises(ArtifactError, match="JSON scalar"):
+            ModelArtifact(
+                EntitySchema.from_arities({}),
+                AllCQ(),
+                Statistic(()),
+                LinearClassifier((), 1.0),
+                {"nested": {"a": 1}},
+            )
+
+
+class TestLanguageSpecs:
+    @pytest.mark.parametrize(
+        "language",
+        [AllCQ(), GhwClass(2), BoundedAtomsCQ(3), BoundedAtomsCQ(2, 2)],
+    )
+    def test_spec_round_trip(self, language):
+        assert language_from_spec(language_to_spec(language)) == language
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ArtifactError, match="unknown language kind"):
+            language_from_spec({"kind": "datalog"})
+
+    def test_invalid_parameter_is_rejected(self):
+        with pytest.raises(ArtifactError, match="invalid language spec"):
+            language_from_spec({"kind": "ghw", "k": 0})
+
+    def test_fo_has_no_spec(self, path_training):
+        from repro.fo.fragments import FirstOrder
+
+        with pytest.raises(ArtifactError, match="no artifact spec"):
+            language_to_spec(FirstOrder())
+
+
+class TestSessionExport:
+    def test_export_captures_the_fitted_pair(self, path_training):
+        session = FeatureEngineeringSession(path_training, BoundedAtomsCQ(2))
+        artifact = session.export_artifact()
+        pair = session.materialize()
+        assert artifact.statistic == pair.statistic
+        assert artifact.classifier == pair.classifier
+        assert artifact.metadata["training_entities"] == 3
+        assert artifact.metadata["epsilon"] == 0.0
+
+    def test_export_metadata_merge(self, path_training):
+        session = FeatureEngineeringSession(path_training, BoundedAtomsCQ(2))
+        artifact = session.export_artifact(metadata={"run": "nightly-7"})
+        assert artifact.metadata["run"] == "nightly-7"
+
+    def test_ghw_session_exports_via_materialize(self, path_training):
+        session = FeatureEngineeringSession(path_training, GhwClass(1))
+        artifact = session.export_artifact()
+        assert artifact.dimension >= 1
+        loaded = ModelArtifact.from_json(artifact.to_json())
+        assert loaded == artifact
+
+    def test_fo_session_cannot_export(self, path_training):
+        from repro.fo.fragments import FirstOrder
+
+        session = FeatureEngineeringSession(path_training, FirstOrder())
+        with pytest.raises(ArtifactError):
+            session.export_artifact()

@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.serve.metrics`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.metrics import DEFAULT_RESERVOIR, ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_sample_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_observation(self):
+        assert percentile([3.0], 0.5) == 3.0
+        assert percentile([3.0], 0.95) == 3.0
+
+    def test_nearest_rank_returns_observed_values(self):
+        sample = [float(i) for i in range(1, 101)]
+        assert percentile(sample, 0.50) == 50.0
+        assert percentile(sample, 0.95) == 95.0
+        assert percentile(sample, 1.0) == 100.0
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 0.5) == percentile(
+            [1.0, 3.0, 5.0], 0.5
+        )
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestServiceMetrics:
+    def test_starts_at_zero(self):
+        metrics = ServiceMetrics()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 0
+        assert snapshot["errors"] == 0
+        assert snapshot["latency_ms"]["p95"] == 0.0
+        assert snapshot["throughput"]["requests_per_s"] == 0.0
+
+    def test_observe_request(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request(0.5, 3)
+        metrics.observe_request(0.5, 2, error=True)
+        assert metrics.requests == 2
+        assert metrics.entities == 5
+        assert metrics.errors == 1
+        assert metrics.busy_seconds == 1.0
+        assert metrics.snapshot()["throughput"]["requests_per_s"] == 2.0
+
+    def test_batch_counts_wall_clock_once(self):
+        metrics = ServiceMetrics()
+        metrics.observe_batch(2.0, requests=4, entities=8, errors=1)
+        assert metrics.batches == 1
+        assert metrics.requests == 4
+        assert metrics.entities == 8
+        assert metrics.errors == 1
+        # The batch occupied the service once, not four times...
+        assert metrics.busy_seconds == 2.0
+        # ...but every member request waited the full batch wall-clock.
+        assert metrics.latencies() == [2.0, 2.0, 2.0, 2.0]
+        assert metrics.snapshot()["throughput"]["requests_per_s"] == 2.0
+
+    def test_reservoir_is_bounded(self):
+        metrics = ServiceMetrics(reservoir=4)
+        for i in range(10):
+            metrics.observe_request(float(i), 1)
+        assert metrics.requests == 10  # counters are never truncated
+        assert metrics.latencies() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_invalid_reservoir(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics(reservoir=0)
+
+    def test_reset(self):
+        metrics = ServiceMetrics(reservoir=7)
+        metrics.observe_request(1.0, 1)
+        metrics.observe_warmup()
+        metrics.reset()
+        assert metrics.requests == 0
+        assert metrics.warmups == 0
+        assert metrics.latencies() == []
+        assert metrics._latencies.maxlen == 7  # reservoir size survives
+
+    def test_default_reservoir(self):
+        assert ServiceMetrics()._latencies.maxlen == DEFAULT_RESERVOIR
+
+    def test_snapshot_quantiles(self):
+        metrics = ServiceMetrics()
+        for seconds in (0.010, 0.020, 0.030, 0.100):
+            metrics.observe_request(seconds, 1)
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_ms"]["p50"] == pytest.approx(20.0)
+        assert snapshot["latency_ms"]["max"] == pytest.approx(100.0)
+        assert snapshot["latency_ms"]["mean"] == pytest.approx(40.0)

@@ -214,3 +214,222 @@ class TestWorkersFlag:
             ]
         ) == 0
         assert capsys.readouterr().out == serial
+
+
+@pytest.fixture
+def model_file(training_file, tmp_path, capsys):
+    """A model artifact exported by the train verb (CQ[2] on the path db)."""
+    out = str(tmp_path / "model.json")
+    code = main(
+        ["train", training_file, "--language", "cqm", "--m", "2",
+         "--out", out]
+    )
+    assert code == 0
+    capsys.readouterr()  # swallow the train report
+    return out
+
+
+@pytest.fixture
+def requests_file(tmp_path):
+    import json
+
+    from repro.data import Database
+    from repro.data.io import facts_to_json
+
+    evaluation = Database.from_tuples(
+        {
+            "E": [("f", "g"), ("g", "h"), ("i", "j")],
+            "eta": [("f",), ("g",), ("i",)],
+        }
+    )
+    lines = [
+        json.dumps({"id": "r1", "facts": facts_to_json(evaluation)}),
+        json.dumps({"facts": facts_to_json(evaluation)}),  # id defaults
+    ]
+    path = tmp_path / "requests.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestTrainCommand:
+    def test_writes_a_loadable_artifact(self, training_file, tmp_path, capsys):
+        out = str(tmp_path / "model.json")
+        code = main(
+            ["train", training_file, "--language", "cqm", "--m", "2",
+             "--out", out]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "wrote" in printed
+        assert "sha256:" in printed
+
+        from repro.serve import ModelArtifact
+
+        artifact = ModelArtifact.load(out)
+        assert artifact.dimension >= 1
+
+    def test_not_separable_writes_nothing(
+        self, training_file, tmp_path, capsys
+    ):
+        out = str(tmp_path / "model.json")
+        code = main(
+            ["train", training_file, "--language", "cqm", "--m", "1",
+             "--out", out]
+        )
+        assert code == 1
+        assert "no artifact written" in capsys.readouterr().err
+        import os
+
+        assert not os.path.exists(out)
+
+    def test_missing_training_file_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["train", str(tmp_path / "nope.json"), "--out",
+             str(tmp_path / "model.json")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one line, no traceback
+
+
+class TestPredictCommand:
+    def _labels(self, out):
+        import json
+
+        payloads = [json.loads(line) for line in out.splitlines() if line]
+        return {payload["id"]: payload.get("labels") for payload in payloads}
+
+    def test_matches_refit_classify(
+        self, training_file, evaluation_file, model_file, requests_file,
+        capsys,
+    ):
+        assert main(
+            ["classify", training_file, evaluation_file,
+             "--language", "cqm", "--m", "2"]
+        ) == 0
+        refit = capsys.readouterr().out
+        expected = {
+            line[1:]: 1 if line[0] == "+" else -1
+            for line in refit.splitlines()
+            if line
+        }
+
+        assert main(
+            ["predict", requests_file, "--model", model_file]
+        ) == 0
+        labels = self._labels(capsys.readouterr().out)
+        assert labels["r1"] == expected
+        assert labels[2] == expected  # the id-less line got its lineno
+
+    def test_workers_2_is_bit_identical(
+        self, model_file, requests_file, capsys
+    ):
+        assert main(
+            ["predict", requests_file, "--model", model_file]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["predict", requests_file, "--model", model_file,
+             "--workers", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_metrics_flag_prints_json_on_stderr(
+        self, model_file, requests_file, capsys
+    ):
+        import json
+
+        assert main(
+            ["predict", requests_file, "--model", model_file, "--metrics"]
+        ) == 0
+        captured = capsys.readouterr()
+        snapshot = json.loads(captured.err)
+        assert snapshot["requests"] == 2
+        assert "latency_ms" in snapshot
+        assert snapshot["model"]["checksum"].startswith("sha256:")
+
+    def test_missing_model_exits_2(self, requests_file, tmp_path, capsys):
+        code = main(
+            ["predict", requests_file, "--model",
+             str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read model artifact")
+        assert err.count("\n") == 1
+
+    def test_corrupt_model_exits_2(self, requests_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ this is not json")
+        code = main(["predict", requests_file, "--model", str(bad)])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_tampered_model_exits_2(
+        self, model_file, requests_file, tmp_path, capsys
+    ):
+        import json
+
+        payload = json.loads(open(model_file).read())
+        payload["classifier"]["threshold"] += 1.0  # keep the old checksum
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(payload))
+        code = main(["predict", requests_file, "--model", str(tampered)])
+        assert code == 2
+        assert "checksum mismatch" in capsys.readouterr().err
+
+    def test_malformed_request_line_exits_2(
+        self, model_file, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"facts": [}\n')
+        code = main(
+            ["predict", str(requests), "--model", model_file]
+        )
+        assert code == 2
+        assert "request line 1" in capsys.readouterr().err
+
+    def test_reads_stdin(self, model_file, requests_file, capsys, monkeypatch):
+        import io
+
+        payload = open(requests_file).read()
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        assert main(["predict", "-", "--model", model_file]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 2
+
+
+class TestClassifyFromModel:
+    def test_model_route_matches_refit(
+        self, training_file, evaluation_file, model_file, capsys
+    ):
+        assert main(
+            ["classify", training_file, evaluation_file,
+             "--language", "cqm", "--m", "2"]
+        ) == 0
+        refit = capsys.readouterr().out
+        assert main(
+            ["classify", training_file, evaluation_file,
+             "--model", model_file]
+        ) == 0
+        assert capsys.readouterr().out == refit
+
+    def test_model_route_ignores_language_options(
+        self, training_file, evaluation_file, model_file, capsys
+    ):
+        # m=1 would not even be separable on a refit; the artifact wins.
+        assert main(
+            ["classify", training_file, evaluation_file,
+             "--model", model_file, "--language", "cqm", "--m", "1"]
+        ) == 0
+        assert "+f" in capsys.readouterr().out
+
+    def test_missing_model_exits_2(
+        self, training_file, evaluation_file, tmp_path, capsys
+    ):
+        code = main(
+            ["classify", training_file, evaluation_file,
+             "--model", str(tmp_path / "gone.json")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -36,6 +36,10 @@ MODULES = [
     "repro.runtime.shard",
     "repro.runtime.executor",
     "repro.runtime.tasks",
+    "repro.serve",
+    "repro.serve.artifact",
+    "repro.serve.service",
+    "repro.serve.metrics",
     "repro.workloads",
     "repro.cli",
     "repro.exceptions",
