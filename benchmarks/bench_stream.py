@@ -1,0 +1,157 @@
+"""Ablation A9 — incremental maintenance vs. full recomputation.
+
+The streaming subsystem (:mod:`repro.stream`) claims that after a small
+delta, re-classifying an evolving database costs a fraction of a cold
+recomputation: relation-scoped cache migration
+(:meth:`EvaluationEngine.apply_delta`) keeps every feature whose query
+does not mention a touched relation, so only the moved features are
+re-evaluated.  This bench applies one single-relation delta to a warm
+:class:`~repro.stream.StreamingClassifier` on the retail and molecules
+workloads and compares *engine work units* — hom checks and cache-missed
+evaluations, not wall-clock — against a cold engine labeling the same
+materialized database.
+
+Correctness is asserted unconditionally and twice per workload: the
+incremental labels must be bit-identical to
+``FeatureEngineeringSession.classify`` on the materialized database with
+a serial session **and** with a 2-worker session (the sharded path).
+The incremental-work assertion is strict: fewer hom checks and fewer
+evaluations than the cold recompute, for both workloads.
+"""
+
+from __future__ import annotations
+
+from repro.core.languages import BoundedAtomsCQ
+from repro.core.pipeline import FeatureEngineeringSession
+from repro.cq.engine import EvaluationEngine
+from repro.stream import Delta, StreamingClassifier
+from repro.workloads.molecules import molecule_database
+from repro.workloads.retail import retail_database
+
+from harness import report
+
+#: (name, training factory, evaluation factory, language factory,
+#:  single-relation delta applied to the evaluation database)
+WORKLOADS = (
+    (
+        "retail",
+        lambda: retail_database(n_customers=6, seed=3),
+        lambda: retail_database(n_customers=4, seed=11).database,
+        lambda: BoundedAtomsCQ(3),
+        Delta.insert("premium", "prod_new"),
+    ),
+    (
+        "molecules",
+        lambda: molecule_database(n_molecules=6, seed=7),
+        # CQ[2] rather than GHW: every GHW canonical feature mentions
+        # every relation, which leaves nothing for relation-scoped
+        # invalidation to keep.  CQ[2] features mention small subsets.
+        lambda: molecule_database(n_molecules=4, seed=21).database,
+        lambda: BoundedAtomsCQ(2),
+        Delta.insert("double", "mol0_c", "mol0_n"),
+    ),
+)
+
+
+def _work(engine: EvaluationEngine):
+    """The (hom checks, cache-missed evaluations) work units so far."""
+    snapshot = engine.work_snapshot()
+    return snapshot["hom_checks"], snapshot["cache_misses"]
+
+
+def test_incremental_beats_recompute(benchmark):
+    rows = []
+    steady = None
+    for name, make_training, make_eval, make_language, delta in WORKLOADS:
+        with FeatureEngineeringSession(
+            make_training(), make_language()
+        ) as serial_session:
+            assert serial_session.separable
+            pair = serial_session.materialize()
+            evaluation = make_eval()
+
+            classifier = StreamingClassifier(pair, evaluation)
+            classifier.classify()  # version 0: warm the caches
+            effective = classifier.apply(delta)
+            assert not effective.is_empty
+
+            homs_before, evals_before = _work(classifier.engine)
+            incremental = classifier.classify()
+            homs_after, evals_after = _work(classifier.engine)
+            inc_homs = homs_after - homs_before
+            inc_evals = evals_after - evals_before
+
+            cold_engine = EvaluationEngine()
+            recomputed = pair.classify(
+                classifier.database, engine=cold_engine
+            )
+            full_homs, full_evals = _work(cold_engine)
+
+            # Bit-identity, serial: streaming == cold == session.classify.
+            assert incremental == recomputed
+            assert incremental == serial_session.classify(
+                classifier.database
+            )
+
+            # Strictly less work on both axes, on both workloads.
+            assert inc_homs < full_homs, (
+                f"{name}: incremental hom checks {inc_homs} not below "
+                f"full recompute {full_homs}"
+            )
+            assert inc_evals < full_evals, (
+                f"{name}: incremental evaluations {inc_evals} not below "
+                f"full recompute {full_evals}"
+            )
+
+        # Bit-identity under the sharded (2-worker) session too.
+        with FeatureEngineeringSession(
+            make_training(), make_language(), workers=2
+        ) as sharded_session:
+            assert sharded_session.separable
+            assert incremental == sharded_session.classify(
+                classifier.database
+            )
+
+        stats = classifier.stats()
+        rows.append(
+            (
+                name,
+                pair.statistic.dimension,
+                ", ".join(sorted(effective.touched_relations)),
+                f"{stats['features_reused']}/{pair.statistic.dimension}",
+                f"{inc_homs} vs {full_homs}",
+                f"{inc_evals} vs {full_evals}",
+                f"{inc_homs / full_homs:.2f}x",
+            )
+        )
+        if steady is None:
+            steady = classifier  # retail: reused for the timed section
+
+    report(
+        "A9_stream_incremental",
+        (
+            "workload",
+            "dim",
+            "delta touches",
+            "reused",
+            "hom checks (inc vs full)",
+            "evaluations (inc vs full)",
+            "work ratio",
+        ),
+        rows,
+    )
+
+    # Steady-state timing: one incremental delta + re-classification on a
+    # warm stream (the per-update cost of the maintenance path).
+    toggle = [True]
+
+    def update_and_classify():
+        flag = toggle[0] = not toggle[0]
+        steady.apply(
+            Delta.insert("premium", "prod_toggle")
+            if flag
+            else Delta.delete("premium", "prod_toggle")
+        )
+        return steady.classify()
+
+    benchmark(update_and_classify)

@@ -12,6 +12,8 @@ full surface:
 - :mod:`repro.fo` — first-order feature languages (Section 8).
 - :mod:`repro.workloads` — synthetic data generators and hard-instance families.
 - :mod:`repro.runtime` — sharded parallel execution across worker processes.
+- :mod:`repro.serve` — pickle-free model artifacts and batched inference serving.
+- :mod:`repro.stream` — deltas, evolving databases, incremental classification.
 """
 
 from repro.cq import CQ, Atom, Variable, parse_cq

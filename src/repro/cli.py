@@ -159,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a metrics snapshot (latency quantiles, throughput, "
         "engine work) as JSON on stderr",
     )
+    predict.add_argument(
+        "--stream",
+        action="store_true",
+        help="stateful mode: the input is an op stream over ONE evolving "
+        "database ({'op': 'init'|'delta'|'predict'} per line) and "
+        "predictions after a delta re-evaluate only the touched features",
+    )
 
     features = commands.add_parser(
         "features", help="materialize a separating statistic"
@@ -303,9 +310,112 @@ def _read_requests(path: str) -> List[Tuple[Any, Database]]:
     return requests
 
 
+def _read_lines(path: str) -> List[str]:
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            text = handle.read()
+    return text.splitlines()
+
+
+def _run_predict_stream(args: argparse.Namespace) -> int:
+    """Serve a stateful op stream: init once, then interleaved delta/predict.
+
+    Ops (one JSON object per line)::
+
+        {"op": "init", "facts": [...]}          # exactly once, first
+        {"op": "delta", "add": [...], "remove": [...]}
+        {"op": "predict", "id": ...}            # labels the current version
+
+    Each predict writes one ``{"id", "labels"}`` line (or an ``{"id",
+    "error"}`` line under ``--on-error abstain``).  Deltas migrate the
+    serving engine's caches relation-scoped, so a predict after a small
+    delta re-evaluates only the features whose relations moved.
+    """
+    from repro.serve import InferenceService, ModelArtifact
+    from repro.stream import Delta
+
+    artifact = ModelArtifact.load(args.model)
+    with InferenceService(
+        artifact, workers=args.workers, on_error=args.on_error
+    ) as service:
+        stream = None
+        for lineno, raw_line in enumerate(_read_lines(args.requests), start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ParseError(f"op line {lineno}: invalid JSON: {exc}")
+            if not isinstance(payload, dict) or "op" not in payload:
+                raise ParseError(
+                    f"op line {lineno}: expected an object with an 'op' key "
+                    "(streaming mode input is an op stream, not a request "
+                    "stream)"
+                )
+            op = payload["op"]
+            if op == "init":
+                if stream is not None:
+                    raise ParseError(
+                        f"op line {lineno}: duplicate init (one evolving "
+                        "database per stream)"
+                    )
+                if "facts" not in payload:
+                    raise ParseError(
+                        f"op line {lineno}: init requires a 'facts' list"
+                    )
+                base = Database(facts_from_json(payload["facts"]))
+                stream = service.open_stream(base)
+            elif op == "delta":
+                if stream is None:
+                    raise ParseError(
+                        f"op line {lineno}: delta before init"
+                    )
+                body = {
+                    key: value for key, value in payload.items() if key != "op"
+                }
+                stream.apply(Delta.from_json_dict(body))
+            elif op == "predict":
+                if stream is None:
+                    raise ParseError(
+                        f"op line {lineno}: predict before init"
+                    )
+                request_id = payload.get("id", lineno)
+                labeling = stream.predict()
+                if labeling is None:
+                    out = {
+                        "id": request_id,
+                        "error": "feature evaluation failed; abstained",
+                    }
+                else:
+                    out = {
+                        "id": request_id,
+                        "labels": {
+                            _element_to_str(entity): labeling[entity]
+                            for entity in sorted(labeling, key=str)
+                        },
+                    }
+                sys.stdout.write(json.dumps(out, sort_keys=True) + "\n")
+            else:
+                raise ParseError(
+                    f"op line {lineno}: unknown op {op!r} "
+                    "(expected init, delta, or predict)"
+                )
+        if args.metrics:
+            snapshot = service.metrics_snapshot()
+            if stream is not None:
+                snapshot["stream"] = stream.stats()
+            print(json.dumps(snapshot, sort_keys=True), file=sys.stderr)
+    return 0
+
+
 def _run_predict(args: argparse.Namespace) -> int:
     from repro.serve import InferenceService, ModelArtifact
 
+    if args.stream:
+        return _run_predict_stream(args)
     artifact = ModelArtifact.load(args.model)
     requests = _read_requests(args.requests)
     with InferenceService(

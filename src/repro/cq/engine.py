@@ -40,6 +40,7 @@ from collections import OrderedDict
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -74,12 +75,20 @@ DEFAULT_CACHE_SIZE = 4096
 
 
 class CacheInfo(NamedTuple):
-    """``functools.lru_cache``-style cache statistics."""
+    """``functools.lru_cache``-style cache statistics.
+
+    ``retained``/``invalidated`` count delta reconciliations (see
+    :meth:`EvaluationEngine.apply_delta`): entries migrated to the new
+    database version versus entries evicted because their query mentioned
+    a touched relation.  Both stay 0 for engines never fed a delta.
+    """
 
     hits: int
     misses: int
     maxsize: int
     currsize: int
+    retained: int = 0
+    invalidated: int = 0
 
 
 class EngineCounters:
@@ -131,7 +140,7 @@ class _LRUCache:
     evicted or the dict having been cleared by such a re-entrant call.
     """
 
-    __slots__ = ("maxsize", "_data", "hits", "misses")
+    __slots__ = ("maxsize", "_data", "hits", "misses", "retained", "invalidated")
 
     _MISSING = object()
 
@@ -142,6 +151,8 @@ class _LRUCache:
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.retained = 0
+        self.invalidated = 0
 
     def lookup(self, key: Any) -> Any:
         value = self._data.get(key, self._MISSING)
@@ -170,13 +181,51 @@ class _LRUCache:
             except KeyError:  # re-entrant clear() emptied the dict
                 break
 
+    def reconcile(
+        self, decide: Callable[[Any], Tuple[str, Any]]
+    ) -> Tuple[int, int]:
+        """Rebuild the cache under a key migration, preserving recency order.
+
+        ``decide(key)`` returns ``("keep", None)``, ``("rekey", new_key)``,
+        or ``("drop", None)``.  Returns ``(migrated, dropped)`` and folds
+        both into the ``retained``/``invalidated`` tallies.  Migrating a
+        key onto an existing one keeps the migrated value (the entries are
+        equal results by construction, so either is correct).
+        """
+        migrated = dropped = 0
+        items = list(self._data.items())
+        self._data.clear()
+        for key, value in items:
+            action, new_key = decide(key)
+            if action == "drop":
+                dropped += 1
+                continue
+            if action == "rekey":
+                if new_key != key:
+                    migrated += 1
+                self._data[new_key] = value
+            else:
+                self._data[key] = value
+        self.retained += migrated
+        self.invalidated += dropped
+        return migrated, dropped
+
     def info(self) -> CacheInfo:
-        return CacheInfo(self.hits, self.misses, self.maxsize, len(self._data))
+        return CacheInfo(
+            self.hits,
+            self.misses,
+            self.maxsize,
+            len(self._data),
+            self.retained,
+            self.invalidated,
+        )
 
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.retained = 0
+        self.invalidated = 0
 
 
 class EvaluationEngine:
@@ -456,6 +505,87 @@ class EvaluationEngine:
         return result
 
     # ------------------------------------------------------------------
+    # Delta-aware cache invalidation (repro.stream integration)
+    # ------------------------------------------------------------------
+
+    def apply_delta(
+        self,
+        before: Database,
+        after: Database,
+        touched_relations: Iterable[str],
+    ) -> Dict[str, int]:
+        """Migrate caches across a database delta, relation-scoped.
+
+        ``after`` is ``before`` plus a delta whose facts all lie in
+        ``touched_relations``; ``before`` is assumed retired (a streaming
+        consumer moves on to the new version and never queries the old
+        snapshot again).  Every cached result keyed to ``before`` is
+        reconciled:
+
+        - **Retained.**  Entries whose query/source side mentions only
+          relations *disjoint* from ``touched_relations`` are rekeyed to
+          ``after``.  This is sound because every engine result — a query
+          answer, a (pointed) hom check, a cover game — depends only on
+          the target's facts over the relations the query/source mentions
+          (a homomorphism maps source facts to target facts; nothing else
+          about the target is inspected), and those facts are unchanged.
+        - **Invalidated.**  Entries whose query mentions a touched relation,
+          and entries where the retired ``before`` appears on the *source*
+          side (the delta changed the source itself), are evicted.
+
+        Entries referencing neither database are untouched.  Returns the
+        ``{"retained": ..., "invalidated": ...}`` counts for this delta;
+        cumulative tallies appear in :meth:`cache_info` and
+        :meth:`work_snapshot`.
+        """
+        touched = frozenset(touched_relations)
+
+        def involves(database: Database) -> bool:
+            return database is before or database == before
+
+        def decide_answer(key: Any) -> Tuple[str, Any]:
+            query, database = key
+            if not involves(database):
+                return ("keep", None)
+            if touched.isdisjoint(query.mentioned_relations()):
+                return ("rekey", (query, after))
+            return ("drop", None)
+
+        def decide_hom(key: Any) -> Tuple[str, Any]:
+            source, target, frozen = key
+            if involves(target):
+                if touched.isdisjoint(source.relation_names):
+                    return ("rekey", (source, after, frozen))
+                return ("drop", None)
+            if involves(source):
+                return ("drop", None)
+            return ("keep", None)
+
+        def decide_game(key: Any) -> Tuple[str, Any]:
+            source, source_tuple, target, target_tuple, k = key
+            if involves(target):
+                if touched.isdisjoint(source.relation_names):
+                    return (
+                        "rekey",
+                        (source, source_tuple, after, target_tuple, k),
+                    )
+                return ("drop", None)
+            if involves(source):
+                return ("drop", None)
+            return ("keep", None)
+
+        retained = invalidated = 0
+        for cache, decide in (
+            (self._answer_cache, decide_answer),
+            (self._hom_cache, decide_hom),
+            (self._game_cache, decide_game),
+        ):
+            migrated, dropped = cache.reconcile(decide)
+            retained += migrated
+            invalidated += dropped
+        return {"retained": retained, "invalidated": invalidated}
+
+    # ------------------------------------------------------------------
     # Cache management and instrumentation
     # ------------------------------------------------------------------
 
@@ -471,6 +601,8 @@ class EvaluationEngine:
             misses=sum(info.misses for info in infos),
             maxsize=sum(info.maxsize for info in infos),
             currsize=sum(info.currsize for info in infos),
+            retained=sum(info.retained for info in infos),
+            invalidated=sum(info.invalidated for info in infos),
         )
 
     def cache_details(self) -> Dict[str, CacheInfo]:
@@ -496,6 +628,8 @@ class EvaluationEngine:
             "cover_games": self.counters.cover_games,
             "cache_hits": info.hits,
             "cache_misses": info.misses,
+            "cache_retained": info.retained,
+            "cache_invalidated": info.invalidated,
         }
 
 

@@ -358,17 +358,47 @@ class DatabaseBuilder:
         builder.add("edge", 1, 2).add("edge", 2, 3)
         builder.add_entity("a")
         database = builder.build()
+
+    By default, validation happens at :meth:`build` (when the
+    :class:`Database` is constructed), so an arity-mismatched fact added
+    early surfaces late, far from the call that caused it.  Pass
+    ``strict=True`` to validate eagerly at every insert: against the
+    schema when one was given, and against the arities inferred from
+    earlier inserts otherwise.
     """
 
-    def __init__(self, schema: Optional[Schema] = None) -> None:
+    def __init__(
+        self, schema: Optional[Schema] = None, strict: bool = False
+    ) -> None:
         self._facts: List[Fact] = []
         self._schema = schema
+        self._strict = strict
+        self._seen_arities: Dict[str, int] = {}
+
+    def _validate(self, fact: Fact) -> None:
+        if self._schema is not None:
+            try:
+                arity = self._schema.arity_of(fact.relation)
+            except SchemaError:
+                raise DatabaseError(
+                    f"strict builder: relation {fact.relation!r} is not "
+                    f"declared by the schema (declares "
+                    f"{', '.join(self._schema.names) or 'nothing'})"
+                ) from None
+        else:
+            arity = self._seen_arities.setdefault(fact.relation, fact.arity)
+        if fact.arity != arity:
+            raise DatabaseError(
+                f"strict builder: fact {fact} has arity {fact.arity}, but "
+                f"relation {fact.relation!r} has arity {arity}"
+            )
 
     def add(self, relation: str, *arguments: Element) -> "DatabaseBuilder":
-        self._facts.append(Fact(relation, tuple(arguments)))
-        return self
+        return self.add_fact(Fact(relation, tuple(arguments)))
 
     def add_fact(self, fact: Fact) -> "DatabaseBuilder":
+        if self._strict:
+            self._validate(fact)
         self._facts.append(fact)
         return self
 
@@ -379,7 +409,8 @@ class DatabaseBuilder:
         return self.add(entity_symbol, element)
 
     def extend(self, facts: Iterable[Fact]) -> "DatabaseBuilder":
-        self._facts.extend(facts)
+        for fact in facts:
+            self.add_fact(fact)
         return self
 
     def __len__(self) -> int:

@@ -111,18 +111,20 @@ def labeling_from_text(text: str) -> Labeling:
     return Labeling(labels)
 
 
-def facts_to_json(database: Database) -> List[Dict[str, Any]]:
-    """The facts of a database as JSON-able dicts (deterministic order).
+def facts_to_json(facts: Iterable[Fact]) -> List[Dict[str, Any]]:
+    """Facts (or a database) as JSON-able dicts (deterministic order).
 
-    The shared fact encoding of training-database JSON and the serving
-    subsystem's JSONL request streams.
+    The shared fact encoding of training-database JSON, the serving
+    subsystem's JSONL request streams, and the streaming subsystem's
+    delta logs.  Accepts any iterable of facts; a :class:`Database`
+    iterates its facts, so both spellings work.
     """
     entries = [
         {
             "relation": fact.relation,
             "arguments": [_element_to_str(a) for a in fact.arguments],
         }
-        for fact in database
+        for fact in facts
     ]
     # Sort on the encoded form: raw argument tuples may mix element types
     # (ints and strings) that Python refuses to order.

@@ -20,6 +20,7 @@ __all__ = [
     "SolverError",
     "ArtifactError",
     "ServeError",
+    "StreamError",
 ]
 
 
@@ -69,3 +70,7 @@ class ArtifactError(ReproError):
 
 class ServeError(ReproError):
     """An inference request failed inside the serving subsystem."""
+
+
+class StreamError(ReproError):
+    """A delta or evolving-database operation is malformed or inapplicable."""

@@ -124,6 +124,8 @@ class Executor:
             misses=sum(info.misses for info in infos),
             maxsize=sum(info.maxsize for info in infos),
             currsize=sum(info.currsize for info in infos),
+            retained=sum(info.retained for info in infos),
+            invalidated=sum(info.invalidated for info in infos),
         )
 
     # ------------------------------------------------------------------

@@ -13,9 +13,15 @@ The train-once / serve-many split of the production story (ROADMAP):
 - :mod:`repro.serve.metrics` — per-request counters and latency /
   throughput snapshots (p50/p95, engine work, cache hit rates).
 
+Stateful serving over evolving request databases goes through
+:meth:`InferenceService.open_stream` / :class:`ServiceStream`
+(:mod:`repro.stream` underneath): deltas migrate engine caches instead of
+cold-starting them, and predictions stay bit-identical to stateless ones.
+
 Entry points: ``FeatureEngineeringSession.export_artifact()``, the CLI's
-``repro train --out model.json`` / ``repro predict --model model.json``,
-and ``repro classify --model`` for refit-free classification.
+``repro train --out model.json`` / ``repro predict --model model.json``
+(``--stream`` for interleaved delta/predict op streams), and ``repro
+classify --model`` for refit-free classification.
 """
 
 from repro.serve.artifact import (
@@ -26,7 +32,7 @@ from repro.serve.artifact import (
     language_to_spec,
 )
 from repro.serve.metrics import ServiceMetrics
-from repro.serve.service import InferenceService
+from repro.serve.service import InferenceService, ServiceStream
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -34,6 +40,7 @@ __all__ = [
     "ModelArtifact",
     "ServiceMetrics",
     "InferenceService",
+    "ServiceStream",
     "language_from_spec",
     "language_to_spec",
 ]

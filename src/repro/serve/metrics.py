@@ -55,6 +55,8 @@ class ServiceMetrics:
         "entities",
         "errors",
         "warmups",
+        "streams",
+        "deltas",
         "busy_seconds",
         "_latencies",
     )
@@ -67,6 +69,8 @@ class ServiceMetrics:
         self.entities = 0
         self.errors = 0
         self.warmups = 0
+        self.streams = 0
+        self.deltas = 0
         self.busy_seconds = 0.0
         self._latencies: Deque[float] = deque(maxlen=reservoir)
 
@@ -105,6 +109,15 @@ class ServiceMetrics:
     def observe_warmup(self) -> None:
         self.warmups += 1
 
+    def observe_stream_open(self) -> None:
+        """Record one streaming session opened against the service."""
+        self.streams += 1
+
+    def observe_delta(self, seconds: float) -> None:
+        """Record one applied delta (state maintenance, not a request)."""
+        self.deltas += 1
+        self.busy_seconds += seconds
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -117,7 +130,11 @@ class ServiceMetrics:
         """Counters plus derived latency/throughput figures, as a dict.
 
         Throughput is computed over ``busy_seconds`` (time actually spent
-        serving), so idle gaps between requests do not dilute it.
+        serving), so idle gaps between requests do not dilute it.  When no
+        busy time has accumulated the rates are ``None`` — there is no
+        denominator — so a dashboard can tell an *idle* service (``None``)
+        from a *broken* one (a genuine ``0.0`` over nonzero busy time),
+        even if requests were recorded with zero measured duration.
         """
         sample = list(self._latencies)
         busy = self.busy_seconds
@@ -127,6 +144,8 @@ class ServiceMetrics:
             "entities": self.entities,
             "errors": self.errors,
             "warmups": self.warmups,
+            "streams": self.streams,
+            "deltas": self.deltas,
             "busy_seconds": busy,
             "latency_ms": {
                 "p50": percentile(sample, 0.50) * 1e3,
@@ -135,8 +154,8 @@ class ServiceMetrics:
                 "mean": (sum(sample) / len(sample) if sample else 0.0) * 1e3,
             },
             "throughput": {
-                "requests_per_s": self.requests / busy if busy > 0 else 0.0,
-                "entities_per_s": self.entities / busy if busy > 0 else 0.0,
+                "requests_per_s": self.requests / busy if busy > 0 else None,
+                "entities_per_s": self.entities / busy if busy > 0 else None,
             },
         }
 

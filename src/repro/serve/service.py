@@ -18,22 +18,29 @@ Degradation is configurable per service: ``on_error="fail"`` raises a
 evaluation fails (malformed input databases), ``on_error="abstain"``
 converts the failure into a ``None`` result for that request and counts it
 in the metrics — a production service keeps serving the healthy requests.
+
+Stateful serving over an *evolving* request database goes through
+:meth:`InferenceService.open_stream`: a :class:`ServiceStream` holds a
+:class:`~repro.stream.classifier.StreamingClassifier` whose engine caches
+are migrated — not rebuilt — across deltas, so a prediction after a small
+delta re-evaluates only the features that could have changed.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cq.engine import EvaluationEngine
 from repro.data.database import Database
 from repro.data.labeling import Labeling
+from repro.data.schema import EntitySchema, Schema
 from repro.exceptions import ReproError, ServeError
 from repro.runtime.executor import Executor
 from repro.serve.artifact import ModelArtifact
 from repro.serve.metrics import ServiceMetrics
 
-__all__ = ["InferenceService", "ON_ERROR_MODES"]
+__all__ = ["InferenceService", "ServiceStream", "ON_ERROR_MODES"]
 
 #: Valid degradation modes for feature-evaluation failures.
 ON_ERROR_MODES = ("fail", "abstain")
@@ -246,6 +253,29 @@ class InferenceService:
         )
 
     # ------------------------------------------------------------------
+    # Stateful streaming
+    # ------------------------------------------------------------------
+
+    def open_stream(self, base: Database) -> "ServiceStream":
+        """Open a stateful stream over an evolving copy of ``base``.
+
+        The stream owns a private engine (the service's batch engine stays
+        warm and unscathed) and records its predictions and deltas into
+        this service's metrics.  Its schema is the artifact schema merged
+        with the base's, so deltas may mention any relation the model
+        knows about even when the base has no facts over it yet.
+        """
+        if not self._warmed:
+            self.warm_up()
+        artifact_schema = self._artifact.schema
+        merged = EntitySchema(
+            artifact_schema.union(base.schema),
+            entity_symbol=artifact_schema.entity_symbol,
+        )
+        self.metrics.observe_stream_open()
+        return ServiceStream(self, base, merged)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -282,4 +312,89 @@ class InferenceService:
         return (
             f"InferenceService(model={self._artifact!r}, "
             f"workers={self.workers}, on_error={self._on_error!r})"
+        )
+
+
+class ServiceStream:
+    """One stateful streaming session against an :class:`InferenceService`.
+
+    Obtained via :meth:`InferenceService.open_stream`.  The stream holds
+    the evolving request database; :meth:`apply` advances it by a
+    :class:`~repro.stream.delta.Delta` (migrating the stream engine's
+    caches relation-scoped), and :meth:`predict` labels the *current*
+    version — re-evaluating only feature queries whose relations a delta
+    touched since the last prediction, yet bit-identical to a stateless
+    ``predict`` on the materialized database.
+
+    Degradation follows the owning service's ``on_error`` mode; metrics
+    (requests, deltas, latencies) are recorded into the owning service's
+    :class:`~repro.serve.metrics.ServiceMetrics`.
+    """
+
+    def __init__(
+        self,
+        service: InferenceService,
+        base: Database,
+        schema: Optional[Schema] = None,
+    ) -> None:
+        # Local import: repro.stream imports repro.core at load time, which
+        # would cycle with this module's import from repro.serve.artifact.
+        from repro.stream.classifier import StreamingClassifier
+
+        self._service = service
+        self._classifier = StreamingClassifier(
+            service.artifact.pair(), base, schema=schema
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The materialized current version of the evolving database."""
+        return self._classifier.database
+
+    @property
+    def version(self) -> int:
+        return self._classifier.evolving.version
+
+    # ------------------------------------------------------------------
+
+    def apply(self, delta: Any) -> Any:
+        """Apply a delta to the stream state; returns the effective delta."""
+        start = time.perf_counter()
+        effective = self._classifier.apply(delta)
+        self._service.metrics.observe_delta(time.perf_counter() - start)
+        return effective
+
+    def predict(self) -> Optional[Labeling]:
+        """Label the entities of the current version.
+
+        Returns ``None`` when the evaluation failed and the owning service
+        degrades with ``on_error="abstain"``.
+        """
+        start = time.perf_counter()
+        try:
+            labeling = self._classifier.classify()
+        except ReproError as error:
+            self._service.metrics.observe_request(
+                time.perf_counter() - start, 0, error=True
+            )
+            if self._service._on_error == "fail":
+                raise ServeError(f"prediction failed: {error}") from error
+            return None
+        self._service.metrics.observe_request(
+            time.perf_counter() - start, len(labeling)
+        )
+        return labeling
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The underlying streaming classifier's accounting."""
+        return self._classifier.stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceStream(version={self.version}, "
+            f"facts={len(self._classifier.evolving)})"
         )

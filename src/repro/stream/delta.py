@@ -1,0 +1,263 @@
+"""Deltas: immutable fact-level change sets for evolving databases.
+
+A :class:`Delta` is the unit of change of the streaming subsystem: a set of
+facts to remove and a set of facts to add, applied as ``(F - removes) |
+adds``.  Deltas are values — normalized, hashable, and composable — so a
+delta log is replayable and two logs describing the same net change compare
+equal.
+
+The JSON codec reuses the fact encoding of :mod:`repro.data.io` (the same
+``{"relation", "arguments"}`` objects the serving request stream uses), so
+a delta line in a JSONL stream is ``{"add": [...], "remove": [...]}`` and
+element round-tripping matches the rest of the library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.data.database import Database, Fact
+from repro.data.io import facts_from_json, facts_to_json
+from repro.exceptions import ParseError, StreamError
+
+__all__ = [
+    "Delta",
+    "delta_to_json",
+    "delta_from_json",
+    "deltas_to_jsonl",
+    "deltas_from_jsonl",
+]
+
+_DELTA_KEYS = frozenset(("add", "remove"))
+
+
+class Delta:
+    """An immutable change set: facts to remove, then facts to add.
+
+    Parameters
+    ----------
+    adds:
+        Facts present after the delta.  Deduplicated and stored in a
+        deterministic order.
+    removes:
+        Facts absent after the delta.  A fact may not appear on both
+        sides — the application order would silently decide its fate.
+
+    Application is set-semantic: adding a fact that is already present or
+    removing one that is absent is a no-op, so replaying a delta log is
+    idempotent per delta (see :class:`~repro.stream.evolving.EvolvingDatabase`
+    for the schema-validated application).
+    """
+
+    __slots__ = ("_adds", "_removes", "_hash")
+
+    def __init__(
+        self,
+        adds: Iterable[Fact] = (),
+        removes: Iterable[Fact] = (),
+    ) -> None:
+        add_set = frozenset(adds)
+        remove_set = frozenset(removes)
+        for fact in add_set | remove_set:
+            if not isinstance(fact, Fact):
+                raise StreamError(
+                    f"delta entries must be Fact instances, got {fact!r}"
+                )
+        ambiguous = add_set & remove_set
+        if ambiguous:
+            listing = ", ".join(str(fact) for fact in sorted(ambiguous, key=repr))
+            raise StreamError(
+                f"delta both adds and removes {listing}; split it into two "
+                "deltas if the order matters"
+            )
+        self._adds = tuple(sorted(add_set, key=repr))
+        self._removes = tuple(sorted(remove_set, key=repr))
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def insert(cls, relation: str, *arguments: Any) -> "Delta":
+        """A single-fact insertion delta."""
+        return cls(adds=(Fact(relation, tuple(arguments)),))
+
+    @classmethod
+    def delete(cls, relation: str, *arguments: Any) -> "Delta":
+        """A single-fact deletion delta."""
+        return cls(removes=(Fact(relation, tuple(arguments)),))
+
+    @classmethod
+    def between(cls, before: Database, after: Database) -> "Delta":
+        """The delta turning ``before`` into ``after``."""
+        return cls(
+            adds=after.facts - before.facts,
+            removes=before.facts - after.facts,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def adds(self) -> Tuple[Fact, ...]:
+        return self._adds
+
+    @property
+    def removes(self) -> Tuple[Fact, ...]:
+        return self._removes
+
+    @property
+    def touched_relations(self) -> FrozenSet[str]:
+        """Relation names mentioned by any added or removed fact.
+
+        The invalidation currency of the whole subsystem: cached engine
+        results survive a delta iff the relations their query mentions are
+        disjoint from this set.
+        """
+        return frozenset(
+            fact.relation for fact in self._adds + self._removes
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._adds and not self._removes
+
+    def __len__(self) -> int:
+        """Number of fact-level changes (the |delta| of the O(|delta|) bound)."""
+        return len(self._adds) + len(self._removes)
+
+    def __iter__(self) -> Iterator[Tuple[str, Fact]]:
+        """Yield ``("remove", fact)`` then ``("add", fact)`` entries."""
+        for fact in self._removes:
+            yield ("remove", fact)
+        for fact in self._adds:
+            yield ("add", fact)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def apply_to(self, facts: FrozenSet[Fact]) -> FrozenSet[Fact]:
+        """``(facts - removes) | adds`` — the defining set semantics."""
+        return (facts - frozenset(self._removes)) | frozenset(self._adds)
+
+    def then(self, other: "Delta") -> "Delta":
+        """The composition ``self`` followed by ``other``, as one delta.
+
+        ``d1.then(d2).apply_to(F) == d2.apply_to(d1.apply_to(F))`` for every
+        fact set ``F``: later operations win, so a fact added by ``self``
+        and removed by ``other`` is a net removal and vice versa.
+        """
+        adds = (frozenset(self._adds) - frozenset(other._removes)) | frozenset(
+            other._adds
+        )
+        removes = (
+            frozenset(self._removes) | frozenset(other._removes)
+        ) - frozenset(other._adds)
+        return Delta(adds=adds, removes=removes)
+
+    def inverse(self) -> "Delta":
+        """The delta undoing this one on any state it was applied to.
+
+        Exact only when the delta was *effective* (added facts were absent,
+        removed facts present) — the usual case for a validated log.
+        """
+        return Delta(adds=self._removes, removes=self._adds)
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return self._adds == other._adds and self._removes == other._removes
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._adds, self._removes))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Delta(adds={len(self._adds)}, removes={len(self._removes)}, "
+            f"touches={sorted(self.touched_relations)})"
+        )
+
+    # ------------------------------------------------------------------
+    # JSON codec (the JSONL op-stream building block)
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The delta as a JSON-able ``{"add": [...], "remove": [...]}``."""
+        return {
+            "add": facts_to_json(self._adds),
+            "remove": facts_to_json(self._removes),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Any) -> "Delta":
+        """Parse and strictly validate a ``{"add", "remove"}`` object.
+
+        Unknown keys are rejected rather than ignored: a typo like
+        ``"removes"`` would otherwise silently drop half the delta.
+        """
+        if not isinstance(payload, dict):
+            raise ParseError(f"delta must be a JSON object, got {payload!r}")
+        unknown = sorted(set(payload) - _DELTA_KEYS)
+        if unknown:
+            raise ParseError(
+                f"delta has unknown keys {', '.join(unknown)}; "
+                f"expected only {sorted(_DELTA_KEYS)}"
+            )
+        adds = facts_from_json(payload.get("add", []))
+        removes = facts_from_json(payload.get("remove", []))
+        try:
+            return cls(adds=adds, removes=removes)
+        except StreamError as error:
+            raise ParseError(f"malformed delta: {error}") from error
+
+
+def delta_to_json(delta: Delta) -> str:
+    """One canonical JSON line for a delta (no trailing newline)."""
+    return json.dumps(delta.to_json_dict(), sort_keys=True)
+
+
+def delta_from_json(text: str) -> Delta:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid delta JSON: {exc}") from exc
+    return Delta.from_json_dict(payload)
+
+
+def deltas_to_jsonl(deltas: Iterable[Delta]) -> str:
+    """A delta log as a JSONL document (one delta per line)."""
+    lines = [delta_to_json(delta) for delta in deltas]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def deltas_from_jsonl(text: str) -> List[Delta]:
+    """Parse a JSONL delta log; blank lines and ``#`` comments are skipped."""
+    deltas: List[Delta] = []
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            deltas.append(delta_from_json(line))
+        except ParseError as error:
+            raise ParseError(f"delta line {lineno}: {error}") from error
+    return deltas

@@ -38,9 +38,10 @@ class _BenchmarkOnce:
 
 
 def test_all_bench_modules_are_covered():
-    assert len(MODULES) >= 25
+    assert len(MODULES) >= 26
     assert "bench_engine" in MODULES
     assert "bench_serve" in MODULES
+    assert "bench_stream" in MODULES
 
 
 @pytest.mark.benchsmoke

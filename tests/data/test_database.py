@@ -145,3 +145,54 @@ class TestDatabaseBuilder:
         schema = Schema.from_arities({"R": 1, "S": 2})
         db = DatabaseBuilder(schema=schema).add("R", "a").build()
         assert db.schema.arity_of("S") == 2
+
+
+class TestStrictDatabaseBuilder:
+    def test_lazy_builder_surfaces_errors_only_at_build(self):
+        builder = DatabaseBuilder().add("R", "a").add("R", "b", "c")
+        with pytest.raises(DatabaseError):
+            builder.build()
+
+    def test_strict_rejects_arity_drift_at_insert(self):
+        builder = DatabaseBuilder(strict=True).add("R", "a")
+        with pytest.raises(DatabaseError, match="arity 2.*arity 1"):
+            builder.add("R", "b", "c")
+        # The bad fact was never recorded.
+        assert len(builder) == 1
+        assert builder.build() == Database([Fact("R", ("a",))])
+
+    def test_strict_with_schema_rejects_undeclared_relations(self):
+        schema = Schema.from_arities({"R": 1})
+        builder = DatabaseBuilder(schema=schema, strict=True)
+        with pytest.raises(DatabaseError, match="not declared"):
+            builder.add("S", "a", "b")
+
+    def test_strict_with_schema_rejects_wrong_arity(self):
+        schema = Schema.from_arities({"R": 1})
+        builder = DatabaseBuilder(schema=schema, strict=True)
+        with pytest.raises(DatabaseError, match="arity"):
+            builder.add("R", "a", "b")
+
+    def test_strict_error_names_the_schema_relations(self):
+        schema = Schema.from_arities({"R": 1, "S": 2})
+        with pytest.raises(DatabaseError, match="R, S"):
+            DatabaseBuilder(schema=schema, strict=True).add("T", "x")
+
+    def test_strict_validates_extend_and_add_fact(self):
+        builder = DatabaseBuilder(strict=True)
+        builder.extend([Fact("R", ("a",))])
+        with pytest.raises(DatabaseError):
+            builder.extend([Fact("R", ("b", "c"))])
+        with pytest.raises(DatabaseError):
+            builder.add_fact(Fact("R", ("b", "c")))
+
+    def test_strict_accepts_consistent_facts(self):
+        schema = Schema.from_arities({"R": 1, "S": 2})
+        db = (
+            DatabaseBuilder(schema=schema, strict=True)
+            .add("R", "a")
+            .add("S", "a", "b")
+            .build()
+        )
+        assert len(db) == 2
+        assert db.schema == schema

@@ -150,3 +150,56 @@ class TestSection10:
             snapshot = service.metrics_snapshot()
         assert snapshot["requests"] == 1
         assert "latency_ms" in snapshot
+
+
+class TestSection11:
+    def test_streaming_walkthrough(self):
+        from repro.core.languages import BoundedAtomsCQ
+        from repro.cq.engine import EvaluationEngine
+        from repro.stream import Delta, StreamingClassifier
+
+        train = _tutorial_training()
+        fresh = Database.from_tuples(
+            {
+                "wrote": [("cy", "p9")],
+                "award": [("dee",)],
+                "eta": [("p9",)],
+            }
+        )
+        session = FeatureEngineeringSession(train, BoundedAtomsCQ(2))
+        pair = session.materialize()
+
+        stream = StreamingClassifier(pair, fresh)
+        labels0 = stream.classify()
+        assert labels0 == session.classify(fresh)
+
+        stream.apply(Delta.insert("award", "cy"))
+        labels1 = stream.classify()
+        # Bit-identical to a cold recomputation on the current version.
+        assert labels1 == pair.classify(
+            stream.database, engine=EvaluationEngine()
+        )
+        # cy now has an award: p9's label flips to match p1's story.
+        assert labels1["p9"] == 1
+        assert labels0["p9"] == -1
+
+        stats = stream.stats()
+        assert stats["deltas_applied"] == 1
+        assert stats["features_reused"] > 0
+
+    def test_service_stream(self):
+        from repro.core.languages import BoundedAtomsCQ
+        from repro.serve import InferenceService
+        from repro.stream import Delta
+
+        train = _tutorial_training()
+        fresh = Database.from_tuples(
+            {"wrote": [("cy", "p9")], "eta": [("p9",)]}
+        )
+        session = FeatureEngineeringSession(train, BoundedAtomsCQ(2))
+        with InferenceService(session.export_artifact()) as service:
+            stream = service.open_stream(fresh)
+            assert stream.predict() == service.predict(fresh)
+            stream.apply(Delta.insert("award", "cy"))
+            assert stream.predict() == service.predict(stream.database)
+            assert service.metrics_snapshot()["deltas"] == 1

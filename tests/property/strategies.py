@@ -13,6 +13,9 @@ __all__ = [
     "edge_databases",
     "entity_databases",
     "mixed_databases",
+    "mixed_facts",
+    "stream_deltas",
+    "delta_logs",
     "training_databases",
     "unary_feature_queries",
     "general_queries",
@@ -76,6 +79,38 @@ def mixed_databases(draw, max_facts: int = 7):
         )
     )
     return Database(facts)
+
+
+#: One random fact over the mixed schema {E/2, R/1, eta/1}.
+mixed_facts = st.one_of(
+    st.tuples(elements, elements).map(lambda t: Fact("E", t)),
+    elements.map(lambda e: Fact("R", (e,))),
+    elements.map(lambda e: Fact("eta", (e,))),
+)
+
+
+@st.composite
+def stream_deltas(draw, max_changes: int = 4):
+    """A well-formed :class:`repro.stream.Delta` over the mixed schema.
+
+    Facts drawn for both sides are removed from the add side, keeping the
+    delta unambiguous (later-drawn removes win, mirroring ``then``).
+    """
+    from repro.stream import Delta
+
+    adds = set(draw(st.lists(mixed_facts, max_size=max_changes)))
+    removes = set(draw(st.lists(mixed_facts, max_size=max_changes)))
+    return Delta(adds=adds - removes, removes=removes)
+
+
+@st.composite
+def delta_logs(draw, max_deltas: int = 5, max_changes: int = 4):
+    """A short sequence of mixed-schema deltas."""
+    return draw(
+        st.lists(
+            stream_deltas(max_changes=max_changes), max_size=max_deltas
+        )
+    )
 
 
 @st.composite

@@ -1,0 +1,155 @@
+"""Property-based differential tests for the streaming subsystem.
+
+Two load-bearing invariants, each checked against an oracle that shares no
+code with the incremental path:
+
+1. **Materialization.**  After any delta log,
+   ``EvolvingDatabase.materialize()`` equals the :class:`Database` built
+   from scratch by folding ``Delta.apply_to`` over the base's fact set.
+2. **Invalidation soundness.**  An engine whose caches were warmed on the
+   old version and migrated with :meth:`EvaluationEngine.apply_delta`
+   answers every query on the new version exactly like a cold engine.
+
+Together with the delta-algebra properties (composition, inversion, codec
+round-trips) this gives well over 200 generated cases.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.engine import EvaluationEngine
+from repro.data import Database
+from repro.data.schema import EntitySchema
+from repro.stream import (
+    Delta,
+    EvolvingDatabase,
+    delta_from_json,
+    delta_to_json,
+    deltas_from_jsonl,
+    deltas_to_jsonl,
+)
+
+from tests.property.strategies import (
+    delta_logs,
+    general_queries,
+    mixed_databases,
+    stream_deltas,
+    unary_feature_queries,
+)
+
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+#: The mixed-schema universe every strategy draws from; declaring it up
+#: front lets deltas introduce relations the base happens not to mention.
+_SCHEMA = EntitySchema.from_arities({"E": 2, "R": 1, "eta": 1})
+
+
+def _scratch(base: Database, log) -> Database:
+    """The oracle: fold the delta log over the base's raw fact set."""
+    facts = base.facts
+    for delta in log:
+        facts = delta.apply_to(facts)
+    return Database(facts, schema=_SCHEMA)
+
+
+class TestMaterializationDifferential:
+    @_SETTINGS
+    @given(mixed_databases(), delta_logs())
+    def test_materialize_equals_from_scratch(self, base, log):
+        evolving = EvolvingDatabase(base, schema=_SCHEMA)
+        for delta in log:
+            evolving.apply(delta)
+        assert evolving.materialize() == _scratch(base, log)
+        assert evolving.version == len(log)
+
+    @_SETTINGS
+    @given(mixed_databases(), delta_logs())
+    def test_fact_count_matches_materialization(self, base, log):
+        evolving = EvolvingDatabase(base, schema=_SCHEMA)
+        evolving.apply_all(log)
+        assert len(evolving) == len(evolving.materialize())
+
+    @_SETTINGS
+    @given(mixed_databases(), delta_logs())
+    def test_effective_composition_replays_the_log(self, base, log):
+        evolving = EvolvingDatabase(base, schema=_SCHEMA)
+        net = evolving.apply_all(log)
+        assert net.apply_to(base.facts) == evolving.materialize().facts
+
+
+class TestDeltaAlgebra:
+    @_SETTINGS
+    @given(stream_deltas(), stream_deltas(), mixed_databases())
+    def test_then_is_sequential_application(self, d1, d2, database):
+        assert d1.then(d2).apply_to(database.facts) == d2.apply_to(
+            d1.apply_to(database.facts)
+        )
+
+    @_SETTINGS
+    @given(mixed_databases(), mixed_databases())
+    def test_between_transports_and_inverts(self, before, after):
+        delta = Delta.between(before, after)
+        assert delta.apply_to(before.facts) == after.facts
+        assert delta.inverse().apply_to(after.facts) == before.facts
+
+    @_SETTINGS
+    @given(stream_deltas())
+    def test_json_round_trip(self, delta):
+        assert delta_from_json(delta_to_json(delta)) == delta
+
+    @_SETTINGS
+    @given(delta_logs())
+    def test_jsonl_round_trip(self, log):
+        assert deltas_from_jsonl(deltas_to_jsonl(log)) == log
+
+
+class TestInvalidationDifferential:
+    @_SETTINGS
+    @given(
+        mixed_databases(),
+        delta_logs(max_deltas=3),
+        st.lists(unary_feature_queries(), min_size=1, max_size=3),
+    )
+    def test_migrated_engine_matches_cold_engine_on_features(
+        self, base, log, queries
+    ):
+        evolving = EvolvingDatabase(base, schema=_SCHEMA)
+        warm = EvaluationEngine()
+        current = evolving.materialize()
+        for query in queries:
+            warm.evaluate_unary(query, current)
+        for delta in log:
+            effective = evolving.apply(delta)
+            after = evolving.materialize()
+            warm.apply_delta(current, after, effective.touched_relations)
+            current = after
+            for query in queries:
+                warm.evaluate_unary(query, current)
+
+        cold = EvaluationEngine()
+        for query in queries:
+            assert warm.evaluate_unary(query, current) == cold.evaluate_unary(
+                query, current
+            )
+
+    @_SETTINGS
+    @given(
+        mixed_databases(),
+        stream_deltas(),
+        general_queries(),
+    )
+    def test_single_delta_migration_on_general_queries(
+        self, base, delta, query
+    ):
+        evolving = EvolvingDatabase(base, schema=_SCHEMA)
+        warm = EvaluationEngine()
+        before = evolving.materialize()
+        warm.evaluate(query, before)
+        effective = evolving.apply(delta)
+        after = evolving.materialize()
+        warm.apply_delta(before, after, effective.touched_relations)
+
+        cold = EvaluationEngine()
+        assert warm.evaluate(query, after) == cold.evaluate(query, after)

@@ -37,8 +37,22 @@ class TestServiceMetrics:
         snapshot = metrics.snapshot()
         assert snapshot["requests"] == 0
         assert snapshot["errors"] == 0
+        assert snapshot["streams"] == 0
+        assert snapshot["deltas"] == 0
         assert snapshot["latency_ms"]["p95"] == 0.0
-        assert snapshot["throughput"]["requests_per_s"] == 0.0
+        # An idle service has no throughput denominator: None, not 0.0.
+        assert snapshot["throughput"]["requests_per_s"] is None
+        assert snapshot["throughput"]["entities_per_s"] is None
+
+    def test_zero_busy_time_reports_none_not_zero(self):
+        # Requests recorded with zero measured duration: still no
+        # denominator, so a dashboard can tell "idle" from "broken".
+        metrics = ServiceMetrics()
+        metrics.observe_request(0.0, 3)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 1
+        assert snapshot["throughput"]["requests_per_s"] is None
+        assert snapshot["throughput"]["entities_per_s"] is None
 
     def test_observe_request(self):
         metrics = ServiceMetrics()
@@ -86,6 +100,29 @@ class TestServiceMetrics:
 
     def test_default_reservoir(self):
         assert ServiceMetrics()._latencies.maxlen == DEFAULT_RESERVOIR
+
+    def test_observe_stream_open(self):
+        metrics = ServiceMetrics()
+        metrics.observe_stream_open()
+        metrics.observe_stream_open()
+        assert metrics.streams == 2
+        assert metrics.snapshot()["streams"] == 2
+
+    def test_observe_delta_counts_busy_time_but_not_requests(self):
+        metrics = ServiceMetrics()
+        metrics.observe_delta(0.25)
+        assert metrics.deltas == 1
+        assert metrics.requests == 0
+        assert metrics.busy_seconds == 0.25
+        assert metrics.latencies() == []  # deltas are not requests
+
+    def test_reset_zeroes_stream_counters(self):
+        metrics = ServiceMetrics()
+        metrics.observe_stream_open()
+        metrics.observe_delta(0.1)
+        metrics.reset()
+        assert metrics.streams == 0
+        assert metrics.deltas == 0
 
     def test_snapshot_quantiles(self):
         metrics = ServiceMetrics()

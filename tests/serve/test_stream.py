@@ -1,0 +1,139 @@
+"""Stateful serving: :meth:`InferenceService.open_stream` / ``ServiceStream``.
+
+The streaming serving contract: a stream's predictions are bit-identical
+to stateless ``predict`` calls on the materialized database at every
+version, degradation follows the owning service's ``on_error`` mode, and
+stream activity (opens, deltas, requests) lands in the service metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.languages import BoundedAtomsCQ
+from repro.core.pipeline import FeatureEngineeringSession
+from repro.exceptions import ReproError, ServeError, StreamError
+from repro.serve import InferenceService, ServiceStream
+from repro.stream import Delta
+from repro.workloads.retail import retail_database
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    training = retail_database(n_customers=6, seed=3)
+    with FeatureEngineeringSession(training, BoundedAtomsCQ(3)) as session:
+        assert session.separable
+        return session.export_artifact()
+
+
+@pytest.fixture(scope="module")
+def eval_database():
+    return retail_database(n_customers=4, seed=12).database
+
+
+class TestLifecycle:
+    def test_open_stream_warms_the_service(self, artifact, eval_database):
+        with InferenceService(artifact) as service:
+            stream = service.open_stream(eval_database)
+            assert isinstance(stream, ServiceStream)
+            assert service.metrics.warmups == 1
+            assert service.metrics.streams == 1
+            assert stream.version == 0
+            assert "version=0" in repr(stream)
+
+    def test_stream_accepts_artifact_only_relations(self, artifact):
+        # A base mentioning only a subset of relations still accepts
+        # deltas over every relation the artifact's queries know about.
+        from repro.data import Database
+
+        base = Database.from_tuples({"eta": [("customer0",)]})
+        with InferenceService(artifact) as service:
+            stream = service.open_stream(base)
+            stream.apply(Delta.insert("premium", "prodX"))
+            assert stream.version == 1
+
+    def test_unknown_relation_delta_is_rejected(self, artifact, eval_database):
+        with InferenceService(artifact) as service:
+            stream = service.open_stream(eval_database)
+            with pytest.raises(StreamError, match="absent from"):
+                stream.apply(Delta.insert("ghost", "x"))
+
+
+class TestBitIdentity:
+    def test_stream_predict_matches_stateless_predict(
+        self, artifact, eval_database
+    ):
+        log = [
+            Delta.insert("premium", "prod_new"),
+            Delta.delete("premium", "prod_new"),
+        ]
+        with InferenceService(artifact) as service:
+            stream = service.open_stream(eval_database)
+            assert stream.predict() == service.predict(eval_database)
+            for delta in log:
+                stream.apply(delta)
+                assert stream.predict() == service.predict(stream.database)
+
+    def test_effective_delta_is_returned(self, artifact, eval_database):
+        with InferenceService(artifact) as service:
+            stream = service.open_stream(eval_database)
+            present = next(iter(eval_database.facts_of("premium")))
+            effective = stream.apply(
+                Delta.insert(present.relation, *present.arguments)
+            )
+            assert effective.is_empty
+
+
+class TestDegradation:
+    def test_fail_mode_raises_serve_error(
+        self, artifact, eval_database, monkeypatch
+    ):
+        with InferenceService(artifact, on_error="fail") as service:
+            stream = service.open_stream(eval_database)
+            monkeypatch.setattr(
+                stream._classifier,
+                "classify",
+                lambda: (_ for _ in ()).throw(ReproError("boom")),
+            )
+            with pytest.raises(ServeError, match="prediction failed"):
+                stream.predict()
+            assert service.metrics.errors == 1
+
+    def test_abstain_mode_returns_none(
+        self, artifact, eval_database, monkeypatch
+    ):
+        with InferenceService(artifact, on_error="abstain") as service:
+            stream = service.open_stream(eval_database)
+            monkeypatch.setattr(
+                stream._classifier,
+                "classify",
+                lambda: (_ for _ in ()).throw(ReproError("boom")),
+            )
+            assert stream.predict() is None
+            assert service.metrics.errors == 1
+
+
+class TestMetricsAndStats:
+    def test_stream_activity_is_recorded(self, artifact, eval_database):
+        with InferenceService(artifact) as service:
+            stream = service.open_stream(eval_database)
+            stream.predict()
+            stream.apply(Delta.insert("premium", "prod_new"))
+            stream.predict()
+            snapshot = service.metrics_snapshot()
+            assert snapshot["streams"] == 1
+            assert snapshot["deltas"] == 1
+            assert snapshot["requests"] == 2
+            assert snapshot["busy_seconds"] > 0
+
+    def test_stats_reports_incremental_accounting(
+        self, artifact, eval_database
+    ):
+        with InferenceService(artifact) as service:
+            stream = service.open_stream(eval_database)
+            stream.predict()
+            stream.apply(Delta.insert("premium", "prod_new"))
+            stats = stream.stats()
+            assert stats["version"] == 1
+            assert stats["cache_retained"] > 0
+            assert stats["features_reused"] > 0

@@ -1,0 +1,148 @@
+"""Differential tests for :class:`repro.stream.StreamingClassifier`.
+
+Acceptance property of the streaming subsystem: after any sequence of
+deltas, the incremental classifier's labels are bit-identical to a cold
+recomputation (``pair.classify`` on a fresh engine) over the materialized
+current database — and the incremental path does strictly less engine
+work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.languages import BoundedAtomsCQ
+from repro.core.pipeline import FeatureEngineeringSession
+from repro.cq.engine import EvaluationEngine
+from repro.exceptions import StreamError
+from repro.stream import Delta, EvolvingDatabase, StreamingClassifier
+from repro.workloads.retail import retail_database
+
+
+@pytest.fixture(scope="module")
+def retail_session():
+    training = retail_database(n_customers=6, seed=3)
+    with FeatureEngineeringSession(training, BoundedAtomsCQ(3)) as session:
+        assert session.separable
+        yield session
+
+
+@pytest.fixture(scope="module")
+def pair(retail_session):
+    return retail_session.materialize()
+
+
+@pytest.fixture(scope="module")
+def eval_database():
+    return retail_database(n_customers=4, seed=11).database
+
+
+def cold_labels(pair, database):
+    return pair.classify(database, engine=EvaluationEngine())
+
+
+class TestBitIdentity:
+    def test_matches_cold_recomputation_across_deltas(
+        self, pair, eval_database
+    ):
+        classifier = StreamingClassifier(pair, eval_database)
+        assert classifier.classify() == cold_labels(pair, eval_database)
+
+        log = [
+            Delta.insert("premium", "prod0"),
+            Delta.delete("premium", "prod0"),
+            Delta.insert("eta", "customer99"),
+        ]
+        for delta in log:
+            classifier.apply(delta)
+            assert classifier.classify() == cold_labels(
+                pair, classifier.database
+            )
+
+    def test_predict_matches_classify(self, pair, eval_database):
+        classifier = StreamingClassifier(pair, eval_database)
+        classifier.apply(Delta.insert("premium", "prod1"))
+        labels = classifier.classify()
+        entity = sorted(classifier.database.entities(), key=repr)[0]
+        assert classifier.predict(entity) == labels[entity]
+
+
+class TestIncrementality:
+    def test_single_relation_delta_does_less_work_than_cold(
+        self, pair, eval_database
+    ):
+        classifier = StreamingClassifier(pair, eval_database)
+        classifier.classify()  # warm the caches at version 0
+        classifier.apply(Delta.insert("premium", "prod0"))
+        before = classifier.engine.work_snapshot()
+        incremental = classifier.classify()
+        after = classifier.engine.work_snapshot()
+        incremental_homs = after["hom_checks"] - before["hom_checks"]
+
+        cold_engine = EvaluationEngine()
+        expected = pair.classify(classifier.database, engine=cold_engine)
+        cold_homs = cold_engine.work_snapshot()["hom_checks"]
+
+        assert incremental == expected
+        assert incremental_homs < cold_homs
+
+    def test_feature_reuse_accounting(self, pair, eval_database):
+        classifier = StreamingClassifier(pair, eval_database)
+        classifier.apply(Delta.insert("premium", "prod0"))
+        dimension = pair.statistic.dimension
+        assert (
+            classifier.features_reused + classifier.features_reevaluated
+            == dimension
+        )
+        # "premium" appears in some but not all CQ[3] features.
+        assert classifier.features_reused > 0
+        assert classifier.features_reevaluated > 0
+
+    def test_ineffective_delta_invalidates_nothing(self, pair, eval_database):
+        classifier = StreamingClassifier(pair, eval_database)
+        classifier.classify()
+        present = next(iter(eval_database.facts_of("premium")))
+        effective = classifier.apply(
+            Delta.insert(present.relation, *present.arguments)
+        )
+        assert effective.is_empty
+        assert classifier.last_reconcile["invalidated"] == 0
+
+
+class TestConstruction:
+    def test_accepts_an_artifact(self, retail_session, pair, eval_database):
+        artifact = retail_session.export_artifact()
+        classifier = StreamingClassifier(artifact, eval_database)
+        assert classifier.classify() == cold_labels(pair, eval_database)
+
+    def test_accepts_an_existing_evolving_database(self, pair, eval_database):
+        evolving = EvolvingDatabase(eval_database)
+        evolving.apply(Delta.insert("premium", "prod0"))
+        classifier = StreamingClassifier(pair, evolving)
+        assert classifier.evolving is evolving
+        assert classifier.database == evolving.materialize()
+
+    def test_rejects_schema_override_for_evolving_base(
+        self, pair, eval_database
+    ):
+        evolving = EvolvingDatabase(eval_database)
+        with pytest.raises(StreamError, match="schema override"):
+            StreamingClassifier(pair, evolving, schema=eval_database.schema)
+
+    def test_rejects_models_without_pair(self, eval_database):
+        with pytest.raises(StreamError, match="SeparatingPair"):
+            StreamingClassifier(object(), eval_database)
+
+
+class TestStats:
+    def test_stats_shape(self, pair, eval_database):
+        classifier = StreamingClassifier(pair, eval_database)
+        classifier.classify()
+        classifier.apply(Delta.insert("premium", "prod0"))
+        stats = classifier.stats()
+        assert stats["version"] == 1
+        assert stats["deltas_applied"] == 1
+        assert stats["cache_retained"] > 0
+        assert stats["cache_invalidated"] > 0
+        assert "hom_checks" in stats["engine"]
+        assert "dimension=" in repr(classifier)

@@ -1,0 +1,189 @@
+"""Relation-scoped cache invalidation: :meth:`EvaluationEngine.apply_delta`.
+
+The contract under test: after a delta confined to ``touched_relations``,
+cached answers for queries whose mentioned relations are disjoint from the
+touched set are *rekeyed* to the new database (no re-evaluation), cached
+results for overlapping queries are evicted, and everything the engine
+serves afterwards is bit-identical to a cold engine on the new database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.engine import EvaluationEngine
+from repro.cq.parser import parse_cq
+from repro.data import Database
+from repro.stream import Delta, EvolvingDatabase
+
+
+@pytest.fixture
+def base():
+    return Database.from_tuples(
+        {
+            "E": [("a", "b"), ("b", "c")],
+            "R": [("a",), ("c",)],
+            "eta": [("a",), ("b",), ("c",)],
+        }
+    )
+
+
+@pytest.fixture
+def edge_query():
+    return parse_cq("q(x) :- eta(x), E(x, y)")
+
+
+@pytest.fixture
+def flag_query():
+    return parse_cq("q(x) :- eta(x), R(x)")
+
+
+def evolve(base, delta):
+    """Apply one delta, returning ``(after, effective_touched)``."""
+    evolving = EvolvingDatabase(base)
+    effective = evolving.apply(delta)
+    return evolving.materialize(), effective.touched_relations
+
+
+class TestRetention:
+    def test_disjoint_query_survives_without_reevaluation(
+        self, base, edge_query
+    ):
+        engine = EvaluationEngine()
+        before_answers = engine.evaluate_unary(edge_query, base)
+        after, touched = evolve(base, Delta.insert("R", "b"))
+        stats = engine.apply_delta(base, after, touched)
+        assert stats["retained"] >= 1
+
+        work_before = engine.work_snapshot()
+        answers = engine.evaluate_unary(edge_query, after)
+        work_after = engine.work_snapshot()
+        assert answers == before_answers == {"a", "b"}
+        # Pure cache read: no new hom checks, one more hit, no misses.
+        assert work_after["hom_checks"] == work_before["hom_checks"]
+        assert work_after["cache_misses"] == work_before["cache_misses"]
+        assert work_after["cache_hits"] == work_before["cache_hits"] + 1
+
+    def test_unrelated_databases_are_untouched(self, base, edge_query):
+        engine = EvaluationEngine()
+        other = Database.from_tuples({"E": [("x", "y")], "eta": [("x",)]})
+        engine.evaluate_unary(edge_query, other)
+        after, touched = evolve(base, Delta.insert("R", "b"))
+        engine.apply_delta(base, after, touched)
+
+        work_before = engine.work_snapshot()
+        assert engine.evaluate_unary(edge_query, other) == {"x"}
+        assert (
+            engine.work_snapshot()["cache_hits"]
+            == work_before["cache_hits"] + 1
+        )
+
+
+class TestInvalidation:
+    def test_overlapping_query_is_evicted_and_recomputed(
+        self, base, flag_query
+    ):
+        engine = EvaluationEngine()
+        assert engine.evaluate_unary(flag_query, base) == {"a", "c"}
+        after, touched = evolve(base, Delta.insert("R", "b"))
+        stats = engine.apply_delta(base, after, touched)
+        assert stats["invalidated"] >= 1
+        # The recomputed answer reflects the new fact.
+        assert engine.evaluate_unary(flag_query, after) == {"a", "b", "c"}
+
+    def test_removal_invalidates_too(self, base, flag_query):
+        engine = EvaluationEngine()
+        assert engine.evaluate_unary(flag_query, base) == {"a", "c"}
+        after, touched = evolve(base, Delta.delete("R", "c"))
+        engine.apply_delta(base, after, touched)
+        assert engine.evaluate_unary(flag_query, after) == {"a"}
+
+    def test_retired_database_on_the_source_side_is_dropped(self, base):
+        engine = EvaluationEngine()
+        target = Database.from_tuples(
+            {
+                "E": [("u", "v"), ("v", "w")],
+                "R": [("u",), ("w",)],
+                "eta": [("u",), ("v",), ("w",)],
+            }
+        )
+        assert engine.has_homomorphism(base, target)
+        after, touched = evolve(base, Delta.insert("R", "b"))
+        stats = engine.apply_delta(base, after, touched)
+        assert stats["invalidated"] >= 1
+        # A cold check on the evolved source still works (and recomputes).
+        misses_before = engine.cache_info().misses
+        engine.has_homomorphism(after, target)
+        assert engine.cache_info().misses > misses_before
+
+
+class TestDifferentialAgainstColdEngine:
+    @pytest.mark.parametrize(
+        "delta",
+        [
+            Delta.insert("R", "b"),
+            Delta.delete("E", "a", "b"),
+            Delta(),
+        ],
+        ids=["insert", "delete", "empty"],
+    )
+    def test_all_queries_match_cold_engine(
+        self, base, edge_query, flag_query, delta
+    ):
+        warm = EvaluationEngine()
+        for query in (edge_query, flag_query):
+            warm.evaluate_unary(query, base)
+        after, touched = evolve(base, delta)
+        warm.apply_delta(base, after, touched)
+
+        cold = EvaluationEngine()
+        for query in (edge_query, flag_query):
+            assert warm.evaluate_unary(query, after) == cold.evaluate_unary(
+                query, after
+            )
+
+
+class TestAccounting:
+    def test_cache_info_and_work_snapshot_grow_counters(
+        self, base, edge_query, flag_query
+    ):
+        engine = EvaluationEngine()
+        engine.evaluate_unary(edge_query, base)
+        engine.evaluate_unary(flag_query, base)
+        info = engine.cache_info()
+        assert info.retained == 0 and info.invalidated == 0
+
+        after, touched = evolve(base, Delta.insert("R", "b"))
+        stats = engine.apply_delta(base, after, touched)
+        info = engine.cache_info()
+        assert info.retained == stats["retained"] >= 1
+        assert info.invalidated == stats["invalidated"] >= 1
+        snapshot = engine.work_snapshot()
+        assert snapshot["cache_retained"] == info.retained
+        assert snapshot["cache_invalidated"] == info.invalidated
+
+    def test_counters_accumulate_across_deltas(self, base, edge_query):
+        engine = EvaluationEngine()
+        engine.evaluate_unary(edge_query, base)
+        evolving = EvolvingDatabase(base)
+        total = 0
+        current = base
+        for element in ("p", "q"):
+            effective = evolving.apply(Delta.insert("R", element))
+            after = evolving.materialize()
+            stats = engine.apply_delta(
+                current, after, effective.touched_relations
+            )
+            total += stats["retained"]
+            current = after
+        assert engine.cache_info().retained == total
+
+    def test_clear_resets_the_tallies(self, base, edge_query):
+        engine = EvaluationEngine()
+        engine.evaluate_unary(edge_query, base)
+        after, touched = evolve(base, Delta.insert("R", "b"))
+        engine.apply_delta(base, after, touched)
+        engine.clear()
+        info = engine.cache_info()
+        assert info.retained == 0
+        assert info.invalidated == 0

@@ -433,3 +433,122 @@ class TestClassifyFromModel:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture
+def ops_file(tmp_path):
+    """A streaming op file: init, predict, a delta, predict again."""
+    import json
+
+    from repro.data import Database
+    from repro.data.io import facts_to_json
+
+    base = Database.from_tuples(
+        {
+            "E": [("f", "g"), ("g", "h"), ("i", "j")],
+            "eta": [("f",), ("g",), ("i",)],
+        }
+    )
+    ops = [
+        {"op": "init", "facts": facts_to_json(base)},
+        {"op": "predict", "id": "v0"},
+        # Give i an outgoing 2-path: its label must flip to +1.
+        {"op": "delta", "add": [{"relation": "E", "arguments": ["j", "k"]}]},
+        {"op": "predict", "id": "v1"},
+    ]
+    path = tmp_path / "ops.jsonl"
+    path.write_text("\n".join(json.dumps(op) for op in ops) + "\n")
+    return str(path)
+
+
+class TestPredictStream:
+    def _outputs(self, out):
+        import json
+
+        return [json.loads(line) for line in out.splitlines()]
+
+    def test_labels_track_the_deltas(self, model_file, ops_file, capsys):
+        assert main(
+            ["predict", ops_file, "--model", model_file, "--stream"]
+        ) == 0
+        v0, v1 = self._outputs(capsys.readouterr().out)
+        assert v0["id"] == "v0" and v1["id"] == "v1"
+        assert v0["labels"]["i"] == -1  # no 2-path from i yet
+        assert v1["labels"]["i"] == 1  # the delta created one
+        assert v0["labels"]["f"] == v1["labels"]["f"] == 1
+
+    def test_stream_matches_stateless_predict(
+        self, model_file, ops_file, requests_file, capsys
+    ):
+        assert main(
+            ["predict", ops_file, "--model", model_file, "--stream"]
+        ) == 0
+        v0 = self._outputs(capsys.readouterr().out)[0]
+        assert main(["predict", requests_file, "--model", model_file]) == 0
+        stateless = self._outputs(capsys.readouterr().out)[0]
+        assert v0["labels"] == stateless["labels"]
+
+    def test_is_deterministic(self, model_file, ops_file, capsys):
+        assert main(
+            ["predict", ops_file, "--model", model_file, "--stream"]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["predict", ops_file, "--model", model_file, "--stream"]
+        ) == 0
+        assert capsys.readouterr().out == first
+
+    def test_metrics_report_stream_stats(self, model_file, ops_file, capsys):
+        import json
+
+        assert main(
+            ["predict", ops_file, "--model", model_file, "--stream",
+             "--metrics"]
+        ) == 0
+        snapshot = json.loads(capsys.readouterr().err)
+        assert snapshot["streams"] == 1
+        assert snapshot["deltas"] == 1
+        assert snapshot["requests"] == 2
+        assert snapshot["stream"]["version"] == 1
+        assert snapshot["stream"]["cache_retained"] > 0
+
+    def test_reads_stdin(self, model_file, ops_file, capsys, monkeypatch):
+        import io
+
+        payload = open(ops_file).read()
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        assert main(["predict", "-", "--model", model_file, "--stream"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 2
+
+    def test_predict_before_init_exits_2(self, model_file, tmp_path, capsys):
+        path = tmp_path / "ops.jsonl"
+        path.write_text('{"op": "predict", "id": "r1"}\n')
+        assert main(
+            ["predict", str(path), "--model", model_file, "--stream"]
+        ) == 2
+        assert "before init" in capsys.readouterr().err
+
+    def test_duplicate_init_exits_2(self, model_file, ops_file, tmp_path, capsys):
+        lines = open(ops_file).read().splitlines()
+        path = tmp_path / "dup.jsonl"
+        path.write_text("\n".join([lines[0], lines[0]]) + "\n")
+        assert main(
+            ["predict", str(path), "--model", model_file, "--stream"]
+        ) == 2
+        assert "duplicate init" in capsys.readouterr().err
+
+    def test_unknown_op_exits_2(self, model_file, tmp_path, capsys):
+        path = tmp_path / "ops.jsonl"
+        path.write_text('{"op": "frobnicate"}\n')
+        assert main(
+            ["predict", str(path), "--model", model_file, "--stream"]
+        ) == 2
+        assert "unknown op" in capsys.readouterr().err
+
+    def test_missing_op_key_exits_2(self, model_file, tmp_path, capsys):
+        path = tmp_path / "ops.jsonl"
+        path.write_text('{"id": "r1", "facts": []}\n')
+        assert main(
+            ["predict", str(path), "--model", model_file, "--stream"]
+        ) == 2
+        assert "op stream" in capsys.readouterr().err
