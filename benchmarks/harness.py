@@ -54,8 +54,18 @@ def bench_executor(workers: int = None):
     return make_executor(bench_workers() if workers is None else workers)
 
 
-def report(name: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
-    """Print a paper-style table and persist it under benchmarks/results/."""
+def report(
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    append: bool = False,
+) -> None:
+    """Print a paper-style table and persist it under benchmarks/results/.
+
+    ``append=True`` adds the table to the end of an existing results file
+    (separated by a blank line) instead of overwriting it — for benches
+    whose single results artifact collects more than one table.
+    """
     widths = [
         max(len(str(header)), *(len(str(row[i])) for row in rows))
         if rows
@@ -73,7 +83,11 @@ def report(name: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
     table = "\n".join(lines)
     print(f"\n[{name}]\n{table}")
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    mode = "a" if append and os.path.exists(path) else "w"
+    with open(path, mode) as handle:
+        if mode == "a":
+            handle.write("\n")
         handle.write(table + "\n")
 
 

@@ -14,6 +14,7 @@ from repro.cq.enumeration import (
     enumerate_feature_queries,
 )
 from repro.cq.evaluation import (
+    compile_plan,
     evaluate,
     evaluate_unary,
     indicator,
@@ -30,6 +31,12 @@ from repro.cq.homomorphism import (
     pointed_has_homomorphism,
 )
 from repro.cq.parser import parse_cq
+from repro.cq.plan import (
+    HomomorphismProgram,
+    PlanCounters,
+    QueryPlan,
+    YannakakisPlan,
+)
 from repro.cq.structured_evaluation import (
     evaluate_ghw,
     evaluate_with_decomposition,
@@ -48,6 +55,11 @@ __all__ = [
     "default_engine",
     "set_default_engine",
     "parse_cq",
+    "HomomorphismProgram",
+    "PlanCounters",
+    "QueryPlan",
+    "YannakakisPlan",
+    "compile_plan",
     "evaluate",
     "evaluate_unary",
     "evaluate_ghw",

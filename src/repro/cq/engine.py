@@ -23,6 +23,14 @@ materialization (Section 3), QBE (Section 6), and GHW(k) classification
 - **Batching.**  :meth:`evaluate_statistic` and :meth:`indicator_matrix`
   evaluate each feature query once per database and read vectors off the
   answer sets, instead of re-deriving candidates per ``selects`` call.
+- **Compiled plans.**  Each query is compiled once into a
+  :class:`~repro.cq.plan.QueryPlan` (cached in its own LRU keyed by the
+  query alone) whose precompiled homomorphism program replaces the
+  per-check query-side analysis — fact ordering, occurrence signatures,
+  zip schedule — and whose single-pass Yannakakis plan backs
+  :meth:`EvaluationEngine.evaluate_ghw`.  Plans are database-independent,
+  so the plan cache survives :meth:`EvaluationEngine.apply_delta`
+  untouched.
 
 Instrumentation counters (hom checks attempted, backtrack nodes expanded,
 cache hits/misses, cover games played) are threaded through to
@@ -56,10 +64,11 @@ from typing import (
 from repro.cq.homomorphism import SearchCounters, has_homomorphism
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.cq.plan import HomomorphismProgram, PlanCounters, QueryPlan
     from repro.runtime.executor import Executor
 from repro.cq.query import CQ
 from repro.data.database import Database
-from repro.exceptions import DatabaseError, QueryError
+from repro.exceptions import DatabaseError, DecompositionError, QueryError
 
 __all__ = [
     "CacheInfo",
@@ -235,15 +244,60 @@ class EvaluationEngine:
     ----------
     cache_size:
         Maximum number of entries per internal cache (pointed hom checks,
-        query answers, cover games).  Results are exact regardless of the
-        size; a small cache only trades speed for memory.
+        query answers, cover games, compiled plans).  Results are exact
+        regardless of the size; a small cache only trades speed for memory.
+    use_plans:
+        When true (the default), ``selects``/``evaluate`` execute each
+        query's compiled :class:`~repro.cq.plan.HomomorphismProgram`
+        instead of re-analyzing the canonical database per check.  Turn
+        off to benchmark the unplanned search; results are identical
+        either way.
     """
 
-    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        use_plans: bool = True,
+    ) -> None:
         self._hom_cache = _LRUCache(cache_size)
         self._answer_cache = _LRUCache(cache_size)
         self._game_cache = _LRUCache(cache_size)
+        self._plan_cache = _LRUCache(cache_size)
+        self.use_plans = use_plans
         self.counters = EngineCounters()
+        self._plan_counters: Optional["PlanCounters"] = None
+
+    @property
+    def plan_counters(self) -> "PlanCounters":
+        """Work tally of single-pass structured plan executions."""
+        if self._plan_counters is None:
+            # Local import: repro.cq.plan is loaded lazily so constructing
+            # the module-level default engine stays import-cycle free.
+            from repro.cq.plan import PlanCounters
+
+            self._plan_counters = PlanCounters()
+        return self._plan_counters
+
+    # ------------------------------------------------------------------
+    # Compiled query plans
+    # ------------------------------------------------------------------
+
+    def plan_for(self, query: CQ) -> "QueryPlan":
+        """The compiled :class:`~repro.cq.plan.QueryPlan` for ``query``.
+
+        Compiled at most once per query (LRU-cached by the query alone —
+        plans never depend on a target database).  Hits and misses appear
+        under ``"plans"`` in :meth:`cache_details` and are folded into
+        :meth:`cache_info`.
+        """
+        cached = self._plan_cache.lookup(query)
+        if cached is not _LRUCache._MISSING:
+            return cached
+        from repro.cq.plan import QueryPlan
+
+        plan = QueryPlan.compile(query)
+        self._plan_cache.store(query, plan)
+        return plan
 
     # ------------------------------------------------------------------
     # Homomorphism checks
@@ -254,14 +308,27 @@ class EvaluationEngine:
         source: Database,
         target: Database,
         fixed: Optional[Mapping[Element, Element]] = None,
+        program: Optional["HomomorphismProgram"] = None,
     ) -> bool:
-        """Memoized ``source → target`` extending ``fixed``."""
+        """Memoized ``source → target`` extending ``fixed``.
+
+        When a precompiled ``program`` (over ``source``, seeded with the
+        keys of ``fixed``) is given, a cache miss executes it instead of
+        the direct search — the decision is identical, only the per-check
+        query-side analysis is skipped and the search tree is pruned
+        through the target's ``facts_at`` index.
+        """
         frozen = frozenset(fixed.items()) if fixed else frozenset()
         key = (source, target, frozen)
         cached = self._hom_cache.lookup(key)
         if cached is not _LRUCache._MISSING:
             return cached
-        result = has_homomorphism(source, target, fixed, self.counters.search)
+        if program is not None:
+            result = program.run(target, fixed, self.counters.search)
+        else:
+            result = has_homomorphism(
+                source, target, fixed, self.counters.search
+            )
         self._hom_cache.store(key, result)
         return result
 
@@ -343,11 +410,12 @@ class EvaluationEngine:
 
         canonical = query.canonical_database
         free = query.free_variables
+        program = self.plan_for(query).program if self.use_plans else None
         ordered = [sorted(candidates, key=repr) for candidates in candidate_sets]
         results: Set[Tuple[Element, ...]] = set()
         for values in itertools.product(*ordered):
             if self.has_homomorphism(
-                canonical, database, dict(zip(free, values))
+                canonical, database, dict(zip(free, values)), program
             ):
                 results.add(values)
         result = frozenset(results)
@@ -362,14 +430,45 @@ class EvaluationEngine:
             raise QueryError("evaluate_unary requires a unary CQ")
         return frozenset(row[0] for row in self.evaluate(query, database))
 
+    def evaluate_ghw(
+        self, query: CQ, database: Database, k: int
+    ) -> FrozenSet[Element]:
+        """``q(D)`` via the compiled single-pass Yannakakis plan (ghw ≤ k).
+
+        The decomposition is found and compiled at most once per
+        ``(query, k)`` (on the cached :class:`~repro.cq.plan.QueryPlan`);
+        answers share the same memo as :meth:`evaluate`, which is sound
+        because the single-pass plan is differentially verified to agree
+        with the backtracking path.  Raises
+        :class:`~repro.exceptions.DecompositionError` if ``ghw(q) > k``,
+        like the uncached reference
+        :func:`repro.cq.structured_evaluation.evaluate_ghw`.
+        """
+        if not query.is_unary:
+            raise QueryError("structured evaluation requires a unary CQ")
+        structured = self.plan_for(query).structured(k)
+        if structured is None:
+            raise DecompositionError(f"query has ghw > {k}")
+        key = (query, database)
+        cached = self._answer_cache.lookup(key)
+        if cached is not _LRUCache._MISSING:
+            return frozenset(row[0] for row in cached)
+        answer = structured.evaluate(database, self.plan_counters)
+        self._answer_cache.store(
+            key, frozenset((element,) for element in answer)
+        )
+        return answer
+
     def selects(self, query: CQ, database: Database, element: Element) -> bool:
         """Whether ``element ∈ q(D)``, by one memoized pointed check."""
         if not query.is_unary:
             raise QueryError("selects requires a unary CQ")
+        program = self.plan_for(query).program if self.use_plans else None
         return self.has_homomorphism(
             query.canonical_database,
             database,
             {query.free_variable: element},
+            program,
         )
 
     def indicator(
@@ -533,9 +632,12 @@ class EvaluationEngine:
           and entries where the retired ``before`` appears on the *source*
           side (the delta changed the source itself), are evicted.
 
-        Entries referencing neither database are untouched.  Returns the
-        ``{"retained": ..., "invalidated": ...}`` counts for this delta;
-        cumulative tallies appear in :meth:`cache_info` and
+        Entries referencing neither database are untouched, and the plan
+        cache is not reconciled at all: compiled plans depend only on the
+        query, never on any target database, so every plan stays valid
+        across any delta.
+        Returns the ``{"retained": ..., "invalidated": ...}`` counts for
+        this delta; cumulative tallies appear in :meth:`cache_info` and
         :meth:`work_snapshot`.
         """
         touched = frozenset(touched_relations)
@@ -595,6 +697,7 @@ class EvaluationEngine:
             self._hom_cache.info(),
             self._answer_cache.info(),
             self._game_cache.info(),
+            self._plan_cache.info(),
         ]
         return CacheInfo(
             hits=sum(info.hits for info in infos),
@@ -611,6 +714,7 @@ class EvaluationEngine:
             "hom": self._hom_cache.info(),
             "answers": self._answer_cache.info(),
             "games": self._game_cache.info(),
+            "plans": self._plan_cache.info(),
         }
 
     def clear(self) -> None:
@@ -618,6 +722,8 @@ class EvaluationEngine:
         self._hom_cache.clear()
         self._answer_cache.clear()
         self._game_cache.clear()
+        self._plan_cache.clear()
+        self._plan_counters = None
 
     def work_snapshot(self) -> Dict[str, int]:
         """Cumulative work counters, for delta-based benchmark reporting."""

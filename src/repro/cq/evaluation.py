@@ -14,11 +14,14 @@ bounds).  The uncached reference implementations live in
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Any, FrozenSet, Iterable, Optional, Tuple
 
 from repro.cq.engine import EvaluationEngine, default_engine
 from repro.cq.query import CQ
 from repro.data.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.cq.plan import QueryPlan
 
 __all__ = [
     "evaluate",
@@ -26,6 +29,7 @@ __all__ = [
     "selects",
     "indicator",
     "indicator_vector",
+    "compile_plan",
 ]
 
 Element = Any
@@ -85,3 +89,17 @@ def indicator_vector(
     return (engine or default_engine()).indicator_vector(
         queries, database, element
     )
+
+
+def compile_plan(
+    query: CQ,
+    engine: Optional[EvaluationEngine] = None,
+) -> "QueryPlan":
+    """The engine's compiled (and cached) plan for ``query``.
+
+    Compiling is idempotent — the engine caches one
+    :class:`~repro.cq.plan.QueryPlan` per query — so this doubles as an
+    explicit warm-up hook: compile a statistic's plans up front and every
+    later ``selects``/``evaluate`` call starts on the hot path.
+    """
+    return (engine or default_engine()).plan_for(query)

@@ -107,24 +107,30 @@ def _order_facts(source: Database, seeded: Set[Element]) -> List[Fact]:
     """Greedy fact ordering: most already-touched elements first.
 
     Keeps the search connected so assignments propagate early; ties are
-    broken toward facts over rarer relations deterministically.
+    broken toward facts over rarer relations deterministically.  Repr keys
+    and element sets are computed once up front (decorate-sort) rather than
+    inside the sort and the O(n²) selection loop; the resulting order is
+    identical to the historical one.
     """
-    remaining = sorted(source.facts, key=repr)
+    remaining: List[Tuple[Fact, FrozenSet[Element]]] = [
+        (fact, fact.elements)
+        for fact in sorted(source.facts, key=repr)
+    ]
     ordered: List[Fact] = []
     touched = set(seeded)
     while remaining:
         best_index = 0
         best_key: Optional[Tuple[int, int]] = None
-        for index, fact in enumerate(remaining):
-            overlap = sum(1 for a in fact.elements if a in touched)
-            new_elements = len(fact.elements) - overlap
+        for index, (_, elements) in enumerate(remaining):
+            overlap = sum(1 for a in elements if a in touched)
+            new_elements = len(elements) - overlap
             key = (-overlap, new_elements)
             if best_key is None or key < best_key:
                 best_key = key
                 best_index = index
-        fact = remaining.pop(best_index)
+        fact, elements = remaining.pop(best_index)
         ordered.append(fact)
-        touched.update(fact.elements)
+        touched.update(elements)
     return ordered
 
 
@@ -241,8 +247,14 @@ def pointed_has_homomorphism(
     source_tuple: Sequence[Element],
     target: Database,
     target_tuple: Sequence[Element],
+    counters: Optional[SearchCounters] = None,
 ) -> bool:
-    """Whether ``(D, ā) → (D', b̄)`` holds."""
+    """Whether ``(D, ā) → (D', b̄)`` holds.
+
+    Pass a :class:`SearchCounters` to make the underlying search visible
+    to work tallies — pointed checks count toward ``hom_checks`` and
+    ``backtrack_nodes`` exactly like unpointed ones.
+    """
     if len(source_tuple) != len(target_tuple):
         raise DatabaseError(
             "pointed homomorphism requires equal-length tuples"
@@ -253,7 +265,7 @@ def pointed_has_homomorphism(
         if existing is not None and existing != image:
             return False
         fixed[element] = image
-    return has_homomorphism(source, target, fixed)
+    return has_homomorphism(source, target, fixed, counters)
 
 
 def is_homomorphism(

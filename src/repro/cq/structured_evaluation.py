@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.cq.plan import PlanCounters
 from repro.cq.query import CQ
 from repro.cq.terms import Atom, Variable
 from repro.data.database import Database
@@ -112,10 +113,12 @@ def _bag_relation(
         columns, rows = _join(columns, rows, bindings, atom_variables)
         if not rows:
             return columns, rows
-    # Unconstrained bag variables range over the whole domain.
-    for variable in sorted(bag):
-        if variable not in columns:
-            domain = sorted(database.domain, key=repr)
+    # Unconstrained bag variables range over the whole domain (repr-sorted
+    # once per database on its index, not once per variable per call).
+    missing = [v for v in sorted(bag) if v not in columns]
+    if missing:
+        domain = database.index.sorted_domain
+        for variable in missing:
             rows = {
                 row + (element,) for row in rows for element in domain
             }
@@ -150,12 +153,20 @@ def evaluate_with_decomposition(
     query: CQ,
     decomposition: TreeDecomposition,
     database: Database,
+    counters: Optional[PlanCounters] = None,
 ) -> FrozenSet[Element]:
     """``q(D)`` for a unary query via Yannakakis passes over the decomposition.
 
     Every atom must be covered by some bag (its existential variables inside
     the bag) — guaranteed by a valid decomposition.  Cost is polynomial in
-    ``|D|^k`` for a width-k decomposition.
+    ``|D|^k`` for a width-k decomposition — times an extra ``O(|dom|)``
+    factor from the per-candidate outer loop below, which re-materializes
+    every bag relation once per candidate free value.  The compiled
+    single-pass evaluator in :class:`repro.cq.plan.YannakakisPlan` removes
+    that factor; this per-candidate path is kept as the independent
+    reference it is differentially tested against.  Pass a
+    :class:`~repro.cq.plan.PlanCounters` to tally bag materializations,
+    rows produced, and semijoin steps for work comparisons.
     """
     if not query.is_unary:
         raise QueryError("structured evaluation requires a unary CQ")
@@ -199,6 +210,8 @@ def evaluate_with_decomposition(
                 parent[neighbor] = node
                 stack.append(neighbor)
 
+    if counters is not None:
+        counters.evaluations += 1
     answers: Set[Element] = set()
     for value in sorted(candidates, key=repr):
         relations: Dict[int, Tuple[List[Variable], Set[_Row]]] = {}
@@ -207,6 +220,9 @@ def evaluate_with_decomposition(
             columns, rows = _bag_relation(
                 decomposition.bags[node], free, query, database, value
             )
+            if counters is not None:
+                counters.bag_relations += 1
+                counters.bag_rows += len(rows)
             relations[node] = (columns, rows)
             if not rows:
                 empty = True
@@ -222,6 +238,8 @@ def evaluate_with_decomposition(
             p_columns, p_rows = relations[parent_node]
             c_columns, c_rows = relations[node]
             p_rows = _semijoin(p_columns, p_rows, c_columns, c_rows)
+            if counters is not None:
+                counters.semijoins += 1
             relations[parent_node] = (p_columns, p_rows)
             if not p_rows:
                 alive = False
@@ -234,7 +252,11 @@ def evaluate_with_decomposition(
 def evaluate_ghw(
     query: CQ, database: Database, k: int
 ) -> FrozenSet[Element]:
-    """Decompose (must have ghw ≤ k) and evaluate via the decomposition."""
+    """Decompose (must have ghw ≤ k) and evaluate via the decomposition.
+
+    Uncached per-candidate reference path; the compiled, memoized
+    equivalent is :meth:`repro.cq.engine.EvaluationEngine.evaluate_ghw`.
+    """
     decomposition = decompose(query, k)
     if decomposition is None:
         raise DecompositionError(f"query has ghw > {k}")

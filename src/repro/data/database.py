@@ -79,24 +79,42 @@ class DatabaseIndex:
       elements occurring at that argument position of some fact;
     - ``facts_by_relation`` maps each relation name to its fact tuple
       (the database's own per-relation index, re-exposed here so engine
-      code needs only the index object).
+      code needs only the index object);
+    - ``facts_at`` maps ``(relation, position, element)`` to the tuple of
+      facts with that element at that position — the hash buckets that let
+      a compiled :class:`~repro.cq.plan.HomomorphismProgram` enumerate only
+      the target facts compatible with an already-bound element, instead
+      of scanning the whole relation;
+    - ``sorted_domain`` is ``sorted(dom(D), key=repr)``, computed once so
+      repeated structured evaluations stop re-sorting the domain.
     """
 
-    __slots__ = ("positions", "facts_by_relation")
+    __slots__ = ("positions", "facts_by_relation", "facts_at", "sorted_domain")
 
     def __init__(self, database: "Database") -> None:
         occurrence: Dict[Tuple[str, int], set] = {}
-        for fact in database.facts:
-            for position, element in enumerate(fact.arguments):
-                occurrence.setdefault((fact.relation, position), set()).add(
-                    element
-                )
+        buckets: Dict[Tuple[str, int, Element], List[Fact]] = {}
+        for name in database.relation_names:
+            for fact in database.facts_of(name):
+                for position, element in enumerate(fact.arguments):
+                    occurrence.setdefault((name, position), set()).add(
+                        element
+                    )
+                    buckets.setdefault((name, position, element), []).append(
+                        fact
+                    )
         self.positions: Mapping[Tuple[str, int], FrozenSet[Element]] = {
             key: frozenset(elements) for key, elements in occurrence.items()
         }
         self.facts_by_relation: Mapping[str, Tuple[Fact, ...]] = {
             name: database.facts_of(name) for name in database.relation_names
         }
+        self.facts_at: Mapping[Tuple[str, int, Element], Tuple[Fact, ...]] = {
+            key: tuple(facts) for key, facts in buckets.items()
+        }
+        self.sorted_domain: Tuple[Element, ...] = tuple(
+            sorted(database.domain, key=repr)
+        )
 
     def occurrences(self, relation: str, position: int) -> FrozenSet[Element]:
         """Elements occurring at ``position`` of ``relation`` (possibly empty)."""

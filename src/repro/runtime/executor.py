@@ -168,6 +168,11 @@ class ParallelExecutor(Executor):
         pick serial vs parallel from a ``workers=`` knob).
     cache_size:
         Per-worker engine cache size; ``None`` keeps the engine default.
+    plan_queries:
+        Queries whose :class:`~repro.cq.plan.QueryPlan` every worker
+        compiles at initialization (once per worker process, before any
+        shard runs).  Pass a fixed statistic here — the serving path does —
+        so no shard ever pays the compile on its own clock.
 
     Workers are started lazily on first dispatch and reused across calls,
     so per-worker caches stay warm over a whole session.  Dispatch falls
@@ -175,7 +180,12 @@ class ParallelExecutor(Executor):
     pickled or the pool dies; :attr:`fallback_reason` records why.
     """
 
-    def __init__(self, workers: int, cache_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        cache_size: Optional[int] = None,
+        plan_queries: Sequence[Any] = (),
+    ) -> None:
         super().__init__()
         if workers < 2:
             raise ReproError(
@@ -184,6 +194,7 @@ class ParallelExecutor(Executor):
             )
         self.workers = workers
         self._cache_size = cache_size
+        self._plan_queries = tuple(plan_queries)
         self._pool: Optional[Any] = None
         #: Last reason parallel dispatch fell back to serial, or None.
         self.fallback_reason: Optional[str] = None
@@ -197,7 +208,7 @@ class ParallelExecutor(Executor):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=initialize_worker,
-                initargs=(self._cache_size,),
+                initargs=(self._cache_size, self._plan_queries),
             )
         return self._pool
 
@@ -267,9 +278,22 @@ class ParallelExecutor(Executor):
 
 
 def make_executor(
-    workers: Optional[int], cache_size: Optional[int] = None
+    workers: Optional[int],
+    cache_size: Optional[int] = None,
+    plan_queries: Optional[Sequence[Any]] = None,
 ) -> Executor:
-    """The executor for a ``workers=`` knob: serial iff ``workers <= 1``."""
+    """The executor for a ``workers=`` knob: serial iff ``workers <= 1``.
+
+    ``plan_queries`` (a fixed statistic, if the caller has one) is handed
+    to every worker's initializer for up-front plan compilation; the
+    serial executor ignores it — the calling process's engine compiles
+    plans lazily on first use, or eagerly via
+    :meth:`~repro.cq.engine.EvaluationEngine.plan_for`.
+    """
     if workers is None or workers <= 1:
         return SerialExecutor()
-    return ParallelExecutor(workers, cache_size=cache_size)
+    return ParallelExecutor(
+        workers,
+        cache_size=cache_size,
+        plan_queries=() if plan_queries is None else plan_queries,
+    )

@@ -60,16 +60,25 @@ class ShardOutcome(NamedTuple):
     cache_info: CacheInfo
 
 
-def initialize_worker(cache_size: Optional[int] = None) -> None:
+def initialize_worker(
+    cache_size: Optional[int] = None,
+    plan_queries: Sequence[CQ] = (),
+) -> None:
     """Install a fresh engine as the worker process's default engine.
 
     Runs once per worker (``ProcessPoolExecutor(initializer=...)``).  A
     fresh engine rather than a fork-inherited copy keeps worker counters
     attributable: everything they report happened in this worker.
+
+    ``plan_queries`` are compiled into the worker engine's plan cache up
+    front (once per worker, not once per shard), so a pool serving a fixed
+    statistic — the serving path — starts every shard on the hot path.
     """
     engine = (
         EvaluationEngine() if cache_size is None else EvaluationEngine(cache_size)
     )
+    for query in plan_queries:
+        engine.plan_for(query)
     set_default_engine(engine)
 
 

@@ -91,7 +91,9 @@ class InferenceService:
         elif workers > 1:
             from repro.runtime import make_executor
 
-            self._executor = make_executor(workers)
+            self._executor = make_executor(
+                workers, plan_queries=self._pair.statistic.queries
+            )
             self._owns_executor = True
         else:
             self._executor = None
@@ -122,17 +124,21 @@ class InferenceService:
     def warm_up(self) -> None:
         """Compile the model ahead of the first request.
 
-        Builds every feature query's canonical database and index in this
-        process, and — when serving with a worker pool — pushes one empty
-        micro-batch through the executor so worker processes start (and
-        build their own compiled queries) before traffic arrives.
-        Idempotent; :meth:`predict` and :meth:`predict_batch` call it
-        lazily on first use.
+        Compiles every feature query's :class:`~repro.cq.plan.QueryPlan`
+        into the serving engine's plan cache (which also builds the
+        canonical databases and their indexes), and — when serving with a
+        worker pool — pushes one empty micro-batch through the executor so
+        worker processes start (compiling their own plans via the worker
+        initializer) before traffic arrives.  Idempotent; :meth:`predict`
+        and :meth:`predict_batch` call it lazily on first use.
         """
         if self._warmed:
             return
         for query in self._pair.statistic:
-            query.canonical_database.index  # noqa: B018 - build lazily-cached state
+            if self._engine.use_plans:
+                self._engine.plan_for(query)
+            else:
+                query.canonical_database.index  # noqa: B018 - build lazily-cached state
         if self._executor is not None and self._executor.workers > 1:
             empty = Database(
                 (), schema=self._artifact.schema
@@ -298,6 +304,9 @@ class InferenceService:
         snapshot["engine"]["cache_hit_rate"] = (
             info.hits / attempts if attempts else 0.0
         )
+        plans = self._engine.cache_details()["plans"]
+        snapshot["engine"]["compiled_plans"] = plans.currsize
+        snapshot["engine"]["plan_cache_hits"] = plans.hits
         if self._executor is not None:
             pool_info = self._executor.cache_info()
             pool_attempts = pool_info.hits + pool_info.misses

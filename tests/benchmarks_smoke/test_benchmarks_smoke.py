@@ -38,8 +38,9 @@ class _BenchmarkOnce:
 
 
 def test_all_bench_modules_are_covered():
-    assert len(MODULES) >= 26
+    assert len(MODULES) >= 27
     assert "bench_engine" in MODULES
+    assert "bench_plan" in MODULES
     assert "bench_serve" in MODULES
     assert "bench_stream" in MODULES
 

@@ -55,7 +55,7 @@ class TestCacheInfoAccounting:
 
     def test_cache_details_names_all_caches(self):
         details = EvaluationEngine().cache_details()
-        assert set(details) == {"hom", "answers", "games"}
+        assert set(details) == {"hom", "answers", "games", "plans"}
 
     def test_work_snapshot_keys(self, query, database):
         engine = EvaluationEngine()

@@ -191,6 +191,23 @@ class TestLifecycle:
             service.predict(retail_evals[0])
             assert service.metrics.warmups == 1
 
+    def test_warm_up_compiles_all_statistic_plans(self, retail_session):
+        artifact = retail_session.export_artifact()
+        engine = EvaluationEngine()
+        with InferenceService(artifact, engine=engine) as service:
+            service.warm_up()
+            plans = engine.cache_details()["plans"]
+            assert plans.currsize == artifact.dimension
+            # The first prediction hits every compiled plan instead of
+            # compiling on the request clock.
+            service.predict(retail_session.training.database)
+            after = engine.cache_details()["plans"]
+            assert after.misses == plans.misses
+            assert after.hits > 0
+            snapshot = service.metrics_snapshot()
+            assert snapshot["engine"]["compiled_plans"] == artifact.dimension
+            assert snapshot["engine"]["plan_cache_hits"] > 0
+
     def test_close_is_idempotent(self, retail_session):
         artifact = retail_session.export_artifact()
         service = InferenceService(artifact, workers=2)

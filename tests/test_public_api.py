@@ -23,6 +23,7 @@ MODULES = [
     "repro.cq.parser",
     "repro.cq.homomorphism",
     "repro.cq.evaluation",
+    "repro.cq.plan",
     "repro.cq.structured_evaluation",
     "repro.cq.containment",
     "repro.cq.core",
