@@ -17,6 +17,14 @@ def pytest_addoption(parser):
         help="worker processes for sharded benches "
         "(exported as REPRO_BENCH_WORKERS; default: serial)",
     )
+    parser.addoption(
+        "--backend",
+        action="store",
+        choices=("python", "numpy"),
+        default=None,
+        help="evaluation backend for engines built through the harness "
+        "(exported as REPRO_BENCH_BACKEND; default: python)",
+    )
 
 
 def pytest_configure(config):
@@ -25,3 +33,8 @@ def pytest_configure(config):
         from harness import WORKERS_ENV
 
         os.environ[WORKERS_ENV] = str(workers)
+    backend = config.getoption("--backend", default=None)
+    if backend is not None:
+        from harness import BACKEND_ENV
+
+        os.environ[BACKEND_ENV] = backend

@@ -23,15 +23,24 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #: (``pytest benchmarks/ --workers N`` sets it; see benchmarks/conftest.py).
 WORKERS_ENV = "REPRO_BENCH_WORKERS"
 
+#: Environment knob behind the benchmark suite's ``--backend`` flag:
+#: the evaluation backend engines and executors built through this
+#: harness use (``python`` or ``numpy``).
+BACKEND_ENV = "REPRO_BENCH_BACKEND"
+
 __all__ = [
     "report",
     "timed",
     "timed_with_counters",
     "bench_workers",
+    "bench_backend",
+    "bench_engine",
     "bench_executor",
+    "environment_header",
     "growth_exponent",
     "RESULTS_DIR",
     "WORKERS_ENV",
+    "BACKEND_ENV",
 ]
 
 
@@ -43,15 +52,50 @@ def bench_workers(default: int = 1) -> int:
         return max(1, default)
 
 
+def bench_backend(default: str = "python") -> str:
+    """The evaluation backend benches should run on (``--backend`` flag)."""
+    from repro.cq.engine import BACKENDS
+
+    backend = os.environ.get(BACKEND_ENV, default)
+    return backend if backend in BACKENDS else default
+
+
+def bench_engine(**kwargs):
+    """A fresh :class:`repro.cq.engine.EvaluationEngine` on the suite backend."""
+    from repro.cq.engine import EvaluationEngine
+
+    kwargs.setdefault("backend", bench_backend())
+    return EvaluationEngine(**kwargs)
+
+
 def bench_executor(workers: int = None):
     """A fresh :class:`repro.runtime.Executor` for ``workers`` processes.
 
-    ``None`` reads the suite-wide ``--workers`` flag.  Callers own the
-    executor and should ``close()`` it (or use it as a context manager).
+    ``None`` reads the suite-wide ``--workers`` flag.  The pool's engines
+    run on the suite-wide ``--backend``.  Callers own the executor and
+    should ``close()`` it (or use it as a context manager).
     """
     from repro.runtime import make_executor
 
-    return make_executor(bench_workers() if workers is None else workers)
+    return make_executor(
+        bench_workers() if workers is None else workers,
+        backend=bench_backend(),
+    )
+
+
+def environment_header() -> str:
+    """One comment line pinning the evaluation environment of a report.
+
+    Every results file records which backend produced it and the numpy
+    version in play (``absent`` when the vectorized backend cannot load),
+    so persisted tables from different backends are never conflated.
+    """
+    from repro.data.bitset import numpy_version
+
+    return (
+        f"# backend={bench_backend()} "
+        f"numpy={numpy_version() or 'absent'}"
+    )
 
 
 def report(
@@ -81,13 +125,15 @@ def report(
             "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
         )
     table = "\n".join(lines)
-    print(f"\n[{name}]\n{table}")
+    header = environment_header()
+    print(f"\n[{name}]\n{header}\n{table}")
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     mode = "a" if append and os.path.exists(path) else "w"
     with open(path, mode) as handle:
         if mode == "a":
             handle.write("\n")
+        handle.write(header + "\n")
         handle.write(table + "\n")
 
 

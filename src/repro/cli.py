@@ -88,6 +88,18 @@ def _add_language_options(parser: argparse.ArgumentParser) -> None:
         help="worker processes for sharded evaluation/generation "
         "(default 1: fully serial)",
     )
+    _add_backend_option(parser)
+
+
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("python", "numpy"),
+        default="python",
+        help="evaluation backend: pure python (default) or vectorized "
+        "numpy bitsets (falls back to python per instance when numpy "
+        "is absent or a query shape is unsupported; results identical)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -146,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for micro-batched serving (default 1)",
     )
+    _add_backend_option(predict)
     predict.add_argument(
         "--on-error",
         choices=("fail", "abstain"),
@@ -235,7 +248,7 @@ def _run_separability(args: argparse.Namespace) -> int:
     training = _load_training(args.training)
     with FeatureEngineeringSession(
         training, _language_from_args(args), args.epsilon,
-        workers=args.workers,
+        workers=args.workers, backend=args.backend,
     ) as session:
         print(session.report())
         return 0 if session.separable else 1
@@ -247,14 +260,16 @@ def _run_classify(args: argparse.Namespace) -> int:
         from repro.serve import InferenceService, ModelArtifact
 
         artifact = ModelArtifact.load(args.model)
-        with InferenceService(artifact, workers=args.workers) as service:
+        with InferenceService(
+            artifact, workers=args.workers, backend=args.backend
+        ) as service:
             labeling = service.predict(evaluation)
         assert labeling is not None  # on_error="fail" raises instead
     else:
         training = _load_training(args.training)
         with FeatureEngineeringSession(
             training, _language_from_args(args), args.epsilon,
-            workers=args.workers,
+            workers=args.workers, backend=args.backend,
         ) as session:
             labeling = session.classify(evaluation)
     sys.stdout.write(labeling_to_text(labeling))
@@ -265,7 +280,7 @@ def _run_train(args: argparse.Namespace) -> int:
     training = _load_training(args.training)
     with FeatureEngineeringSession(
         training, _language_from_args(args), args.epsilon,
-        workers=args.workers,
+        workers=args.workers, backend=args.backend,
     ) as session:
         print(session.report())
         if not session.separable:
@@ -338,7 +353,8 @@ def _run_predict_stream(args: argparse.Namespace) -> int:
 
     artifact = ModelArtifact.load(args.model)
     with InferenceService(
-        artifact, workers=args.workers, on_error=args.on_error
+        artifact, workers=args.workers, on_error=args.on_error,
+        backend=args.backend,
     ) as service:
         stream = None
         for lineno, raw_line in enumerate(_read_lines(args.requests), start=1):
@@ -419,7 +435,8 @@ def _run_predict(args: argparse.Namespace) -> int:
     artifact = ModelArtifact.load(args.model)
     requests = _read_requests(args.requests)
     with InferenceService(
-        artifact, workers=args.workers, on_error=args.on_error
+        artifact, workers=args.workers, on_error=args.on_error,
+        backend=args.backend,
     ) as service:
         labelings = service.predict_batch(
             [database for _, database in requests]
@@ -451,7 +468,7 @@ def _run_features(args: argparse.Namespace) -> int:
     training = _load_training(args.training)
     with FeatureEngineeringSession(
         training, _language_from_args(args), args.epsilon,
-        workers=args.workers,
+        workers=args.workers, backend=args.backend,
     ) as session:
         pair = session.materialize()
     print(f"# dimension {pair.statistic.dimension}, "

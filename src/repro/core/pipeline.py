@@ -92,6 +92,13 @@ class FeatureEngineeringSession:
         An explicit :class:`~repro.runtime.Executor` to use instead of one
         owned by the session.  The caller keeps ownership (the session
         never closes it).
+    backend:
+        Evaluation backend for classification and for session-owned
+        worker pools: ``"python"`` (default) or ``"numpy"`` (vectorized
+        indicator fills, falling back per instance; results are
+        bit-identical).  Fitting itself stays on the process-default
+        engine — the separability algorithms are hom-preorder bound, not
+        matrix-fill bound.
     """
 
     def __init__(
@@ -101,19 +108,27 @@ class FeatureEngineeringSession:
         epsilon: float = 0.0,
         workers: int = 1,
         executor: Optional["Executor"] = None,
+        backend: str = "python",
     ) -> None:
         if not 0 <= epsilon < 1:
             raise SeparabilityError("epsilon must lie in [0, 1)")
         self._training = training
         self._language = language
         self._epsilon = epsilon
+        if backend == "python":
+            self._engine = None
+        else:
+            # Validates the backend name, too (unknown names raise).
+            from repro.cq.engine import EvaluationEngine
+
+            self._engine = EvaluationEngine(backend=backend)
         if executor is not None:
             self._executor: Optional["Executor"] = executor
             self._owns_executor = False
         elif workers > 1:
             from repro.runtime import make_executor
 
-            self._executor = make_executor(workers)
+            self._executor = make_executor(workers, backend=backend)
             self._owns_executor = True
         else:
             self._executor = None
@@ -275,7 +290,9 @@ class FeatureEngineeringSession:
 
             return fo_classify(self._fo_training, evaluation)
         if self._pair is not None:
-            return self._pair.classify(evaluation, executor=self._executor)
+            return self._pair.classify(
+                evaluation, engine=self._engine, executor=self._executor
+            )
         raise SeparabilityError(  # pragma: no cover - all languages covered
             f"{self._language!r} has no classification routine"
         )

@@ -67,8 +67,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.cq.plan import HomomorphismProgram, PlanCounters, QueryPlan
     from repro.runtime.executor import Executor
 from repro.cq.query import CQ
+from repro.data import bitset as bitset_backend
 from repro.data.database import Database
-from repro.exceptions import DatabaseError, DecompositionError, QueryError
+from repro.exceptions import (
+    DatabaseError,
+    DecompositionError,
+    QueryError,
+    ReproError,
+)
 
 __all__ = [
     "CacheInfo",
@@ -81,6 +87,10 @@ __all__ = [
 Element = Any
 
 DEFAULT_CACHE_SIZE = 4096
+
+#: Engine backends: the pure-Python reference hot path, and the opt-in
+#: numpy-bitset batch evaluator (:mod:`repro.cq.vectorized`).
+BACKENDS = ("python", "numpy")
 
 
 class CacheInfo(NamedTuple):
@@ -105,14 +115,17 @@ class EngineCounters:
 
     ``search`` tallies the underlying backtracking searches (checks started
     and nodes expanded); ``cover_games`` counts cover-game decisions actually
-    played (cache misses of the game cache).
+    played (cache misses of the game cache); ``vectorized_sweeps`` counts
+    evaluations answered by the numpy-bitset backend (always 0 on
+    ``backend="python"`` engines).
     """
 
-    __slots__ = ("search", "cover_games")
+    __slots__ = ("search", "cover_games", "vectorized_sweeps")
 
     def __init__(self) -> None:
         self.search = SearchCounters()
         self.cover_games = 0
+        self.vectorized_sweeps = 0
 
     @property
     def hom_checks(self) -> int:
@@ -125,12 +138,14 @@ class EngineCounters:
     def reset(self) -> None:
         self.search = SearchCounters()
         self.cover_games = 0
+        self.vectorized_sweeps = 0
 
     def __repr__(self) -> str:
         return (
             f"EngineCounters(hom_checks={self.hom_checks}, "
             f"backtrack_nodes={self.backtrack_nodes}, "
-            f"cover_games={self.cover_games})"
+            f"cover_games={self.cover_games}, "
+            f"vectorized_sweeps={self.vectorized_sweeps})"
         )
 
 
@@ -252,20 +267,132 @@ class EvaluationEngine:
         instead of re-analyzing the canonical database per check.  Turn
         off to benchmark the unplanned search; results are identical
         either way.
+    backend:
+        ``"python"`` (the default) keeps every evaluation on the pure
+        reference hot path.  ``"numpy"`` opts into the vectorized bitset
+        backend (:mod:`repro.cq.vectorized`): whole-query evaluations,
+        hom checks, and bounded-ghw answers run as batched array sweeps
+        when numpy is importable and the instance fits, and fall back to
+        the Python path otherwise — results are bit-identical either way
+        (enforced by the ``tests/vectorized`` differential harness), and
+        :meth:`backend_info` reports the active backend plus the most
+        recent fallback reason.
+    max_vector_cells:
+        Cap on the ``rows × columns`` size of any intermediate join table
+        the numpy backend materializes; larger joins fall back to the
+        Python path.  Ignored on ``backend="python"``.
     """
 
     def __init__(
         self,
         cache_size: int = DEFAULT_CACHE_SIZE,
         use_plans: bool = True,
+        backend: str = "python",
+        max_vector_cells: Optional[int] = None,
     ) -> None:
+        if backend not in BACKENDS:
+            raise ReproError(
+                f"unknown engine backend {backend!r}; "
+                f"choose one of {', '.join(BACKENDS)}"
+            )
         self._hom_cache = _LRUCache(cache_size)
         self._answer_cache = _LRUCache(cache_size)
         self._game_cache = _LRUCache(cache_size)
         self._plan_cache = _LRUCache(cache_size)
         self.use_plans = use_plans
+        self.backend = backend
+        if max_vector_cells is None:
+            from repro.cq.vectorized import DEFAULT_MAX_CELLS
+
+            max_vector_cells = DEFAULT_MAX_CELLS
+        self.max_vector_cells = max_vector_cells
         self.counters = EngineCounters()
         self._plan_counters: Optional["PlanCounters"] = None
+        #: Most recent reason a vectorized evaluation fell back, or None.
+        self.backend_fallback_reason: Optional[str] = None
+        self._backend_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Backend selection and fallback accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def active_backend(self) -> str:
+        """The backend evaluations actually use right now.
+
+        ``"numpy"`` only when it was requested *and* numpy is importable
+        (checked dynamically, so disabling numpy mid-session — tests do —
+        degrades the engine rather than breaking it).
+        """
+        if self.backend == "numpy" and bitset_backend.HAVE_NUMPY:
+            return "numpy"
+        return "python"
+
+    def backend_info(self) -> Dict[str, Any]:
+        """Requested/active backend, numpy version, fallback accounting.
+
+        JSON-safe; surfaced by ``InferenceService.metrics_snapshot()`` and
+        the benchmark report headers so results stay attributable to the
+        backend that produced them.
+        """
+        reason = self.backend_fallback_reason
+        if self.backend == "numpy" and not bitset_backend.HAVE_NUMPY:
+            reason = "numpy unavailable"
+        return {
+            "requested": self.backend,
+            "active": self.active_backend,
+            "numpy": bitset_backend.numpy_version(),
+            "fallbacks": self._backend_fallbacks,
+            "fallback_reason": reason,
+        }
+
+    def _note_fallback(self, reason: str) -> None:
+        self.backend_fallback_reason = reason
+        self._backend_fallbacks += 1
+
+    def _vectorized_answer(
+        self, query: CQ, database: Database
+    ) -> Optional[FrozenSet[Tuple[Element, ...]]]:
+        """``q(D)`` via the vectorized backend, or ``None`` on fallback."""
+        from repro.cq.vectorized import VectorizedFallback
+
+        program = self.plan_for(query).vectorized()
+        try:
+            result = program.evaluate(
+                database, max_cells=self.max_vector_cells
+            )
+        except VectorizedFallback as fallback:
+            self._note_fallback(str(fallback))
+            return None
+        self.counters.vectorized_sweeps += 1
+        return result
+
+    def _vectorized_hom(
+        self,
+        source: Database,
+        target: Database,
+        fixed: Optional[Mapping[Element, Element]],
+    ) -> Optional[bool]:
+        """Decide ``source → target`` vectorized, or ``None`` on fallback."""
+        from repro.cq.vectorized import VectorizedFallback, VectorizedProgram
+
+        key = ("vectorized-hom", source)
+        program = self._plan_cache.lookup(key)
+        if program is _LRUCache._MISSING:
+            program = VectorizedProgram.compile_database(source)
+            self._plan_cache.store(key, program)
+        try:
+            decision = program.decide(
+                target, fixed, max_cells=self.max_vector_cells
+            )
+        except VectorizedFallback as fallback:
+            self._note_fallback(str(fallback))
+            return None
+        # Count the decision as one hom check (metric continuity with the
+        # backtracking path) plus one vectorized sweep.
+        self.counters.search.hom_checks += 1
+        self.counters.vectorized_sweeps += 1
+        return decision
 
     @property
     def plan_counters(self) -> "PlanCounters":
@@ -323,6 +450,11 @@ class EvaluationEngine:
         cached = self._hom_cache.lookup(key)
         if cached is not _LRUCache._MISSING:
             return cached
+        if self.active_backend == "numpy":
+            decision = self._vectorized_hom(source, target, fixed)
+            if decision is not None:
+                self._hom_cache.store(key, decision)
+                return decision
         if program is not None:
             result = program.run(target, fixed, self.counters.search)
         else:
@@ -402,6 +534,12 @@ class EvaluationEngine:
         if cached is not _LRUCache._MISSING:
             return cached
 
+        if self.active_backend == "numpy":
+            result = self._vectorized_answer(query, database)
+            if result is not None:
+                self._answer_cache.store(key, result)
+                return result
+
         candidate_sets = self._free_variable_candidates(query, database)
         if any(not candidates for candidates in candidate_sets):
             result: FrozenSet[Tuple[Element, ...]] = frozenset()
@@ -453,6 +591,13 @@ class EvaluationEngine:
         cached = self._answer_cache.lookup(key)
         if cached is not _LRUCache._MISSING:
             return frozenset(row[0] for row in cached)
+        if self.active_backend == "numpy":
+            # Same answer memo as evaluate(): the vectorized sweep is
+            # differentially verified against both reference paths.
+            result = self._vectorized_answer(query, database)
+            if result is not None:
+                self._answer_cache.store(key, result)
+                return frozenset(row[0] for row in result)
         answer = structured.evaluate(database, self.plan_counters)
         self._answer_cache.store(
             key, frozenset((element,) for element in answer)
@@ -460,9 +605,24 @@ class EvaluationEngine:
         return answer
 
     def selects(self, query: CQ, database: Database, element: Element) -> bool:
-        """Whether ``element ∈ q(D)``, by one memoized pointed check."""
+        """Whether ``element ∈ q(D)``, by one memoized pointed check.
+
+        On the numpy backend the whole answer set is computed (and
+        memoized) in one vectorized sweep instead — repeated ``selects``
+        over the same pair then amortize to cache lookups, which is the
+        access pattern of every indicator-matrix fill.
+        """
         if not query.is_unary:
             raise QueryError("selects requires a unary CQ")
+        if self.active_backend == "numpy":
+            key = (query, database)
+            cached = self._answer_cache.lookup(key)
+            if cached is not _LRUCache._MISSING:
+                return (element,) in cached
+            result = self._vectorized_answer(query, database)
+            if result is not None:
+                self._answer_cache.store(key, result)
+                return (element,) in result
         program = self.plan_for(query).program if self.use_plans else None
         return self.has_homomorphism(
             query.canonical_database,
@@ -732,6 +892,8 @@ class EvaluationEngine:
             "hom_checks": self.counters.hom_checks,
             "backtrack_nodes": self.counters.backtrack_nodes,
             "cover_games": self.counters.cover_games,
+            "vectorized_sweeps": self.counters.vectorized_sweeps,
+            "backend_fallbacks": self._backend_fallbacks,
             "cache_hits": info.hits,
             "cache_misses": info.misses,
             "cache_retained": info.retained,

@@ -675,15 +675,19 @@ class QueryPlan:
     engine's ``selects``/``evaluate`` hot paths execute.  Structured
     (bounded-ghw) plans are compiled lazily per width bound via
     :meth:`structured` and cached on the plan, so the decomposition search
-    also runs at most once per ``(query, k)``.
+    also runs at most once per ``(query, k)``.  The vectorized program
+    (numpy-bitset backend, :mod:`repro.cq.vectorized`) is compiled lazily
+    via :meth:`vectorized` — compilation reads only the query, so it
+    works (and caches) even when numpy is absent.
     """
 
-    __slots__ = ("query", "program", "_structured")
+    __slots__ = ("query", "program", "_structured", "_vectorized")
 
     def __init__(self, query: CQ, program: HomomorphismProgram) -> None:
         self.query = query
         self.program = program
         self._structured: Dict[int, Optional[YannakakisPlan]] = {}
+        self._vectorized: Optional[Any] = None
 
     @classmethod
     def compile(cls, query: CQ) -> "QueryPlan":
@@ -714,6 +718,21 @@ class QueryPlan:
     ) -> YannakakisPlan:
         """Compile (uncached) a single-pass plan for an explicit decomposition."""
         return YannakakisPlan(self.query, decomposition)
+
+    def vectorized(self) -> Any:
+        """The compiled :class:`~repro.cq.vectorized.VectorizedProgram`.
+
+        Compiled at most once per plan; like every plan artifact it is
+        database-independent, so it survives deltas and is valid against
+        any target.  numpy is only needed to *evaluate* the program.
+        """
+        if self._vectorized is None:
+            # Local import: keeps the vectorized backend optional at the
+            # module level, mirroring the lazy ghw import above.
+            from repro.cq.vectorized import VectorizedProgram
+
+            self._vectorized = VectorizedProgram.compile_query(self.query)
+        return self._vectorized
 
     def __repr__(self) -> str:
         return f"QueryPlan({self.query!s})"

@@ -86,10 +86,18 @@ class DatabaseIndex:
       the target facts compatible with an already-bound element, instead
       of scanning the whole relation;
     - ``sorted_domain`` is ``sorted(dom(D), key=repr)``, computed once so
-      repeated structured evaluations stop re-sorting the domain.
+      repeated structured evaluations stop re-sorting the domain;
+    - :meth:`bitsets` packs the whole index into numpy bit-matrices for
+      the vectorized backend, lazily and at most once per database.
     """
 
-    __slots__ = ("positions", "facts_by_relation", "facts_at", "sorted_domain")
+    __slots__ = (
+        "positions",
+        "facts_by_relation",
+        "facts_at",
+        "sorted_domain",
+        "_bitsets",
+    )
 
     def __init__(self, database: "Database") -> None:
         occurrence: Dict[Tuple[str, int], set] = {}
@@ -115,10 +123,25 @@ class DatabaseIndex:
         self.sorted_domain: Tuple[Element, ...] = tuple(
             sorted(database.domain, key=repr)
         )
+        self._bitsets: Optional[Any] = None
 
     def occurrences(self, relation: str, position: int) -> FrozenSet[Element]:
         """Elements occurring at ``position`` of ``relation`` (possibly empty)."""
         return self.positions.get((relation, position), frozenset())
+
+    def bitsets(self) -> Any:
+        """The :class:`~repro.data.bitset.BitsetIndex`, built on first use.
+
+        Requires numpy (raises :class:`~repro.exceptions.DatabaseError`
+        otherwise — callers on the vectorized path check
+        ``repro.data.bitset.HAVE_NUMPY`` first).  Like the index itself
+        the encoding never invalidates: databases are immutable.
+        """
+        if self._bitsets is None:
+            from repro.data.bitset import BitsetIndex
+
+            self._bitsets = BitsetIndex(self)
+        return self._bitsets
 
 
 class Database:

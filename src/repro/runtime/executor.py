@@ -53,6 +53,7 @@ __all__ = [
 _PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
 
 _EMPTY_WORK = ("hom_checks", "backtrack_nodes", "cover_games",
+               "vectorized_sweeps", "backend_fallbacks",
                "cache_hits", "cache_misses")
 
 
@@ -173,6 +174,11 @@ class ParallelExecutor(Executor):
         compiles at initialization (once per worker process, before any
         shard runs).  Pass a fixed statistic here — the serving path does —
         so no shard ever pays the compile on its own clock.
+    backend:
+        Evaluation backend for every worker engine (``"python"`` /
+        ``"numpy"``); ``None`` keeps the engine default.  Results are
+        backend-independent, so mixing parent and worker backends is
+        safe — this knob only decides where the workers spend their time.
 
     Workers are started lazily on first dispatch and reused across calls,
     so per-worker caches stay warm over a whole session.  Dispatch falls
@@ -185,6 +191,7 @@ class ParallelExecutor(Executor):
         workers: int,
         cache_size: Optional[int] = None,
         plan_queries: Sequence[Any] = (),
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__()
         if workers < 2:
@@ -195,6 +202,7 @@ class ParallelExecutor(Executor):
         self.workers = workers
         self._cache_size = cache_size
         self._plan_queries = tuple(plan_queries)
+        self._backend = backend
         self._pool: Optional[Any] = None
         #: Last reason parallel dispatch fell back to serial, or None.
         self.fallback_reason: Optional[str] = None
@@ -208,7 +216,7 @@ class ParallelExecutor(Executor):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=initialize_worker,
-                initargs=(self._cache_size, self._plan_queries),
+                initargs=(self._cache_size, self._plan_queries, self._backend),
             )
         return self._pool
 
@@ -281,6 +289,7 @@ def make_executor(
     workers: Optional[int],
     cache_size: Optional[int] = None,
     plan_queries: Optional[Sequence[Any]] = None,
+    backend: Optional[str] = None,
 ) -> Executor:
     """The executor for a ``workers=`` knob: serial iff ``workers <= 1``.
 
@@ -288,7 +297,10 @@ def make_executor(
     to every worker's initializer for up-front plan compilation; the
     serial executor ignores it — the calling process's engine compiles
     plans lazily on first use, or eagerly via
-    :meth:`~repro.cq.engine.EvaluationEngine.plan_for`.
+    :meth:`~repro.cq.engine.EvaluationEngine.plan_for`.  ``backend``
+    selects the worker engines' evaluation backend; the serial executor
+    ignores it too (serial shards run on the calling process's engine,
+    whose backend the caller already chose).
     """
     if workers is None or workers <= 1:
         return SerialExecutor()
@@ -296,4 +308,5 @@ def make_executor(
         workers,
         cache_size=cache_size,
         plan_queries=() if plan_queries is None else plan_queries,
+        backend=backend,
     )

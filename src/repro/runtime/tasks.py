@@ -63,6 +63,7 @@ class ShardOutcome(NamedTuple):
 def initialize_worker(
     cache_size: Optional[int] = None,
     plan_queries: Sequence[CQ] = (),
+    backend: Optional[str] = None,
 ) -> None:
     """Install a fresh engine as the worker process's default engine.
 
@@ -73,10 +74,17 @@ def initialize_worker(
     ``plan_queries`` are compiled into the worker engine's plan cache up
     front (once per worker, not once per shard), so a pool serving a fixed
     statistic — the serving path — starts every shard on the hot path.
+    ``backend`` selects the worker engine's evaluation backend
+    (``"python"``/``"numpy"``; ``None`` keeps the engine default), so a
+    parallel fill runs the same backend in every worker as the parent
+    engine would serially.
     """
-    engine = (
-        EvaluationEngine() if cache_size is None else EvaluationEngine(cache_size)
-    )
+    kwargs: Dict[str, Any] = {}
+    if cache_size is not None:
+        kwargs["cache_size"] = cache_size
+    if backend is not None:
+        kwargs["backend"] = backend
+    engine = EvaluationEngine(**kwargs)
     for query in plan_queries:
         engine.plan_for(query)
     set_default_engine(engine)

@@ -65,7 +65,14 @@ class InferenceService:
         and keeps serving.
     engine:
         An explicit evaluation engine (defaults to a fresh private one, so
-        the service's cache statistics are attributable to serving).
+        the service's cache statistics are attributable to serving).  When
+        given, it wins over ``backend``.
+    backend:
+        Evaluation backend for the service-owned engine and any
+        service-owned worker pool: ``"python"`` (default) or ``"numpy"``
+        (vectorized indicator fills with graceful per-instance fallback;
+        see :meth:`~repro.cq.engine.EvaluationEngine.backend_info`, which
+        :meth:`metrics_snapshot` re-exports under ``engine.backend``).
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class InferenceService:
         executor: Optional[Executor] = None,
         on_error: str = "fail",
         engine: Optional[EvaluationEngine] = None,
+        backend: str = "python",
     ) -> None:
         if on_error not in ON_ERROR_MODES:
             raise ServeError(
@@ -83,7 +91,9 @@ class InferenceService:
         self._artifact = artifact
         self._pair = artifact.pair()
         self._on_error = on_error
-        self._engine = engine if engine is not None else EvaluationEngine()
+        self._engine = (
+            engine if engine is not None else EvaluationEngine(backend=backend)
+        )
         self.metrics = ServiceMetrics()
         if executor is not None:
             self._executor: Optional[Executor] = executor
@@ -92,7 +102,9 @@ class InferenceService:
             from repro.runtime import make_executor
 
             self._executor = make_executor(
-                workers, plan_queries=self._pair.statistic.queries
+                workers,
+                plan_queries=self._pair.statistic.queries,
+                backend=self._engine.backend,
             )
             self._owns_executor = True
         else:
@@ -134,9 +146,12 @@ class InferenceService:
         """
         if self._warmed:
             return
+        vectorize = self._engine.active_backend == "numpy"
         for query in self._pair.statistic:
             if self._engine.use_plans:
-                self._engine.plan_for(query)
+                plan = self._engine.plan_for(query)
+                if vectorize:
+                    plan.vectorized()
             else:
                 query.canonical_database.index  # noqa: B018 - build lazily-cached state
         if self._executor is not None and self._executor.workers > 1:
@@ -307,6 +322,7 @@ class InferenceService:
         plans = self._engine.cache_details()["plans"]
         snapshot["engine"]["compiled_plans"] = plans.currsize
         snapshot["engine"]["plan_cache_hits"] = plans.hits
+        snapshot["engine"]["backend"] = self._engine.backend_info()
         if self._executor is not None:
             pool_info = self._executor.cache_info()
             pool_attempts = pool_info.hits + pool_info.misses

@@ -2,15 +2,19 @@
 
 For randomized (query, database) workloads the indexed + memoized engine
 must agree byte-for-byte with :mod:`repro.cq.naive`, including replays that
-are served from the cache.  Together these tests run well over 200 random
-cases per CI invocation (5 properties x 50 examples).
+are served from the cache.  Every property runs once per evaluation
+backend (``python`` and ``numpy``) — the ``numpy`` leg degrades to the
+python path gracefully when numpy is not importable, so it must pass
+either way.  Together these tests run well over 400 random cases per CI
+invocation (5 properties x 2 backends x 50 examples).
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 
-from repro.cq.engine import EvaluationEngine, default_engine
+from repro.cq.engine import BACKENDS, EvaluationEngine, default_engine
 from repro.cq.evaluation import (
     evaluate,
     evaluate_unary,
@@ -34,12 +38,17 @@ from tests.property.strategies import (
 
 _SETTINGS = settings(max_examples=50, deadline=None)
 
+_BACKENDS = pytest.mark.parametrize("backend", BACKENDS)
+
 
 class TestEvaluateDifferential:
+    @_BACKENDS
     @_SETTINGS
     @given(general_queries(), mixed_databases())
-    def test_evaluate_matches_naive_including_replay(self, query, database):
-        engine = EvaluationEngine()
+    def test_evaluate_matches_naive_including_replay(
+        self, backend, query, database
+    ):
+        engine = EvaluationEngine(backend=backend)
         expected = naive_evaluate(query, database)
         assert engine.evaluate(query, database) == expected
         # Second evaluation is served from the answer cache.
@@ -47,10 +56,11 @@ class TestEvaluateDifferential:
         assert engine.evaluate(query, database) == expected
         assert engine.cache_info().hits > before
 
+    @_BACKENDS
     @_SETTINGS
     @given(unary_feature_queries(), entity_databases())
-    def test_evaluate_unary_matches_naive(self, query, database):
-        engine = EvaluationEngine()
+    def test_evaluate_unary_matches_naive(self, backend, query, database):
+        engine = EvaluationEngine(backend=backend)
         expected = naive_evaluate_unary(query, database)
         assert engine.evaluate_unary(query, database) == expected
         assert engine.evaluate_unary(query, database) == expected
@@ -62,11 +72,12 @@ class TestEvaluateDifferential:
 
 
 class TestHomomorphismDifferential:
+    @_BACKENDS
     @_SETTINGS
     @given(hom_check_instances())
-    def test_has_homomorphism_matches_naive(self, instance):
+    def test_has_homomorphism_matches_naive(self, backend, instance):
         source, target, fixed = instance
-        engine = EvaluationEngine()
+        engine = EvaluationEngine(backend=backend)
         expected = naive_has_homomorphism(source, target, fixed)
         assert engine.has_homomorphism(source, target, fixed) == expected
         # Cache replay returns the identical decision.
@@ -74,10 +85,13 @@ class TestHomomorphismDifferential:
 
 
 class TestPointedDifferential:
+    @_BACKENDS
     @_SETTINGS
     @given(unary_feature_queries(), entity_databases())
-    def test_selects_matches_naive_on_every_element(self, query, database):
-        engine = EvaluationEngine()
+    def test_selects_matches_naive_on_every_element(
+        self, backend, query, database
+    ):
+        engine = EvaluationEngine(backend=backend)
         answers = engine.evaluate_unary(query, database)
         for element in sorted(database.domain, key=repr):
             expected = naive_selects(query, database, element)
@@ -88,14 +102,15 @@ class TestPointedDifferential:
 
 
 class TestBatchDifferential:
+    @_BACKENDS
     @_SETTINGS
     @given(
         unary_feature_queries(),
         unary_feature_queries(),
         entity_databases(),
     )
-    def test_indicator_matrix_matches_naive(self, q1, q2, database):
-        engine = EvaluationEngine()
+    def test_indicator_matrix_matches_naive(self, backend, q1, q2, database):
+        engine = EvaluationEngine(backend=backend)
         queries = [q1, q2]
         entities = sorted(database.entities(), key=repr)
         rows = engine.indicator_matrix(queries, database, entities)
