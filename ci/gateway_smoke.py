@@ -1,0 +1,97 @@
+"""CI smoke for the network serving tier (`repro serve`).
+
+Boots the gateway as a real subprocess on an ephemeral port, then over
+plain HTTP: probes /healthz, scores one database via /v1/predict and
+checks the labels against a direct in-process InferenceService.predict,
+reads /metrics, and finally SIGTERMs the server expecting a graceful
+drain and exit code 0.
+
+Backend is selected with GATEWAY_BACKEND (default "python") so the same
+script covers the pure-python and numpy legs of the matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.request
+
+from repro.core.languages import BoundedAtomsCQ
+from repro.core.pipeline import FeatureEngineeringSession
+from repro.data.io import facts_to_json
+from repro.gateway.server import labels_json
+from repro.serve import InferenceService, ModelArtifact
+from repro.workloads.retail import retail_database
+
+BACKEND = os.environ.get("GATEWAY_BACKEND", "python")
+MODEL_PATH = "model.json"
+
+
+def ensure_model() -> ModelArtifact:
+    if os.path.exists(MODEL_PATH):
+        return ModelArtifact.load(MODEL_PATH)
+    training = retail_database(n_customers=8, seed=3)
+    with FeatureEngineeringSession(training, BoundedAtomsCQ(3)) as session:
+        assert session.separable
+        artifact = session.export_artifact()
+    artifact.save(MODEL_PATH)
+    return artifact
+
+
+def get_json(url: str, body: bytes = None) -> dict:
+    request = urllib.request.Request(
+        url, data=body, method="POST" if body is not None else "GET"
+    )
+    with urllib.request.urlopen(request, timeout=30) as reply:
+        return json.load(reply)
+
+
+def main() -> None:
+    artifact = ensure_model()
+    database = retail_database(n_customers=4, seed=11).database
+    with InferenceService(artifact, backend=BACKEND) as direct:
+        expected = labels_json(direct.predict(database))
+
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            f"retail={MODEL_PATH}", "--port", "0", "--backend", BACKEND,
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = server.stderr.readline().strip()
+        print(banner)
+        assert banner.startswith("repro gateway listening on "), banner
+        port = int(banner.split()[4].rsplit(":", 1)[1])
+        base = f"http://127.0.0.1:{port}"
+
+        health = get_json(f"{base}/healthz")
+        assert health == {"status": "ok"}, health
+
+        body = json.dumps({"facts": facts_to_json(database)}).encode()
+        reply = get_json(f"{base}/v1/predict?model=retail", body)
+        assert reply["model"] == "retail", reply
+        assert reply["labels"] == expected, (reply, expected)
+
+        metrics = get_json(f"{base}/metrics")
+        assert metrics["models"]["retail@1"]["requests"] == 1, metrics
+        assert metrics["gateway"]["admission"]["in_flight"] == 0, metrics
+
+        server.send_signal(signal.SIGTERM)
+        _, stderr = server.communicate(timeout=60)
+        print(stderr, end="")
+        assert server.returncode == 0, server.returncode
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+    print(f"gateway smoke OK: backend={BACKEND} labels={expected}")
+
+
+if __name__ == "__main__":
+    main()

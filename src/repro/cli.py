@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro qbe db.facts --positives a,b --negatives c --language cq
     python -m repro train train.json --language cqm --m 2 --out model.json
     python -m repro predict requests.jsonl --model model.json --metrics
+    python -m repro serve retail=model.json --port 8080 --backend numpy
 
 Training databases are the JSON documents of
 :func:`repro.data.io.training_database_to_json`; evaluation databases and
@@ -207,6 +208,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fo",
         action="store_true",
         help="skip the FO (isomorphism) row",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve model artifacts over HTTP (asyncio gateway with "
+        "micro-batching, admission control, and a model registry)",
+    )
+    serve.add_argument(
+        "models",
+        nargs="+",
+        metavar="[NAME[@VERSION]=]PATH",
+        help="model artifact(s) to serve; a bare PATH is served as "
+        "'default', NAME=PATH names it, NAME@VERSION=PATH pins a version "
+        "(the first version registered for a name is its default)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="listen address (default localhost)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (default 8080; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes shared by all served models (default 1)",
+    )
+    _add_backend_option(serve)
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="micro-batch size trigger per model (default 16; 1 disables "
+        "coalescing)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch deadline trigger in milliseconds (default 2)",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=256,
+        help="admission ceiling; beyond it requests are shed with 429 "
+        "(default 256)",
+    )
+    serve.add_argument(
+        "--max-loaded",
+        type=int,
+        default=None,
+        help="cap on resident models (LRU eviction of idle services; "
+        "default: no cap)",
+    )
+    serve.add_argument(
+        "--on-error",
+        choices=("fail", "abstain"),
+        default="abstain",
+        help="degradation when a request's feature evaluation fails "
+        "(default abstain: that request 422s, its batch survives)",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log a one-line metrics summary to stderr every SECONDS",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds graceful shutdown waits for in-flight work "
+        "(default 10)",
     )
 
     qbe = commands.add_parser(
@@ -464,6 +541,103 @@ def _run_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_model_specs(specs: Sequence[str]) -> List[Tuple[str, Optional[str], str]]:
+    """Parse ``[name[@version]=]path`` specs into (name, version, path).
+
+    A bare path serves as model ``default``; duplicate pairs are the
+    registry's problem (it rejects them with a precise message).
+    """
+    parsed: List[Tuple[str, Optional[str], str]] = []
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            parsed.append(("default", None, spec))
+            continue
+        if not name or not path:
+            raise ParseError(
+                f"malformed model spec {spec!r} "
+                "(expected [NAME[@VERSION]=]PATH)"
+            )
+        base, at, version = name.partition("@")
+        if at and (not base or not version):
+            raise ParseError(
+                f"malformed model spec {spec!r} "
+                "(expected [NAME[@VERSION]=]PATH)"
+            )
+        parsed.append((base, version if at else None, path))
+    return parsed
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio gateway until SIGINT/SIGTERM, then drain and exit."""
+    import asyncio
+    import signal
+
+    from repro.gateway import GatewayServer, ModelRegistry, metrics_line
+
+    if args.metrics_interval is not None and args.metrics_interval <= 0:
+        raise ParseError("--metrics-interval must be positive")
+    specs = _parse_model_specs(args.models)
+    registry = ModelRegistry(
+        workers=args.workers,
+        backend=args.backend,
+        on_error=args.on_error,
+        max_loaded=args.max_loaded,
+    )
+    for name, version, path in specs:
+        registry.register(name, path, version=version)
+
+    async def run() -> int:
+        gateway = GatewayServer(
+            registry,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            batch_window=args.batch_window_ms / 1e3,
+            max_in_flight=args.max_in_flight,
+            drain_timeout=args.drain_timeout,
+        )
+        await gateway.start()
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stopping.set)
+        print(
+            f"repro gateway listening on {gateway.host}:{gateway.port} "
+            f"({len(specs)} model(s), backend={args.backend}, "
+            f"max_batch={args.max_batch}, "
+            f"window={args.batch_window_ms:g}ms)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+        async def log_metrics() -> None:
+            while True:
+                await asyncio.sleep(args.metrics_interval)
+                print(metrics_line(gateway.metrics()), file=sys.stderr,
+                      flush=True)
+
+        reporter = (
+            asyncio.ensure_future(log_metrics())
+            if args.metrics_interval is not None
+            else None
+        )
+        try:
+            await stopping.wait()
+        finally:
+            if reporter is not None:
+                reporter.cancel()
+            print("draining...", file=sys.stderr, flush=True)
+            # Snapshot before stop(): closing the registry drops the
+            # per-model services the snapshot reads its counters from.
+            final = gateway.metrics()
+            await gateway.stop()
+            print(metrics_line(final), file=sys.stderr, flush=True)
+        return 0
+
+    return asyncio.run(run())
+
+
 def _run_features(args: argparse.Namespace) -> int:
     training = _load_training(args.training)
     with FeatureEngineeringSession(
@@ -533,6 +707,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "qbe": _run_qbe,
         "train": _run_train,
         "predict": _run_predict,
+        "serve": _run_serve,
     }
     try:
         return handlers[args.command](args)

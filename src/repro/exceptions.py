@@ -21,6 +21,7 @@ __all__ = [
     "ArtifactError",
     "ServeError",
     "StreamError",
+    "GatewayError",
 ]
 
 
@@ -74,3 +75,7 @@ class ServeError(ReproError):
 
 class StreamError(ReproError):
     """A delta or evolving-database operation is malformed or inapplicable."""
+
+
+class GatewayError(ReproError):
+    """The network gateway was misconfigured or a request cannot be served."""

@@ -1,0 +1,55 @@
+"""repro.gateway: a stdlib-only asyncio network serving tier.
+
+The gateway turns the in-process serving subsystem (:mod:`repro.serve`)
+into a network service without adding a dependency: an HTTP/1.1 front end
+(:mod:`~repro.gateway.http`) over ``asyncio.start_server``, per-model
+micro-batching with request fusion (:mod:`~repro.gateway.batcher`),
+admission control with 429/503 shedding (:mod:`~repro.gateway.admission`),
+and a multi-model registry with lazy warmed loads, LRU eviction, and
+default-version rollout/rollback (:mod:`~repro.gateway.registry`), all
+assembled by :class:`~repro.gateway.server.GatewayServer`.
+
+Start one from Python::
+
+    registry = ModelRegistry(backend="numpy")
+    registry.register("retail", "model.json")
+    async with GatewayServer(registry, port=8080) as gateway:
+        await gateway.serve_forever()
+
+or from the command line: ``repro serve retail=model.json --port 8080``.
+
+Predictions served over the wire are bit-identical to
+:meth:`~repro.serve.service.InferenceService.predict` on the same input —
+the gateway only changes *when* work runs (batched, on a per-model lane
+thread), never *what* is computed.
+"""
+
+from repro.gateway.admission import AdmissionController
+from repro.gateway.batcher import MicroBatcher
+from repro.gateway.http import (
+    HttpError,
+    HttpRequest,
+    NdjsonStreamWriter,
+    json_response,
+    read_body,
+    read_head,
+    response_bytes,
+)
+from repro.gateway.registry import ModelLease, ModelRegistry
+from repro.gateway.server import GatewayServer, metrics_line
+
+__all__ = [
+    "AdmissionController",
+    "GatewayServer",
+    "HttpError",
+    "HttpRequest",
+    "MicroBatcher",
+    "ModelLease",
+    "ModelRegistry",
+    "NdjsonStreamWriter",
+    "json_response",
+    "metrics_line",
+    "read_body",
+    "read_head",
+    "response_bytes",
+]

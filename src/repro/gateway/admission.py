@@ -1,0 +1,109 @@
+"""Admission control: bounded in-flight work, shed the rest at the door.
+
+A single-process asyncio gateway has no kernel to push back for it: if it
+accepts every connection's request, a burst turns into an unbounded pile
+of pending futures, latency grows without limit, and the process
+eventually dies far from the cause.  :class:`AdmissionController` is the
+explicit alternative — a counter with a ceiling.  A request is either
+*admitted* (and must be :meth:`release`\\ d exactly once) or *shed*
+immediately with the status a well-behaved HTTP client understands:
+
+- ``429 Too Many Requests`` — the gateway is at its in-flight ceiling;
+  retry after a beat (``Retry-After`` is sent).
+- ``503 Service Unavailable`` — the gateway is draining for shutdown;
+  this instance will not come back, go elsewhere.
+
+Shedding is *immediate* (no queue of waiting requests in front of the
+counter): the micro-batcher already is the queue, and its depth is what
+the ceiling bounds.  The controller is loop-confined like the rest of the
+server — plain counters, no locks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import GatewayError
+
+__all__ = ["AdmissionController"]
+
+#: Retry-After (seconds) suggested to clients shed with 429.
+RETRY_AFTER_S = 1
+
+
+class AdmissionController:
+    """Bound the number of requests in flight; shed the overflow.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Ceiling on concurrently admitted requests (admitted but not yet
+        released — queued in a micro-batcher, being parsed, or being
+        evaluated all count).
+    """
+
+    def __init__(self, max_in_flight: int = 256) -> None:
+        if max_in_flight < 1:
+            raise GatewayError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.max_in_flight = max_in_flight
+        self.in_flight = 0
+        self.admitted = 0
+        self.shed_busy = 0
+        self.shed_draining = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+
+    def try_admit(self) -> Optional[Tuple[int, str]]:
+        """Admit the request, or return the ``(status, reason)`` to shed it.
+
+        ``None`` means admitted: the caller now owes one :meth:`release`.
+        """
+        if self._draining:
+            self.shed_draining += 1
+            return (503, "gateway is draining")
+        if self.in_flight >= self.max_in_flight:
+            self.shed_busy += 1
+            return (429, f"gateway at capacity ({self.max_in_flight} in flight)")
+        self.in_flight += 1
+        self.admitted += 1
+        return None
+
+    def release(self) -> None:
+        """Mark one admitted request as finished (success or failure)."""
+        if self.in_flight <= 0:
+            raise GatewayError("release() without a matching admit")
+        self.in_flight -= 1
+
+    # ------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Refuse all new requests with 503; in-flight work continues."""
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def sheds(self) -> int:
+        return self.shed_busy + self.shed_draining
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "max_in_flight": self.max_in_flight,
+            "in_flight": self.in_flight,
+            "admitted": self.admitted,
+            "shed_busy": self.shed_busy,
+            "shed_draining": self.shed_draining,
+            "draining": self._draining,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(in_flight={self.in_flight}/"
+            f"{self.max_in_flight}, shed={self.sheds}, "
+            f"draining={self._draining})"
+        )

@@ -1,0 +1,401 @@
+"""Multi-model registry: route names to warmed inference services.
+
+One gateway process serves several models (or several versions of one
+model, mid-rollout).  :class:`ModelRegistry` owns that mapping:
+
+- **Registration** binds ``name@version`` to an artifact path.  Versions
+  are explicit strings; omitting one auto-numbers ``"1"``, ``"2"``, ... in
+  registration order, and the first registered version of a name becomes
+  its default.
+- **Loading is lazy and warmed**: the artifact file is read, validated,
+  and compiled (:meth:`InferenceService.warm_up`) on first use, then the
+  warm service is cached.  Loads may run on worker threads — the registry
+  is fully lock-guarded.
+- **Rollout / rollback** is default-version pinning: requests that name
+  only a model get its *default* version, so ``set_default("m", "2")``
+  rolls traffic forward and ``set_default("m", "1")`` rolls it back,
+  without touching the registrations.
+- **Eviction is LRU over idle services**: at most ``max_loaded`` services
+  stay resident; beyond that, least-recently-used entries with **zero
+  leases** are closed.  A leased (in-use) service is never evicted —
+  callers wrap request handling in :meth:`acquire` / the lease's
+  ``release`` so eviction can never yank a model mid-batch.
+
+Every loaded service shares the registry's one executor (``workers > 1``
+spins up a single process pool reused across all models) — warm worker
+processes are the expensive resource, and N models must not mean N pools.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import GatewayError
+from repro.runtime import Executor, make_executor
+from repro.serve import InferenceService, ModelArtifact
+
+__all__ = ["ModelRegistry", "ModelLease"]
+
+
+class _Entry:
+    """One registered ``name@version``, loaded or not."""
+
+    __slots__ = ("name", "version", "path", "service", "leases", "last_used")
+
+    def __init__(self, name: str, version: str, path: str) -> None:
+        self.name = name
+        self.version = version
+        self.path = path
+        self.service: Optional[InferenceService] = None
+        self.leases = 0
+        self.last_used = 0
+
+
+class ModelLease:
+    """A borrowed service: holds off eviction until released.
+
+    Usable as a context manager; :meth:`release` is idempotent.
+    """
+
+    __slots__ = ("name", "version", "service", "_release")
+
+    def __init__(
+        self,
+        name: str,
+        version: str,
+        service: InferenceService,
+        release: Callable[[], None],
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.service = service
+        self._release: Optional[Callable[[], None]] = release
+
+    def release(self) -> None:
+        release, self._release = self._release, None
+        if release is not None:
+            release()
+
+    def __enter__(self) -> "ModelLease":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.release()
+
+
+class ModelRegistry:
+    """Name/version routing over lazily loaded, warmed inference services.
+
+    Parameters
+    ----------
+    workers:
+        Micro-batch parallelism shared by every loaded service; ``> 1``
+        creates one process pool reused across all models.
+    backend:
+        Evaluation backend for every loaded service (``"python"`` /
+        ``"numpy"``).
+    on_error:
+        Degradation mode passed to every loaded service.  The gateway
+        default is ``"abstain"`` — one malformed request must not take
+        down its whole micro-batch.
+    max_loaded:
+        Ceiling on resident services; ``None`` disables eviction.
+    on_evict:
+        ``callback(name, version, service)`` invoked (inside the registry
+        lock) just after an evicted service is dropped from the table and
+        just before it is closed — the gateway uses it to retire the
+        model's dispatch lane.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        backend: str = "python",
+        on_error: str = "abstain",
+        max_loaded: Optional[int] = None,
+        on_evict: Optional[Callable[[str, str, InferenceService], None]] = None,
+    ) -> None:
+        if max_loaded is not None and max_loaded < 1:
+            raise GatewayError(f"max_loaded must be >= 1, got {max_loaded}")
+        self.workers = workers
+        self.backend = backend
+        self.on_error = on_error
+        self.max_loaded = max_loaded
+        self._on_evict = on_evict
+        self._entries: Dict[Tuple[str, str], _Entry] = {}
+        self._versions: Dict[str, List[str]] = {}
+        self._defaults: Dict[str, str] = {}
+        self._executor: Optional[Executor] = None
+        self._lock = threading.RLock()
+        self._clock = 0
+        self._closed = False
+        self.loads = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Registration and routing
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        path: str,
+        version: Optional[str] = None,
+        default: bool = False,
+    ) -> str:
+        """Bind ``name@version`` to an artifact path; returns the version.
+
+        The first version registered for a name becomes its default;
+        ``default=True`` pins this one instead (rollout at registration).
+        """
+        with self._lock:
+            if version is None:
+                version = str(len(self._versions.get(name, [])) + 1)
+            key = (name, version)
+            if key in self._entries:
+                raise GatewayError(
+                    f"model {name!r} version {version!r} already registered"
+                )
+            self._entries[key] = _Entry(name, version, path)
+            self._versions.setdefault(name, []).append(version)
+            if default or name not in self._defaults:
+                self._defaults[name] = version
+            return version
+
+    def set_default(self, name: str, version: str) -> None:
+        """Pin the version unversioned requests for ``name`` resolve to."""
+        with self._lock:
+            if (name, version) not in self._entries:
+                raise GatewayError(
+                    f"cannot default {name!r} to unregistered "
+                    f"version {version!r}"
+                )
+            self._defaults[name] = version
+
+    def resolve(
+        self, name: Optional[str] = None, version: Optional[str] = None
+    ) -> Tuple[str, str]:
+        """Resolve a (possibly partial) route to a registered pair.
+
+        An omitted name is allowed only when exactly one model is
+        registered; an omitted version resolves to the name's default.
+        """
+        with self._lock:
+            if name is None:
+                if len(self._versions) != 1:
+                    raise GatewayError(
+                        "request must name a model: "
+                        f"{len(self._versions)} models are registered"
+                    )
+                name = next(iter(self._versions))
+            if name not in self._versions:
+                raise GatewayError(f"unknown model {name!r}")
+            if version is None:
+                version = self._defaults[name]
+            if (name, version) not in self._entries:
+                raise GatewayError(
+                    f"unknown version {version!r} of model {name!r}"
+                )
+            return name, version
+
+    # ------------------------------------------------------------------
+    # Loading, leasing, eviction
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self, name: Optional[str] = None, version: Optional[str] = None
+    ) -> ModelLease:
+        """Resolve, load-and-warm if needed, and lease the service.
+
+        Safe to call from worker threads (artifact loading and warm-up
+        happen outside the registry lock, once per entry — concurrent
+        first requests for the same model serialize on a per-call reload
+        check rather than compiling twice... in the rare race, the second
+        loader's service wins and the first is closed).
+        """
+        name, version = self.resolve(name, version)
+        key = (name, version)
+        with self._lock:
+            if self._closed:
+                raise GatewayError("registry is closed")
+            entry = self._entries[key]
+            if entry.service is not None:
+                entry.leases += 1
+                self._clock += 1
+                entry.last_used = self._clock
+                return ModelLease(
+                    name, version, entry.service, lambda: self._release(key)
+                )
+            path = entry.path
+        # Load and warm outside the lock: compilation can take a while and
+        # must not block routing of other models' requests.
+        artifact = ModelArtifact.load(path)
+        service = InferenceService(
+            artifact,
+            executor=self._shared_executor(),
+            on_error=self.on_error,
+            backend=self.backend,
+        )
+        service.warm_up()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                # Unregistered while we compiled; nothing to cache.
+                service.close()
+                raise GatewayError(f"model {name!r}@{version!r} was removed")
+            if entry.service is None:
+                entry.service = service
+                self.loads += 1
+            else:
+                # Lost a load race; discard ours, lease the winner's.
+                service.close()
+            entry.leases += 1
+            self._clock += 1
+            entry.last_used = self._clock
+            self._evict_idle()
+            return ModelLease(
+                name, version, entry.service, lambda: self._release(key)
+            )
+
+    def _release(self, key: Tuple[str, str]) -> None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.leases > 0:
+                entry.leases -= 1
+            self._evict_idle()
+
+    def _evict_idle(self) -> None:
+        """Close LRU unleased services beyond ``max_loaded``.  Lock held.
+
+        The ``max_loaded`` most-recently-used services are *protected*
+        regardless of lease state — a service that just finished a batch
+        must not be evicted because an older, still-leased one cannot be.
+        Leased entries in the LRU tail are skipped (never close a model
+        mid-use), so residency may overshoot the cap while leases pin it;
+        the next release sweeps again.
+        """
+        if self.max_loaded is None:
+            return
+        loaded = sorted(
+            (e for e in self._entries.values() if e.service is not None),
+            key=lambda e: e.last_used,
+            reverse=True,
+        )
+        excess = len(loaded) - self.max_loaded
+        if excess <= 0:
+            return
+        for entry in reversed(loaded[self.max_loaded:]):  # oldest first
+            if excess <= 0:
+                break
+            if entry.leases > 0:
+                continue
+            service, entry.service = entry.service, None
+            self.evictions += 1
+            excess -= 1
+            assert service is not None
+            if self._on_evict is not None:
+                self._on_evict(entry.name, entry.version, service)
+            service.close()
+
+    def _shared_executor(self) -> Optional[Executor]:
+        if self.workers <= 1:
+            return None
+        with self._lock:
+            if self._executor is None:
+                self._executor = make_executor(
+                    self.workers, backend=self.backend
+                )
+            return self._executor
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def loaded(self, name: str, version: str) -> bool:
+        with self._lock:
+            entry = self._entries.get((name, version))
+            return entry is not None and entry.service is not None
+
+    def peek(
+        self, name: str, version: str
+    ) -> Optional[InferenceService]:
+        """The resident service for an exact pair, without a lease.
+
+        For read-only introspection (the /metrics endpoint, shed
+        attribution) — never for serving: a peeked service may be evicted
+        at any moment.  ``None`` when the pair is unregistered or not
+        loaded.
+        """
+        with self._lock:
+            entry = self._entries.get((name, version))
+            return entry.service if entry is not None else None
+
+    def models(self) -> List[Dict[str, Any]]:
+        """The ``GET /v1/models`` listing: one row per registered model."""
+        with self._lock:
+            rows = []
+            for name in sorted(self._versions):
+                versions = []
+                for version in self._versions[name]:
+                    entry = self._entries[(name, version)]
+                    row: Dict[str, Any] = {
+                        "version": version,
+                        "loaded": entry.service is not None,
+                        "leases": entry.leases,
+                    }
+                    if entry.service is not None:
+                        artifact = entry.service.artifact
+                        row["dimension"] = artifact.dimension
+                        row["checksum"] = artifact.checksum()
+                    versions.append(row)
+                rows.append(
+                    {
+                        "name": name,
+                        "default_version": self._defaults[name],
+                        "versions": versions,
+                    }
+                )
+            return rows
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "registered": len(self._entries),
+                "loaded": sum(
+                    1 for e in self._entries.values() if e.service is not None
+                ),
+                "loads": self.loads,
+                "evictions": self.evictions,
+                "max_loaded": self.max_loaded,
+                "workers": self.workers,
+                "backend": self.backend,
+            }
+
+    def close(self) -> None:
+        """Close every loaded service and the shared pool.  Idempotent."""
+        with self._lock:
+            self._closed = True
+            for entry in self._entries.values():
+                if entry.service is not None:
+                    service, entry.service = entry.service, None
+                    service.close()
+            if self._executor is not None:
+                executor, self._executor = self._executor, None
+                executor.close()
+
+    def __enter__(self) -> "ModelRegistry":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            loaded = sum(
+                1 for e in self._entries.values() if e.service is not None
+            )
+            return (
+                f"ModelRegistry({len(self._entries)} registered, "
+                f"{loaded} loaded, backend={self.backend!r})"
+            )

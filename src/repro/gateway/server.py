@@ -1,0 +1,836 @@
+"""The gateway server: HTTP routing, per-model lanes, graceful shutdown.
+
+:class:`GatewayServer` assembles the gateway from its parts — the HTTP
+codec (:mod:`repro.gateway.http`), one :class:`~repro.gateway.batcher.MicroBatcher`
+per served model, an :class:`~repro.gateway.admission.AdmissionController`
+at the front door, and a :class:`~repro.gateway.registry.ModelRegistry`
+behind it — into an asyncio service exposing:
+
+- ``POST /v1/predict``        one pointed database → labels (micro-batched,
+  with request fusion on identical bodies)
+- ``POST /v1/predict_batch``  many databases in one call → one result each
+- ``POST /v1/stream``         NDJSON op stream (init / delta / predict)
+  over an evolving database, chunked NDJSON predictions back
+- ``GET /v1/models``          the registry listing
+- ``GET /metrics``            gateway + per-model metric snapshots
+- ``GET /healthz``            liveness (503 once draining)
+
+**Threading model.**  The asyncio loop only parses HTTP and routes; all
+engine work runs on a per-model *lane* — a single worker thread that owns
+that model's evaluation order.  One thread per model (not a pool) is
+deliberate: the engine and its caches are not thread-safe, and a lane
+serializes all of a model's batches exactly like the single-process
+serving path tier-1 tests pin down.  Model routing happens *before* the
+lane, so requests are grouped by ``?model=&version=`` query parameters
+and each batch is single-model by construction; the raw body bytes double
+as the fusion key.
+
+**Shutdown** (:meth:`GatewayServer.stop`) drains rather than drops: new
+requests are shed with 503, the listener closes, in-flight batches finish
+(bounded by ``drain_timeout``), lanes and the registry close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.data.database import Database
+from repro.data.io import _element_to_str, facts_from_json
+from repro.exceptions import GatewayError, ParseError, ReproError
+from repro.gateway.admission import RETRY_AFTER_S, AdmissionController
+from repro.gateway.batcher import MicroBatcher
+from repro.gateway.http import (
+    DEFAULT_MAX_BODY,
+    HttpError,
+    HttpRequest,
+    NdjsonStreamWriter,
+    iter_ndjson,
+    json_response,
+    read_body,
+    read_head,
+)
+from repro.gateway.registry import ModelRegistry
+from repro.serve.service import InferenceService
+
+__all__ = ["GatewayServer", "metrics_line"]
+
+#: How long :meth:`GatewayServer.stop` waits for in-flight work, seconds.
+DEFAULT_DRAIN_TIMEOUT = 10.0
+
+
+def labels_json(labeling: Any) -> Dict[str, int]:
+    """A labeling as the JSON object every repro surface emits."""
+    return {
+        _element_to_str(entity): labeling[entity]
+        for entity in sorted(labeling, key=str)
+    }
+
+
+def metrics_line(snapshot: Dict[str, Any]) -> str:
+    """One log line from a :meth:`GatewayServer.metrics` snapshot.
+
+    The shared formatting of ``repro serve --metrics-interval`` and the
+    A12 benchmark report: request/shed counts, latency quantiles,
+    throughput, and batching effectiveness, in a fixed field order.
+    """
+    gateway = snapshot.get("gateway", {})
+    admission = gateway.get("admission", {})
+    requests = 0
+    errors = 0
+    entities = 0
+    p50 = p95 = p99 = 0.0
+    rps: Optional[float] = None
+    for model in snapshot.get("models", {}).values():
+        requests += model.get("requests", 0)
+        errors += model.get("errors", 0)
+        entities += model.get("entities", 0)
+        latency = model.get("latency_ms", {})
+        p50 = max(p50, latency.get("p50", 0.0))
+        p95 = max(p95, latency.get("p95", 0.0))
+        p99 = max(p99, latency.get("p99", 0.0))
+        model_rps = model.get("throughput", {}).get("requests_per_s")
+        if model_rps is not None:
+            rps = (rps or 0.0) + model_rps
+    submitted = fused = batches = 0
+    for lane in gateway.get("lanes", {}).values():
+        submitted += lane.get("submitted", 0)
+        fused += lane.get("fused", 0)
+        batches += lane.get("batches", 0)
+    shed = admission.get("shed_busy", 0) + admission.get("shed_draining", 0)
+    return (
+        f"requests={requests} entities={entities} errors={errors} "
+        f"shed={shed} in_flight={admission.get('in_flight', 0)} "
+        f"p50={p50:.2f}ms p95={p95:.2f}ms p99={p99:.2f}ms "
+        f"rps={f'{rps:.0f}' if rps is not None else 'idle'} "
+        f"batches={batches} batched={submitted} fused={fused}"
+    )
+
+
+class _Lane:
+    """One model's serving lane: a worker thread plus its micro-batcher.
+
+    The thread serializes every batch for this ``name@version`` (engine
+    caches are single-threaded state); the batcher coalesces concurrent
+    requests in front of it.
+    """
+
+    __slots__ = ("name", "version", "pool", "batcher")
+
+    def __init__(
+        self,
+        name: str,
+        version: str,
+        dispatch: Callable[[List[bytes]], Awaitable[List[Tuple[int, bytes]]]],
+        max_batch: int,
+        window: float,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"lane-{name}-{version}"
+        )
+        self.batcher = MicroBatcher(dispatch, max_batch=max_batch, window=window)
+
+    def retire(self, wait: bool) -> None:
+        self.pool.shutdown(wait=wait)
+
+
+class GatewayServer:
+    """Serve a :class:`ModelRegistry` over HTTP/1.1.
+
+    Parameters
+    ----------
+    registry:
+        The models to serve.  The server takes ownership: :meth:`stop`
+        closes it.
+    host, port:
+        Listen address; port 0 picks an ephemeral port (see
+        :attr:`port` after :meth:`start`).
+    max_batch:
+        Micro-batch size trigger per model lane; 1 disables coalescing.
+    batch_window:
+        Micro-batch deadline trigger, seconds.
+    max_in_flight:
+        Admission ceiling on concurrently admitted requests.
+    max_body:
+        Request body cap, bytes.
+    drain_timeout:
+        Longest :meth:`stop` waits for in-flight work before cancelling.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 16,
+        batch_window: float = 0.002,
+        max_in_flight: int = 256,
+        max_body: int = DEFAULT_MAX_BODY,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    ) -> None:
+        if max_batch < 1:
+            raise GatewayError(f"max_batch must be >= 1, got {max_batch}")
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.max_body = max_body
+        self.drain_timeout = drain_timeout
+        self.admission = AdmissionController(max_in_flight)
+        self._lanes: Dict[Tuple[str, str], _Lane] = {}
+        self._lanes_lock = threading.Lock()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._started_at: Optional[float] = None
+        self.streams_open = 0
+        registry._on_evict = self._on_evict
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise GatewayError("gateway already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self._requested_port
+        )
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: shed, stop listening, drain, close.
+
+        Safe to call more than once; later calls only re-run the (idempotent)
+        close steps.
+        """
+        self.admission.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.drain_timeout
+        while self.admission.in_flight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        with self._lanes_lock:
+            lanes = list(self._lanes.values())
+        for lane in lanes:
+            await lane.batcher.drain()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        for lane in lanes:
+            lane.retire(wait=True)
+        self.registry.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "GatewayServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc: Any) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await read_head(reader)
+                except HttpError as error:
+                    # The connection state is unknown (bytes may be stuck
+                    # mid-request), so answer and close rather than reuse.
+                    writer.write(
+                        json_response(
+                            error.status,
+                            {"error": str(error)},
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if head is None:
+                    return
+                keep_alive = head.keep_alive and not self.admission.draining
+                try:
+                    handled = await self._route(head, reader, writer, keep_alive)
+                except HttpError as error:
+                    writer.write(
+                        json_response(
+                            error.status,
+                            {"error": str(error)},
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if not handled or not keep_alive:
+                    return
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(
+        self,
+        head: HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+    ) -> bool:
+        """Dispatch one request; returns False when the connection must close."""
+        method, path = head.method, head.path
+        if path == "/healthz":
+            if method not in ("GET", "HEAD"):
+                raise HttpError(405, f"{method} not allowed on {path}")
+            draining = self.admission.draining
+            response = json_response(
+                503 if draining else 200,
+                {"status": "draining" if draining else "ok"},
+                keep_alive=keep_alive,
+            )
+            if method == "HEAD":
+                # Headers only, but with GET's content-length (a load
+                # balancer probing HEAD must see the same framing).
+                response = response.split(b"\r\n\r\n", 1)[0] + b"\r\n\r\n"
+            writer.write(response)
+            await writer.drain()
+            return True
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            writer.write(
+                json_response(200, self.metrics(), keep_alive=keep_alive)
+            )
+            await writer.drain()
+            return True
+        if path == "/v1/models":
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            writer.write(
+                json_response(
+                    200, {"models": self.registry.models()},
+                    keep_alive=keep_alive,
+                )
+            )
+            await writer.drain()
+            return True
+        if path == "/v1/predict":
+            if method != "POST":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            body = await read_body(reader, head, self.max_body)
+            status, payload = await self._predict(head, body)
+            writer.write(
+                json_response(
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    extra_headers=self._shed_headers(status),
+                )
+            )
+            await writer.drain()
+            return True
+        if path == "/v1/predict_batch":
+            if method != "POST":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            body = await read_body(reader, head, self.max_body)
+            status, payload = await self._predict_batch(head, body)
+            writer.write(
+                json_response(
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    extra_headers=self._shed_headers(status),
+                )
+            )
+            await writer.drain()
+            return True
+        if path == "/v1/stream":
+            if method != "POST":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            return await self._stream(head, reader, writer)
+        raise HttpError(404, f"no route for {path}")
+
+    @staticmethod
+    def _shed_headers(status: int) -> List[Tuple[str, str]]:
+        if status in (429, 503):
+            return [("retry-after", str(RETRY_AFTER_S))]
+        return []
+
+    # ------------------------------------------------------------------
+    # Lanes
+    # ------------------------------------------------------------------
+
+    def _lane_for(self, name: str, version: str) -> _Lane:
+        key = (name, version)
+        with self._lanes_lock:
+            lane = self._lanes.get(key)
+            if lane is None:
+                lane = _Lane(
+                    name,
+                    version,
+                    self._make_dispatch(key),
+                    self.max_batch,
+                    self.batch_window,
+                )
+                self._lanes[key] = lane
+            return lane
+
+    def _make_dispatch(
+        self, key: Tuple[str, str]
+    ) -> Callable[[List[bytes]], Awaitable[List[Tuple[int, bytes]]]]:
+        async def dispatch(bodies: List[bytes]) -> List[Tuple[int, bytes]]:
+            with self._lanes_lock:
+                lane = self._lanes.get(key)
+            if lane is None:
+                raise GatewayError(
+                    f"model {key[0]!r}@{key[1]!r} lane was retired"
+                )
+            depth = lane.batcher.queue_depth
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                lane.pool, self._execute_batch, key, bodies, depth
+            )
+
+        return dispatch
+
+    def _on_evict(
+        self, name: str, version: str, _service: InferenceService
+    ) -> None:
+        """Registry eviction callback: retire the model's lane.
+
+        Called with the registry lock held, possibly from a lane thread —
+        so the pool shutdown must not wait (a lane cannot join itself).
+        In-flight batches hold a lease, so eviction only ever fires on
+        idle lanes; a later request simply builds a fresh lane.
+        """
+        with self._lanes_lock:
+            lane = self._lanes.pop((name, version), None)
+        if lane is not None:
+            lane.retire(wait=False)
+
+    # ------------------------------------------------------------------
+    # /v1/predict
+    # ------------------------------------------------------------------
+
+    async def _predict(
+        self, head: HttpRequest, body: bytes
+    ) -> Tuple[int, Any]:
+        name = head.query.get("model")
+        version = head.query.get("version")
+        shed = self.admission.try_admit()
+        if shed is not None:
+            status, reason = shed
+            self._record_shed(name, version)
+            return status, {"error": reason}
+        try:
+            try:
+                resolved = self.registry.resolve(name, version)
+            except GatewayError as error:
+                return 404, {"error": str(error)}
+            lane = self._lane_for(*resolved)
+            try:
+                status, payload = await lane.batcher.submit(body, key=body)
+            except GatewayError as error:
+                return 503, {"error": str(error)}
+            return status, json.loads(payload)
+        finally:
+            self.admission.release()
+
+    def _execute_batch(
+        self, key: Tuple[str, str], bodies: List[bytes], depth: int
+    ) -> List[Tuple[int, bytes]]:
+        """Parse, predict, and encode one micro-batch.  Lane thread only."""
+        name, version = key
+        with self.registry.acquire(name, version) as lease:
+            service = lease.service
+            service.metrics.observe_queue_depth(depth)
+            parsed: List[Optional[Tuple[Any, Database]]] = []
+            results: List[Optional[Tuple[int, bytes]]] = []
+            for body in bodies:
+                try:
+                    parsed.append(self._parse_predict(body))
+                    results.append(None)
+                except (ParseError, HttpError, GatewayError) as error:
+                    parsed.append(None)
+                    results.append(
+                        (400, _encode({"error": str(error)}))
+                    )
+            databases = [entry[1] for entry in parsed if entry is not None]
+            labelings = service.predict_batch(databases)
+            position = 0
+            for index, entry in enumerate(parsed):
+                if entry is None:
+                    continue
+                request_id, _ = entry
+                labeling = labelings[position]
+                position += 1
+                if labeling is None:
+                    results[index] = (
+                        422,
+                        _encode(
+                            {
+                                "id": request_id,
+                                "error": (
+                                    "feature evaluation failed; abstained"
+                                ),
+                            }
+                        ),
+                    )
+                else:
+                    results[index] = (
+                        200,
+                        _encode(
+                            {
+                                "id": request_id,
+                                "model": name,
+                                "version": version,
+                                "labels": labels_json(labeling),
+                            }
+                        ),
+                    )
+            assert all(result is not None for result in results)
+            return results  # type: ignore[return-value]
+
+    def _parse_predict(self, body: bytes) -> Tuple[Any, Database]:
+        """One predict body → (request id, pointed database).
+
+        Accepts ``{"facts": [...], "id": ...}`` (the CLI request-line
+        shape) or a bare facts list.
+        """
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise ParseError(f"invalid JSON body: {error}") from None
+        return self._parse_predict_payload(payload)
+
+    @staticmethod
+    def _parse_predict_payload(payload: Any) -> Tuple[Any, Database]:
+        if isinstance(payload, list):
+            return None, Database(facts_from_json(payload))
+        if isinstance(payload, dict) and "facts" in payload:
+            return payload.get("id"), Database(
+                facts_from_json(payload["facts"])
+            )
+        raise ParseError(
+            "predict body must be a facts list or an object with a "
+            "'facts' list"
+        )
+
+    def _record_shed(
+        self, name: Optional[str], version: Optional[str]
+    ) -> None:
+        """Attribute a shed to the target model's metrics, if resident."""
+        try:
+            resolved = self.registry.resolve(name, version)
+        except GatewayError:
+            return
+        service = self.registry.peek(*resolved)
+        if service is not None:
+            service.metrics.observe_shed()
+
+    # ------------------------------------------------------------------
+    # /v1/predict_batch
+    # ------------------------------------------------------------------
+
+    async def _predict_batch(
+        self, head: HttpRequest, body: bytes
+    ) -> Tuple[int, Any]:
+        name = head.query.get("model")
+        version = head.query.get("version")
+        shed = self.admission.try_admit()
+        if shed is not None:
+            status, reason = shed
+            self._record_shed(name, version)
+            return status, {"error": reason}
+        try:
+            try:
+                resolved = self.registry.resolve(name, version)
+            except GatewayError as error:
+                return 404, {"error": str(error)}
+            lane = self._lane_for(*resolved)
+            loop = asyncio.get_running_loop()
+            status, payload = await loop.run_in_executor(
+                lane.pool, self._execute_batch_request, resolved, body
+            )
+            return status, json.loads(payload)
+        finally:
+            self.admission.release()
+
+    def _execute_batch_request(
+        self, key: Tuple[str, str], body: bytes
+    ) -> Tuple[int, bytes]:
+        """One explicit batch request, whole-batch.  Lane thread only."""
+        name, version = key
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            return 400, _encode({"error": f"invalid JSON body: {error}"})
+        if isinstance(payload, dict) and "requests" in payload:
+            entries = payload["requests"]
+        elif isinstance(payload, list):
+            entries = payload
+        else:
+            return 400, _encode(
+                {
+                    "error": (
+                        "batch body must be a list of requests or an "
+                        "object with a 'requests' list"
+                    )
+                }
+            )
+        if not isinstance(entries, list):
+            return 400, _encode({"error": "'requests' must be a list"})
+        requests: List[Tuple[Any, Database]] = []
+        try:
+            for entry in entries:
+                requests.append(self._parse_predict_payload(entry))
+        except (ParseError, GatewayError) as error:
+            return 400, _encode({"error": str(error)})
+        with self.registry.acquire(name, version) as lease:
+            # An empty batch short-circuits in predict_batch ([] in, [] out,
+            # no warm-up, no metrics) — the gateway mirrors that contract.
+            labelings = lease.service.predict_batch(
+                [database for _, database in requests]
+            )
+        results: List[Dict[str, Any]] = []
+        for (request_id, _), labeling in zip(requests, labelings):
+            if labeling is None:
+                results.append(
+                    {
+                        "id": request_id,
+                        "error": "feature evaluation failed; abstained",
+                    }
+                )
+            else:
+                results.append(
+                    {"id": request_id, "labels": labels_json(labeling)}
+                )
+        return 200, _encode(
+            {"model": name, "version": version, "results": results}
+        )
+
+    # ------------------------------------------------------------------
+    # /v1/stream
+    # ------------------------------------------------------------------
+
+    async def _stream(
+        self,
+        head: HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Serve one NDJSON op stream; returns False (connection closes).
+
+        Ops mirror ``repro predict --stream``: ``init`` (once, first),
+        then interleaved ``delta`` / ``predict``.  Each predict answers
+        one chunked NDJSON line, flushed as soon as the engine produced
+        it.  The stream holds one admission slot and one model lease for
+        its whole life, so draining waits for it and eviction cannot
+        close the model under it.
+        """
+        name = head.query.get("model")
+        version = head.query.get("version")
+        shed = self.admission.try_admit()
+        if shed is not None:
+            status, reason = shed
+            self._record_shed(name, version)
+            writer.write(
+                json_response(
+                    status,
+                    {"error": reason},
+                    keep_alive=False,
+                    extra_headers=self._shed_headers(status),
+                )
+            )
+            await writer.drain()
+            return False
+        loop = asyncio.get_running_loop()
+        out = NdjsonStreamWriter(writer)
+        lease = None
+        stream = None
+        self.streams_open += 1
+        try:
+            try:
+                resolved = self.registry.resolve(name, version)
+            except GatewayError as error:
+                writer.write(
+                    json_response(404, {"error": str(error)}, keep_alive=False)
+                )
+                await writer.drain()
+                return False
+            lane = self._lane_for(*resolved)
+            lease = await loop.run_in_executor(
+                lane.pool, self.registry.acquire, *resolved
+            )
+            line_number = 0
+            async for op in iter_ndjson(reader, head, self.max_body):
+                line_number += 1
+                try:
+                    result = await self._stream_op(
+                        loop, lane, lease.service, stream, op, line_number
+                    )
+                except (ParseError, ReproError) as error:
+                    await out.send({"line": line_number, "error": str(error)})
+                    break
+                stream, reply = result
+                if reply is not None:
+                    await out.send(reply)
+            await out.finish()
+            return False
+        except (asyncio.CancelledError, ConnectionResetError):
+            return False
+        except HttpError as error:
+            if out.started:
+                return False
+            writer.write(
+                json_response(
+                    error.status, {"error": str(error)}, keep_alive=False
+                )
+            )
+            await writer.drain()
+            return False
+        finally:
+            self.streams_open -= 1
+            if lease is not None:
+                lease.release()
+            self.admission.release()
+
+    async def _stream_op(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        lane: _Lane,
+        service: InferenceService,
+        stream: Any,
+        op: Any,
+        line_number: int,
+    ) -> Tuple[Any, Optional[Dict[str, Any]]]:
+        """Apply one op on the lane thread; returns (stream, reply line)."""
+        from repro.stream import Delta
+
+        if not isinstance(op, dict) or "op" not in op:
+            raise ParseError(
+                f"op line {line_number}: expected an object with an 'op' key"
+            )
+        kind = op["op"]
+        if kind == "init":
+            if stream is not None:
+                raise ParseError(
+                    f"op line {line_number}: duplicate init (one evolving "
+                    "database per stream)"
+                )
+            if "facts" not in op:
+                raise ParseError(
+                    f"op line {line_number}: init requires a 'facts' list"
+                )
+            base = Database(facts_from_json(op["facts"]))
+            stream = await loop.run_in_executor(
+                lane.pool, service.open_stream, base
+            )
+            return stream, None
+        if kind == "delta":
+            if stream is None:
+                raise ParseError(f"op line {line_number}: delta before init")
+            body = {k: v for k, v in op.items() if k != "op"}
+            delta = Delta.from_json_dict(body)
+            await loop.run_in_executor(lane.pool, stream.apply, delta)
+            return stream, None
+        if kind == "predict":
+            if stream is None:
+                raise ParseError(f"op line {line_number}: predict before init")
+            request_id = op.get("id", line_number)
+            labeling = await loop.run_in_executor(lane.pool, stream.predict)
+            if labeling is None:
+                return stream, {
+                    "id": request_id,
+                    "error": "feature evaluation failed; abstained",
+                }
+            return stream, {
+                "id": request_id,
+                "version": stream.version,
+                "labels": labels_json(labeling),
+            }
+        raise ParseError(
+            f"op line {line_number}: unknown op {kind!r} "
+            "(expected init, delta, or predict)"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """The ``GET /metrics`` document: gateway + per-model snapshots."""
+        with self._lanes_lock:
+            lanes = {
+                f"{name}@{version}": lane.batcher.stats()
+                for (name, version), lane in self._lanes.items()
+            }
+        models: Dict[str, Any] = {}
+        for row in self.registry.models():
+            for version_row in row["versions"]:
+                if not version_row["loaded"]:
+                    continue
+                service = self.registry.peek(row["name"], version_row["version"])
+                if service is not None:
+                    models[f"{row['name']}@{version_row['version']}"] = (
+                        service.metrics_snapshot()
+                    )
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "gateway": {
+                "uptime_seconds": uptime,
+                "admission": self.admission.snapshot(),
+                "lanes": lanes,
+                "registry": self.registry.stats(),
+                "streams_open": self.streams_open,
+                "config": {
+                    "max_batch": self.max_batch,
+                    "batch_window_s": self.batch_window,
+                    "max_body": self.max_body,
+                },
+            },
+            "models": models,
+        }
+
+
+def _encode(payload: Any) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")

@@ -26,6 +26,7 @@ plain loop could finish.
 from __future__ import annotations
 
 import pickle
+import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cq.engine import CacheInfo
@@ -66,6 +67,11 @@ class Executor:
     def __init__(self) -> None:
         self._work: Dict[str, int] = {key: 0 for key in _EMPTY_WORK}
         self._worker_caches: Dict[int, CacheInfo] = {}
+        # The gateway's per-model dispatch threads may share one executor
+        # (ModelRegistry reuses a single warm pool across every served
+        # model), so the accounting — and lazy pool creation — must be
+        # safe under concurrent map_shards calls from different threads.
+        self._accounting_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Contract
@@ -105,13 +111,15 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _absorb(self, outcome: ShardOutcome) -> None:
-        for key, value in outcome.work.items():
-            self._work[key] = self._work.get(key, 0) + value
-        self._worker_caches[outcome.worker_pid] = outcome.cache_info
+        with self._accounting_lock:
+            for key, value in outcome.work.items():
+                self._work[key] = self._work.get(key, 0) + value
+            self._worker_caches[outcome.worker_pid] = outcome.cache_info
 
     def work_done(self) -> Dict[str, int]:
         """Summed engine work across all shards this executor ran."""
-        return dict(self._work)
+        with self._accounting_lock:
+            return dict(self._work)
 
     def cache_info(self) -> CacheInfo:
         """Aggregated cache statistics over the per-worker engines.
@@ -119,7 +127,8 @@ class Executor:
         Sums the most recent :class:`CacheInfo` observed from each worker
         process (workers never share cache entries, so the sum is exact).
         """
-        infos = self._worker_caches.values()
+        with self._accounting_lock:
+            infos = list(self._worker_caches.values())
         return CacheInfo(
             hits=sum(info.hits for info in infos),
             misses=sum(info.misses for info in infos),
@@ -210,15 +219,18 @@ class ParallelExecutor(Executor):
     # ------------------------------------------------------------------
 
     def _ensure_pool(self) -> Any:
-        if self._pool is None:
-            from concurrent.futures import ProcessPoolExecutor
+        with self._accounting_lock:
+            if self._pool is None:
+                from concurrent.futures import ProcessPoolExecutor
 
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=initialize_worker,
-                initargs=(self._cache_size, self._plan_queries, self._backend),
-            )
-        return self._pool
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=initialize_worker,
+                    initargs=(
+                        self._cache_size, self._plan_queries, self._backend
+                    ),
+                )
+            return self._pool
 
     def _serial_fallback(
         self, task: Task, payloads: Sequence[Payload], reason: str

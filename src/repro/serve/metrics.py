@@ -2,8 +2,9 @@
 
 The serving subsystem is measured the way a traffic-facing service is: how
 many requests and entities it labeled, how long each request waited
-(p50/p95 over a bounded reservoir of recent observations), and how much
-engine work the requests caused.  :class:`ServiceMetrics` is deliberately
+(p50/p95/p99 over a bounded reservoir of recent observations), how deep
+the queue in front of it got, how many requests were shed at the door,
+and how much engine work the requests caused.  :class:`ServiceMetrics` is deliberately
 dependency-free — plain counters and a nearest-rank percentile over a
 bounded deque — so recording a request costs O(1) and a snapshot is a
 plain dict the CLI can print as JSON.
@@ -57,6 +58,9 @@ class ServiceMetrics:
         "warmups",
         "streams",
         "deltas",
+        "sheds",
+        "queue_depth",
+        "queue_depth_peak",
         "busy_seconds",
         "_latencies",
     )
@@ -71,6 +75,9 @@ class ServiceMetrics:
         self.warmups = 0
         self.streams = 0
         self.deltas = 0
+        self.sheds = 0
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
         self.busy_seconds = 0.0
         self._latencies: Deque[float] = deque(maxlen=reservoir)
 
@@ -118,6 +125,25 @@ class ServiceMetrics:
         self.deltas += 1
         self.busy_seconds += seconds
 
+    def observe_shed(self) -> None:
+        """Record one request shed before it reached the engine.
+
+        Shed requests (admission-control 429/503 rejections in front of
+        this service) are *not* requests or errors — they never occupied
+        the engine — but a dashboard needs them to tell "no traffic" from
+        "traffic bounced at the door".
+        """
+        self.sheds += 1
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Record the instantaneous request-queue depth in front of the
+        service (a gauge: last write wins, peak retained)."""
+        if depth < 0:
+            raise ValueError("queue depth cannot be negative")
+        self.queue_depth = depth
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -146,10 +172,16 @@ class ServiceMetrics:
             "warmups": self.warmups,
             "streams": self.streams,
             "deltas": self.deltas,
+            "sheds": self.sheds,
+            "queue": {
+                "depth": self.queue_depth,
+                "peak": self.queue_depth_peak,
+            },
             "busy_seconds": busy,
             "latency_ms": {
                 "p50": percentile(sample, 0.50) * 1e3,
                 "p95": percentile(sample, 0.95) * 1e3,
+                "p99": percentile(sample, 0.99) * 1e3,
                 "max": (max(sample) if sample else 0.0) * 1e3,
                 "mean": (sum(sample) / len(sample) if sample else 0.0) * 1e3,
             },

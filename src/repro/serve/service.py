@@ -214,11 +214,15 @@ class InferenceService:
         ``None`` exactly for requests that degraded under
         ``on_error="abstain"``.
         """
-        if not self._warmed:
-            self.warm_up()
         databases = list(databases)
         if not databases:
+            # An empty micro-batch is a result, not a request: the gateway's
+            # batch path (and any caller draining a queue) may legitimately
+            # hand over nothing, and must get [] back without warming the
+            # model or touching the metrics.
             return []
+        if not self._warmed:
+            self.warm_up()
         start = time.perf_counter()
         if self._executor is None or self._executor.workers <= 1:
             outcomes = self._serial_batch(databases)

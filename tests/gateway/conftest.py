@@ -1,0 +1,155 @@
+"""Gateway test fixtures: a tiny trained artifact and an HTTP test client.
+
+The *premium* workload is a planted concept built for speed: a customer is
+positive iff some item they bought is premium — separable in CQ[2] with a
+small dimension, so training takes well under a second and every gateway
+test can afford a real trained model rather than a mock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.core.languages import BoundedAtomsCQ
+from repro.core.pipeline import FeatureEngineeringSession
+from repro.data import Database, Fact, Labeling, TrainingDatabase
+
+
+def premium_training(n_customers: int, seed: int) -> TrainingDatabase:
+    """The planted-concept training set: positive iff a premium purchase."""
+    rng = random.Random(seed)
+    facts: List[Fact] = []
+    labels: Dict[Any, int] = {}
+    for index in range(n_customers):
+        customer = f"c{index}"
+        facts.append(Fact("eta", (customer,)))
+        positive = rng.random() < 0.5
+        for j in range(rng.randint(1, 3)):
+            item = f"i{index}_{j}"
+            facts.append(Fact("bought", (customer, item)))
+            if positive and j == 0:
+                facts.append(Fact("premium", (item,)))
+    for index in range(n_customers):
+        labels[f"c{index}"] = (
+            1
+            if any(
+                fact.relation == "premium"
+                and any(
+                    other.relation == "bought"
+                    and other.arguments[0] == f"c{index}"
+                    and other.arguments[1] == fact.arguments[0]
+                    for other in facts
+                )
+                for fact in facts
+            )
+            else -1
+        )
+    return TrainingDatabase(Database(facts), Labeling(labels))
+
+
+def premium_eval(n_customers: int, seed: int) -> Database:
+    """An evaluation database over the premium schema."""
+    return premium_training(n_customers, seed).database
+
+
+@pytest.fixture(scope="package")
+def premium_session():
+    with FeatureEngineeringSession(
+        premium_training(12, 1), BoundedAtomsCQ(2), 0.1
+    ) as session:
+        assert session.separable
+        yield session
+
+
+@pytest.fixture(scope="package")
+def premium_artifact_path(premium_session, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "premium.json"
+    premium_session.export_artifact().save(str(path))
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# A minimal async HTTP/1.1 test client (keep-alive aware)
+# ----------------------------------------------------------------------
+
+
+class HttpClient:
+    """One keep-alive client connection against a test gateway."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "HttpClient":
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        body: Optional[bytes] = None,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Send one request and read one Content-Length-framed response."""
+        assert self.reader is not None and self.writer is not None
+        lines = [f"{method} {target} HTTP/1.1", "host: test"]
+        for name, value in headers:
+            lines.append(f"{name}: {value}")
+        if body is not None:
+            lines.append(f"content-length: {len(body)}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        self.writer.write(head + (body or b""))
+        await self.writer.drain()
+        return await self.read_response()
+
+    async def read_response(self) -> Tuple[int, Dict[str, str], bytes]:
+        assert self.reader is not None
+        raw = await self.reader.readuntil(b"\r\n\r\n")
+        head_lines = raw[:-4].decode("latin-1").split("\r\n")
+        status = int(head_lines[0].split(" ")[1])
+        response_headers: Dict[str, str] = {}
+        for line in head_lines[1:]:
+            name, _, value = line.partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        if response_headers.get("transfer-encoding") == "chunked":
+            body = b""
+            while True:
+                size_line = await self.reader.readuntil(b"\r\n")
+                size = int(size_line.strip(), 16)
+                chunk = await self.reader.readexactly(size + 2)
+                if size == 0:
+                    break
+                body += chunk[:-2]
+            return status, response_headers, body
+        length = int(response_headers.get("content-length", "0"))
+        body = await self.reader.readexactly(length)
+        return status, response_headers, body
+
+    async def get_json(self, target: str) -> Tuple[int, Any]:
+        status, _, body = await self.request("GET", target)
+        return status, json.loads(body)
+
+    async def post_json(
+        self, target: str, payload: Any
+    ) -> Tuple[int, Any]:
+        body = json.dumps(payload).encode("utf-8")
+        status, _, raw = await self.request("POST", target, body)
+        return status, json.loads(raw)

@@ -1,0 +1,79 @@
+"""AdmissionController: ceilings, shed statuses, drain semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GatewayError
+from repro.gateway import AdmissionController
+
+
+def test_admits_up_to_ceiling_then_sheds_429():
+    admission = AdmissionController(max_in_flight=2)
+    assert admission.try_admit() is None
+    assert admission.try_admit() is None
+    shed = admission.try_admit()
+    assert shed is not None
+    status, reason = shed
+    assert status == 429
+    assert "capacity" in reason
+    assert admission.in_flight == 2
+    assert admission.shed_busy == 1
+
+
+def test_release_frees_a_slot():
+    admission = AdmissionController(max_in_flight=1)
+    assert admission.try_admit() is None
+    assert admission.try_admit() is not None
+    admission.release()
+    assert admission.try_admit() is None
+    assert admission.admitted == 2
+
+
+def test_draining_sheds_503_even_with_capacity():
+    admission = AdmissionController(max_in_flight=10)
+    admission.begin_drain()
+    shed = admission.try_admit()
+    assert shed is not None
+    assert shed[0] == 503
+    assert admission.shed_draining == 1
+    assert admission.draining
+
+
+def test_inflight_work_survives_drain():
+    admission = AdmissionController(max_in_flight=2)
+    assert admission.try_admit() is None
+    admission.begin_drain()
+    # The admitted request is still in flight and releases normally.
+    assert admission.in_flight == 1
+    admission.release()
+    assert admission.in_flight == 0
+
+
+def test_unbalanced_release_is_an_error():
+    admission = AdmissionController(max_in_flight=1)
+    with pytest.raises(GatewayError):
+        admission.release()
+
+
+def test_snapshot_counts():
+    admission = AdmissionController(max_in_flight=1)
+    admission.try_admit()
+    admission.try_admit()
+    admission.begin_drain()
+    admission.try_admit()
+    snapshot = admission.snapshot()
+    assert snapshot == {
+        "max_in_flight": 1,
+        "in_flight": 1,
+        "admitted": 1,
+        "shed_busy": 1,
+        "shed_draining": 1,
+        "draining": True,
+    }
+    assert admission.sheds == 2
+
+
+def test_invalid_ceiling_rejected():
+    with pytest.raises(GatewayError):
+        AdmissionController(max_in_flight=0)

@@ -1,0 +1,203 @@
+"""MicroBatcher: coalescing triggers, request fusion, error fan-out."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, List
+
+import pytest
+
+from repro.exceptions import GatewayError
+from repro.gateway import MicroBatcher
+
+
+class Recorder:
+    """A dispatch stub that records every batch it was handed."""
+
+    def __init__(self, delay: float = 0.0, fail: bool = False) -> None:
+        self.batches: List[List[Any]] = []
+        self.delay = delay
+        self.fail = fail
+
+    async def __call__(self, items: List[Any]) -> List[Any]:
+        self.batches.append(list(items))
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        if self.fail:
+            raise GatewayError("dispatch exploded")
+        return [f"r:{item}" for item in items]
+
+
+def test_size_trigger_flushes_full_batch():
+    async def scenario():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=3, window=60.0)
+        results = await asyncio.gather(
+            *(batcher.submit(i) for i in range(3))
+        )
+        return recorder, batcher, results
+
+    recorder, batcher, results = asyncio.run(scenario())
+    assert recorder.batches == [[0, 1, 2]]
+    assert results == ["r:0", "r:1", "r:2"]
+    assert batcher.flushes["size"] == 1
+    assert batcher.flushes["deadline"] == 0
+
+
+def test_deadline_trigger_flushes_partial_batch():
+    async def scenario():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=100, window=0.005)
+        results = await asyncio.gather(
+            *(batcher.submit(i) for i in range(4))
+        )
+        return recorder, batcher, results
+
+    recorder, batcher, results = asyncio.run(scenario())
+    assert recorder.batches == [[0, 1, 2, 3]]
+    assert results == ["r:0", "r:1", "r:2", "r:3"]
+    assert batcher.flushes["deadline"] == 1
+    assert batcher.flushes["size"] == 0
+
+
+def test_fusion_coalesces_equal_keys():
+    async def scenario():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=100, window=0.005)
+        results = await asyncio.gather(
+            batcher.submit("a", key="k1"),
+            batcher.submit("a", key="k1"),
+            batcher.submit("b", key="k2"),
+            batcher.submit("a", key="k1"),
+        )
+        return recorder, batcher, results
+
+    recorder, batcher, results = asyncio.run(scenario())
+    # Three submissions of "a" occupy ONE batch slot; all get its result.
+    assert recorder.batches == [["a", "b"]]
+    assert results == ["r:a", "r:a", "r:b", "r:a"]
+    assert batcher.fused == 2
+    assert batcher.submitted == 4
+    assert batcher.dispatched_items == 2
+
+
+def test_fusion_resets_between_batches():
+    async def scenario():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=1, window=0.001)
+        first = await batcher.submit("a", key="k")
+        second = await batcher.submit("a", key="k")
+        return recorder, [first, second]
+
+    recorder, results = asyncio.run(scenario())
+    # Sequential submits never fuse: the first batch flushed (and cleared
+    # the key table) before the second arrived.
+    assert recorder.batches == [["a"], ["a"]]
+    assert results == ["r:a", "r:a"]
+
+
+def test_none_keys_never_fuse():
+    async def scenario():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=100, window=0.005)
+        return recorder, await asyncio.gather(
+            batcher.submit("a"), batcher.submit("a")
+        )
+
+    recorder, results = asyncio.run(scenario())
+    assert recorder.batches == [["a", "a"]]
+    assert results == ["r:a", "r:a"]
+
+
+def test_max_batch_one_disables_coalescing():
+    async def scenario():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=1, window=60.0)
+        return recorder, await asyncio.gather(
+            *(batcher.submit(i) for i in range(3))
+        )
+
+    recorder, results = asyncio.run(scenario())
+    assert [len(batch) for batch in recorder.batches] == [1, 1, 1]
+    assert results == ["r:0", "r:1", "r:2"]
+
+
+def test_dispatch_error_fans_out_to_all_members():
+    async def scenario():
+        recorder = Recorder(fail=True)
+        batcher = MicroBatcher(recorder, max_batch=2, window=60.0)
+        results = await asyncio.gather(
+            batcher.submit("a"),
+            batcher.submit("b"),
+            return_exceptions=True,
+        )
+        return batcher, results
+
+    batcher, results = asyncio.run(scenario())
+    assert all(isinstance(result, GatewayError) for result in results)
+    assert batcher.dispatch_errors == 1
+
+
+def test_length_mismatch_is_an_error():
+    async def scenario():
+        async def bad_dispatch(items):
+            return ["only-one"]
+
+        batcher = MicroBatcher(bad_dispatch, max_batch=2, window=60.0)
+        return await asyncio.gather(
+            batcher.submit("a"),
+            batcher.submit("b"),
+            return_exceptions=True,
+        )
+
+    results = asyncio.run(scenario())
+    assert all(isinstance(result, GatewayError) for result in results)
+
+
+def test_drain_flushes_pending_and_refuses_new_submits():
+    async def scenario():
+        recorder = Recorder(delay=0.01)
+        batcher = MicroBatcher(recorder, max_batch=100, window=60.0)
+        pending = asyncio.ensure_future(batcher.submit("a"))
+        await asyncio.sleep(0)  # let the submit enqueue
+        await batcher.drain()
+        result = await pending
+        refused = None
+        try:
+            await batcher.submit("b")
+        except GatewayError as error:
+            refused = error
+        return recorder, batcher, result, refused
+
+    recorder, batcher, result, refused = asyncio.run(scenario())
+    assert result == "r:a"
+    assert recorder.batches == [["a"]]
+    assert batcher.flushes["drain"] == 1
+    assert refused is not None
+    assert batcher.closed
+
+
+def test_stats_shape_and_mean_batch():
+    async def scenario():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=2, window=60.0)
+        await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+        return batcher.stats()
+
+    stats = asyncio.run(scenario())
+    assert stats["submitted"] == 4
+    assert stats["batches"] == 2
+    assert stats["mean_batch"] == 2.0
+    assert stats["largest_batch"] == 2
+    assert stats["queue_depth"] == 0
+    assert stats["flushes"]["size"] == 2
+
+
+def test_invalid_parameters_rejected():
+    async def nop(items):
+        return items
+
+    with pytest.raises(GatewayError):
+        MicroBatcher(nop, max_batch=0)
+    with pytest.raises(GatewayError):
+        MicroBatcher(nop, window=-1.0)

@@ -1,0 +1,237 @@
+"""HTTP/1.1 codec: head parsing, body framing, NDJSON, responses."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.gateway import HttpError
+from repro.gateway.http import (
+    NdjsonStreamWriter,
+    iter_ndjson,
+    json_response,
+    read_body,
+    read_head,
+    response_bytes,
+)
+
+
+def feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def parse(data: bytes):
+    return await read_head(feed(data))
+
+
+# ----------------------------------------------------------------------
+# Heads
+# ----------------------------------------------------------------------
+
+
+def test_parse_simple_get():
+    head = run(parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"))
+    assert head is not None
+    assert head.method == "GET"
+    assert head.path == "/healthz"
+    assert head.headers["host"] == "x"
+    assert head.keep_alive  # 1.1 default
+
+
+def test_query_parameters_and_percent_decoding():
+    head = run(parse(b"GET /v1/predict?model=m&version=2 HTTP/1.1\r\n\r\n"))
+    assert head.query == {"model": "m", "version": "2"}
+    head = run(parse(b"GET /a%20b HTTP/1.1\r\n\r\n"))
+    assert head.path == "/a b"
+
+
+def test_clean_eof_returns_none():
+    assert run(parse(b"")) is None
+
+
+def test_mid_head_eof_is_400():
+    with pytest.raises(HttpError) as error:
+        run(parse(b"GET /x HTT"))
+    assert error.value.status == 400
+
+
+def test_unsupported_method_is_405():
+    with pytest.raises(HttpError) as error:
+        run(parse(b"BREW /pot HTTP/1.1\r\n\r\n"))
+    assert error.value.status == 405
+
+
+def test_oversized_head_is_431():
+    big = b"GET / HTTP/1.1\r\nx: " + b"a" * 20000 + b"\r\n\r\n"
+    with pytest.raises(HttpError) as error:
+        run(parse(big))
+    assert error.value.status == 431
+
+
+def test_keep_alive_negotiation():
+    head = run(parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"))
+    assert not head.keep_alive
+    head = run(parse(b"GET / HTTP/1.0\r\n\r\n"))
+    assert not head.keep_alive
+    head = run(parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"))
+    assert head.keep_alive
+
+
+# ----------------------------------------------------------------------
+# Bodies
+# ----------------------------------------------------------------------
+
+
+async def body_of(data: bytes, max_body: int = 1 << 20) -> bytes:
+    reader = feed(data)
+    head = await read_head(reader)
+    assert head is not None
+    return await read_body(reader, head, max_body)
+
+
+def test_content_length_body():
+    data = b"POST / HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello"
+    assert run(body_of(data)) == b"hello"
+
+
+def test_chunked_body():
+    data = (
+        b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+        b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+    )
+    assert run(body_of(data)) == b"hello world"
+
+
+def test_post_without_framing_is_411():
+    with pytest.raises(HttpError) as error:
+        run(body_of(b"POST / HTTP/1.1\r\n\r\n"))
+    assert error.value.status == 411
+
+
+def test_oversized_body_is_413():
+    data = b"POST / HTTP/1.1\r\ncontent-length: 100\r\n\r\n" + b"x" * 100
+    with pytest.raises(HttpError) as error:
+        run(body_of(data, max_body=10))
+    assert error.value.status == 413
+
+
+def test_bad_content_length_is_400():
+    with pytest.raises(HttpError) as error:
+        run(body_of(b"POST / HTTP/1.1\r\ncontent-length: nan\r\n\r\n"))
+    assert error.value.status == 400
+
+
+def test_get_without_body_reads_empty():
+    assert run(body_of(b"GET / HTTP/1.1\r\n\r\n")) == b""
+
+
+# ----------------------------------------------------------------------
+# NDJSON request streaming
+# ----------------------------------------------------------------------
+
+
+async def ndjson_of(data: bytes):
+    reader = feed(data)
+    head = await read_head(reader)
+    assert head is not None
+    return [item async for item in iter_ndjson(reader, head)]
+
+
+def test_ndjson_content_length_framing():
+    payload = b'{"op": "init"}\n{"op": "predict", "id": 1}\n'
+    data = (
+        b"POST /v1/stream HTTP/1.1\r\ncontent-length: %d\r\n\r\n"
+        % len(payload)
+    ) + payload
+    assert run(ndjson_of(data)) == [
+        {"op": "init"},
+        {"op": "predict", "id": 1},
+    ]
+
+
+def test_ndjson_chunked_framing_splits_lines_across_chunks():
+    # One JSON line split across two chunks, plus a final unterminated line.
+    part1 = b'{"op": "in'
+    part2 = b'it"}\n{"op": "predict"}'
+    data = (
+        b"POST /v1/stream HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+        + b"%x\r\n%s\r\n" % (len(part1), part1)
+        + b"%x\r\n%s\r\n" % (len(part2), part2)
+        + b"0\r\n\r\n"
+    )
+    assert run(ndjson_of(data)) == [{"op": "init"}, {"op": "predict"}]
+
+
+def test_ndjson_invalid_line_is_400():
+    payload = b"not json\n"
+    data = (
+        b"POST /v1/stream HTTP/1.1\r\ncontent-length: %d\r\n\r\n"
+        % len(payload)
+    ) + payload
+    with pytest.raises(HttpError) as error:
+        run(ndjson_of(data))
+    assert error.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+
+def test_response_bytes_shape():
+    raw = response_bytes(200, b"ok", content_type="text/plain")
+    text = raw.decode("ascii")
+    assert text.startswith("HTTP/1.1 200 OK\r\n")
+    assert "content-length: 2\r\n" in text
+    assert text.endswith("\r\n\r\nok")
+
+
+def test_json_response_round_trips():
+    raw = json_response(429, {"error": "busy"}, keep_alive=False,
+                        extra_headers=[("retry-after", "1")])
+    text = raw.decode("utf-8")
+    assert text.startswith("HTTP/1.1 429 Too Many Requests\r\n")
+    assert "connection: close\r\n" in text
+    assert "retry-after: 1\r\n" in text
+    body = text.split("\r\n\r\n", 1)[1]
+    assert json.loads(body) == {"error": "busy"}
+
+
+def test_ndjson_stream_writer_chunks():
+    async def scenario():
+        reader = asyncio.StreamReader()
+
+        class FakeWriter:
+            def __init__(self):
+                self.data = b""
+
+            def write(self, data):
+                self.data += data
+
+            async def drain(self):
+                pass
+
+        writer = FakeWriter()
+        out = NdjsonStreamWriter(writer)
+        assert not out.started
+        await out.send({"id": 1})
+        await out.send({"id": 2})
+        await out.finish()
+        return writer.data, out.lines
+
+    data, lines = asyncio.run(scenario())
+    text = data.decode("utf-8")
+    assert text.startswith("HTTP/1.1 200 OK\r\n")
+    assert "transfer-encoding: chunked" in text
+    assert '{"id": 1}' in text and '{"id": 2}' in text
+    assert text.endswith("0\r\n\r\n")
+    assert lines == 2

@@ -132,3 +132,45 @@ class TestServiceMetrics:
         assert snapshot["latency_ms"]["p50"] == pytest.approx(20.0)
         assert snapshot["latency_ms"]["max"] == pytest.approx(100.0)
         assert snapshot["latency_ms"]["mean"] == pytest.approx(40.0)
+
+    def test_p99_separates_from_p95_in_a_long_tail(self):
+        metrics = ServiceMetrics()
+        # 195 fast requests and 5 slow ones: p95 stays fast, p99 catches
+        # the tail — the whole point of reporting it alongside p95.
+        # (Nearest-rank: rank 190 of 200 is fast, rank 198 is slow.)
+        for _ in range(195):
+            metrics.observe_request(0.010, 1)
+        for _ in range(5):
+            metrics.observe_request(1.0, 1)
+        latency = metrics.snapshot()["latency_ms"]
+        assert latency["p95"] == pytest.approx(10.0)
+        assert latency["p99"] == pytest.approx(1000.0)
+
+    def test_observe_shed_is_not_a_request_or_error(self):
+        metrics = ServiceMetrics()
+        metrics.observe_shed()
+        metrics.observe_shed()
+        assert metrics.sheds == 2
+        snapshot = metrics.snapshot()
+        assert snapshot["sheds"] == 2
+        assert snapshot["requests"] == 0
+        assert snapshot["errors"] == 0
+        assert metrics.busy_seconds == 0.0  # shed work never ran
+
+    def test_queue_depth_gauge_retains_peak(self):
+        metrics = ServiceMetrics()
+        metrics.observe_queue_depth(3)
+        metrics.observe_queue_depth(7)
+        metrics.observe_queue_depth(2)
+        snapshot = metrics.snapshot()
+        assert snapshot["queue"] == {"depth": 2, "peak": 7}
+        with pytest.raises(ValueError):
+            metrics.observe_queue_depth(-1)
+
+    def test_reset_zeroes_shed_and_queue_counters(self):
+        metrics = ServiceMetrics()
+        metrics.observe_shed()
+        metrics.observe_queue_depth(5)
+        metrics.reset()
+        assert metrics.sheds == 0
+        assert metrics.snapshot()["queue"] == {"depth": 0, "peak": 0}

@@ -182,6 +182,19 @@ class TestLifecycle:
         with InferenceService(artifact) as service:
             assert service.predict_batch([]) == []
 
+    def test_empty_batch_neither_warms_nor_records(self, retail_session):
+        # The gateway's batch path may legitimately hand over nothing
+        # (e.g. a drained queue): that is a result, not a request, so it
+        # must not compile the model or show up in any metric.
+        artifact = retail_session.export_artifact()
+        with InferenceService(artifact) as service:
+            assert service.predict_batch([]) == []
+            assert service.metrics.warmups == 0
+            assert service.metrics.batches == 0
+            assert service.metrics.requests == 0
+            assert service.metrics.busy_seconds == 0.0
+            assert not service._warmed
+
     def test_warm_up_is_idempotent(self, retail_session, retail_evals):
         artifact = retail_session.export_artifact()
         with InferenceService(artifact) as service:

@@ -552,3 +552,65 @@ class TestPredictStream:
             ["predict", str(path), "--model", model_file, "--stream"]
         ) == 2
         assert "op stream" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    """Parser and spec-parsing coverage; live-socket behavior is exercised
+    end-to-end in tests/gateway/test_server_e2e.py and the CI smoke step."""
+
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "model.json"])
+        assert args.models == ["model.json"]
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.max_batch == 16
+        assert args.batch_window_ms == 2.0
+        assert args.max_in_flight == 256
+        assert args.max_loaded is None
+        assert args.on_error == "abstain"
+        assert args.metrics_interval is None
+        assert args.backend == "python"
+
+    def test_parser_full_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve", "a=x.json", "b@v2=y.json",
+                "--host", "0.0.0.0", "--port", "0", "--workers", "2",
+                "--backend", "numpy", "--max-batch", "64",
+                "--batch-window-ms", "5", "--max-in-flight", "32",
+                "--max-loaded", "1", "--on-error", "fail",
+                "--metrics-interval", "2.5", "--drain-timeout", "3",
+            ]
+        )
+        assert args.models == ["a=x.json", "b@v2=y.json"]
+        assert args.port == 0
+        assert args.backend == "numpy"
+        assert args.max_batch == 64
+        assert args.metrics_interval == 2.5
+
+    def test_model_spec_parsing(self):
+        from repro.cli import _parse_model_specs
+
+        assert _parse_model_specs(["m.json"]) == [("default", None, "m.json")]
+        assert _parse_model_specs(["retail=m.json"]) == [
+            ("retail", None, "m.json")
+        ]
+        assert _parse_model_specs(["retail@v2=m.json"]) == [
+            ("retail", "v2", "m.json")
+        ]
+
+    def test_malformed_model_spec_exits_2(self, capsys):
+        assert main(["serve", "=m.json"]) == 2
+        assert "model spec" in capsys.readouterr().err
+        assert main(["serve", "name@=m.json"]) == 2
+        assert "model spec" in capsys.readouterr().err
+
+    def test_missing_artifact_is_lazy_but_duplicate_spec_exits_2(self, capsys):
+        # Registration is lazy (no file I/O), but duplicate name@version
+        # pairs are rejected before the server ever binds a socket.
+        assert main(["serve", "m@v1=a.json", "m@v1=b.json"]) == 2
+        assert "already registered" in capsys.readouterr().err
