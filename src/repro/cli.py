@@ -8,8 +8,11 @@ Usage (after ``pip install -e .``)::
     python -m repro features train.json --language cqm --m 2
     python -m repro qbe db.facts --positives a,b --negatives c --language cq
     python -m repro train train.json --language cqm --m 2 --out model.json
+    python -m repro train train.json --store .repro-store --publish retail
     python -m repro predict requests.jsonl --model model.json --metrics
     python -m repro serve retail=model.json --port 8080 --backend numpy
+    python -m repro serve --store .repro-store --port 8080
+    python -m repro store ls .repro-store
 
 Training databases are the JSON documents of
 :func:`repro.data.io.training_database_to_json`; evaluation databases and
@@ -103,6 +106,16 @@ def _add_backend_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="warm-state store root: compiled plans and memoized answers "
+        "persist there across process restarts (created on first use)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(the training file and language options are ignored)",
     )
     _add_language_options(classify)
+    _add_store_option(classify)
 
     train = commands.add_parser(
         "train",
@@ -138,9 +152,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("training", help="training database JSON file")
     train.add_argument(
-        "--out", required=True, help="path to write the model artifact JSON"
+        "--out",
+        default=None,
+        help="path to write the model artifact JSON (required unless "
+        "--publish stores the artifact instead)",
     )
     _add_language_options(train)
+    _add_store_option(train)
+    train.add_argument(
+        "--publish",
+        default=None,
+        metavar="NAME[@VERSION]",
+        help="publish the artifact into the --store model registry under "
+        "NAME (auto-numbered version unless @VERSION pins one); "
+        "'repro serve --store' then serves it without artifact files",
+    )
 
     predict = commands.add_parser(
         "predict",
@@ -180,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         "database ({'op': 'init'|'delta'|'predict'} per line) and "
         "predictions after a delta re-evaluate only the touched features",
     )
+    _add_store_option(predict)
 
     features = commands.add_parser(
         "features", help="materialize a separating statistic"
@@ -217,11 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "models",
-        nargs="+",
+        nargs="*",
         metavar="[NAME[@VERSION]=]PATH",
         help="model artifact(s) to serve; a bare PATH is served as "
         "'default', NAME=PATH names it, NAME@VERSION=PATH pins a version "
-        "(the first version registered for a name is its default)",
+        "(the first version registered for a name is its default).  May "
+        "be empty when --store supplies published models",
     )
     serve.add_argument(
         "--host", default="127.0.0.1", help="listen address (default localhost)"
@@ -285,6 +313,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds graceful shutdown waits for in-flight work "
         "(default 10)",
     )
+    _add_store_option(serve)
+
+    store = commands.add_parser(
+        "store",
+        help="inspect and maintain a warm-state store "
+        "(plans, answers, published models)",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_commands.add_parser(
+        "ls", help="list entries and published models"
+    )
+    store_ls.add_argument("root", help="store root directory")
+    store_gc = store_commands.add_parser(
+        "gc", help="evict least-recently-used entries beyond the caps"
+    )
+    store_gc.add_argument("root", help="store root directory")
+    store_gc.add_argument(
+        "--max-entries", type=int, default=None,
+        help="keep at most this many entries",
+    )
+    store_gc.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="keep at most this many payload bytes",
+    )
+    store_verify = store_commands.add_parser(
+        "verify", help="re-hash every entry; quarantine corrupt ones"
+    )
+    store_verify.add_argument("root", help="store root directory")
+    store_rm = store_commands.add_parser(
+        "rm", help="remove one entry by kind and digest"
+    )
+    store_rm.add_argument("root", help="store root directory")
+    store_rm.add_argument("kind", help="entry kind (plan, answer, model)")
+    store_rm.add_argument("digest", help="entry digest (from 'store ls')")
 
     qbe = commands.add_parser(
         "qbe", help="query-by-example over a plain database"
@@ -338,7 +400,8 @@ def _run_classify(args: argparse.Namespace) -> int:
 
         artifact = ModelArtifact.load(args.model)
         with InferenceService(
-            artifact, workers=args.workers, backend=args.backend
+            artifact, workers=args.workers, backend=args.backend,
+            store=args.store,
         ) as service:
             labeling = service.predict(evaluation)
         assert labeling is not None  # on_error="fail" raises instead
@@ -346,7 +409,7 @@ def _run_classify(args: argparse.Namespace) -> int:
         training = _load_training(args.training)
         with FeatureEngineeringSession(
             training, _language_from_args(args), args.epsilon,
-            workers=args.workers, backend=args.backend,
+            workers=args.workers, backend=args.backend, store=args.store,
         ) as session:
             labeling = session.classify(evaluation)
     sys.stdout.write(labeling_to_text(labeling))
@@ -354,10 +417,17 @@ def _run_classify(args: argparse.Namespace) -> int:
 
 
 def _run_train(args: argparse.Namespace) -> int:
+    if args.out is None and args.publish is None:
+        raise ParseError(
+            "train needs a destination: --out FILE and/or "
+            "--publish NAME (with --store)"
+        )
+    if args.publish is not None and args.store is None:
+        raise ParseError("--publish requires --store (the model registry)")
     training = _load_training(args.training)
     with FeatureEngineeringSession(
         training, _language_from_args(args), args.epsilon,
-        workers=args.workers, backend=args.backend,
+        workers=args.workers, backend=args.backend, store=args.store,
     ) as session:
         print(session.report())
         if not session.separable:
@@ -368,11 +438,39 @@ def _run_train(args: argparse.Namespace) -> int:
             )
             return 1
         artifact = session.export_artifact()
-    artifact.save(args.out)
-    print(
-        f"wrote {args.out}: dimension {artifact.dimension}, "
-        f"{artifact.checksum()}"
-    )
+    if args.out is not None:
+        artifact.save(args.out)
+        print(
+            f"wrote {args.out}: dimension {artifact.dimension}, "
+            f"{artifact.checksum()}"
+        )
+    if args.store is not None:
+        # Warm the store with the model's compiled plans: fitting runs on
+        # the process-default engine, so a restarted `predict --store` /
+        # `serve --store` would otherwise still pay the first compile.
+        from repro.serve import InferenceService
+
+        with InferenceService(
+            artifact, backend=args.backend, store=args.store
+        ) as warmer:
+            warmer.warm_up()
+        if args.publish is not None:
+            from repro.store import ContentStore, ModelStore
+
+            name, at, version = args.publish.partition("@")
+            if not name or (at and not version):
+                raise ParseError(
+                    f"malformed --publish {args.publish!r} "
+                    "(expected NAME[@VERSION])"
+                )
+            model_store = ModelStore(ContentStore(args.store))
+            published = model_store.publish(
+                name, artifact, version=version if at else None
+            )
+            print(
+                f"published {name}@{published} to {args.store}: "
+                f"dimension {artifact.dimension}, {artifact.checksum()}"
+            )
     return 0
 
 
@@ -431,7 +529,7 @@ def _run_predict_stream(args: argparse.Namespace) -> int:
     artifact = ModelArtifact.load(args.model)
     with InferenceService(
         artifact, workers=args.workers, on_error=args.on_error,
-        backend=args.backend,
+        backend=args.backend, store=args.store,
     ) as service:
         stream = None
         for lineno, raw_line in enumerate(_read_lines(args.requests), start=1):
@@ -513,7 +611,7 @@ def _run_predict(args: argparse.Namespace) -> int:
     requests = _read_requests(args.requests)
     with InferenceService(
         artifact, workers=args.workers, on_error=args.on_error,
-        backend=args.backend,
+        backend=args.backend, store=args.store,
     ) as service:
         labelings = service.predict_batch(
             [database for _, database in requests]
@@ -577,15 +675,27 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     if args.metrics_interval is not None and args.metrics_interval <= 0:
         raise ParseError("--metrics-interval must be positive")
+    if not args.models and args.store is None:
+        raise ParseError(
+            "serve needs at least one model spec, or --store with "
+            "published models"
+        )
     specs = _parse_model_specs(args.models)
     registry = ModelRegistry(
         workers=args.workers,
         backend=args.backend,
         on_error=args.on_error,
         max_loaded=args.max_loaded,
+        store=args.store,
     )
     for name, version, path in specs:
         registry.register(name, path, version=version)
+    if not registry.models():
+        registry.close()
+        raise ParseError(
+            f"store {args.store!r} holds no published models "
+            "(and no model specs were given)"
+        )
 
     async def run() -> int:
         gateway = GatewayServer(
@@ -604,7 +714,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             loop.add_signal_handler(signum, stopping.set)
         print(
             f"repro gateway listening on {gateway.host}:{gateway.port} "
-            f"({len(specs)} model(s), backend={args.backend}, "
+            f"({len(registry.models())} model(s), backend={args.backend}, "
             f"max_batch={args.max_batch}, "
             f"window={args.batch_window_ms:g}ms)",
             file=sys.stderr,
@@ -636,6 +746,53 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(run())
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    """Maintenance for a warm-state store: ls / gc / verify / rm."""
+    from repro.store import ContentStore, ModelStore
+
+    store = ContentStore(args.root)
+    if args.store_command == "ls":
+        entries = store.entries()
+        for entry in entries:
+            print(f"{entry.kind:8s} {entry.digest}  {entry.size:8d} bytes")
+        total = sum(entry.size for entry in entries)
+        print(f"# {len(entries)} entries, {total} bytes, root {store.root}")
+        models = ModelStore(store).models()
+        for name in sorted(models):
+            info = models[name]
+            versions = ", ".join(sorted(info["versions"]))
+            print(
+                f"# model {name}: versions {versions} "
+                f"(default {info['default']})"
+            )
+        return 0
+    if args.store_command == "gc":
+        report = store.gc(
+            max_entries=args.max_entries, max_bytes=args.max_bytes
+        )
+        print(
+            f"removed {len(report['removed'])}, kept {report['kept']} "
+            f"({report['bytes']} bytes)"
+        )
+        return 0
+    if args.store_command == "verify":
+        report = store.verify()
+        print(
+            f"checked {report['checked']}: {report['ok']} ok, "
+            f"{len(report['corrupt'])} quarantined"
+        )
+        for digest in report["corrupt"]:
+            print(f"quarantined {digest}")
+        return 0 if not report["corrupt"] else 1
+    if args.store_command == "rm":
+        if store.delete(args.kind, args.digest):
+            print(f"removed {args.kind} {args.digest}")
+            return 0
+        print(f"error: no {args.kind} entry {args.digest}", file=sys.stderr)
+        return 2
+    raise ReproError(f"unknown store command {args.store_command!r}")
 
 
 def _run_features(args: argparse.Namespace) -> int:
@@ -708,6 +865,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "train": _run_train,
         "predict": _run_predict,
         "serve": _run_serve,
+        "store": _run_store,
     }
     try:
         return handlers[args.command](args)

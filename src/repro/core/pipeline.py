@@ -99,6 +99,13 @@ class FeatureEngineeringSession:
         bit-identical).  Fitting itself stays on the process-default
         engine — the separability algorithms are hom-preorder bound, not
         matrix-fill bound.
+    store:
+        Optional warm-state store (path string or an open store object)
+        for the session's classification engine and any session-owned
+        worker pool: compiled plans and memoized answers persist across
+        process restarts.  Giving a store forces a session-private engine
+        even on the default backend (the process-default engine stays
+        store-less).
     """
 
     def __init__(
@@ -109,26 +116,34 @@ class FeatureEngineeringSession:
         workers: int = 1,
         executor: Optional["Executor"] = None,
         backend: str = "python",
+        store: Optional[Any] = None,
     ) -> None:
         if not 0 <= epsilon < 1:
             raise SeparabilityError("epsilon must lie in [0, 1)")
         self._training = training
         self._language = language
         self._epsilon = epsilon
-        if backend == "python":
+        if backend == "python" and store is None:
             self._engine = None
         else:
             # Validates the backend name, too (unknown names raise).
             from repro.cq.engine import EvaluationEngine
 
-            self._engine = EvaluationEngine(backend=backend)
+            self._engine = EvaluationEngine(backend=backend, store=store)
         if executor is not None:
             self._executor: Optional["Executor"] = executor
             self._owns_executor = False
         elif workers > 1:
             from repro.runtime import make_executor
 
-            self._executor = make_executor(workers, backend=backend)
+            store_path = (
+                self._engine.store.path
+                if self._engine is not None and self._engine.store is not None
+                else None
+            )
+            self._executor = make_executor(
+                workers, backend=backend, store_path=store_path
+            )
             self._owns_executor = True
         else:
             self._executor = None

@@ -117,15 +117,20 @@ class EngineCounters:
     and nodes expanded); ``cover_games`` counts cover-game decisions actually
     played (cache misses of the game cache); ``vectorized_sweeps`` counts
     evaluations answered by the numpy-bitset backend (always 0 on
-    ``backend="python"`` engines).
+    ``backend="python"`` engines); ``plan_compilations`` counts
+    :meth:`QueryPlan.compile` runs actually performed (a plan served from
+    the warm-state store or the plan LRU does not count — the warm-start
+    benchmark's headline figure).
     """
 
-    __slots__ = ("search", "cover_games", "vectorized_sweeps")
+    __slots__ = ("search", "cover_games", "vectorized_sweeps",
+                 "plan_compilations")
 
     def __init__(self) -> None:
         self.search = SearchCounters()
         self.cover_games = 0
         self.vectorized_sweeps = 0
+        self.plan_compilations = 0
 
     @property
     def hom_checks(self) -> int:
@@ -139,13 +144,15 @@ class EngineCounters:
         self.search = SearchCounters()
         self.cover_games = 0
         self.vectorized_sweeps = 0
+        self.plan_compilations = 0
 
     def __repr__(self) -> str:
         return (
             f"EngineCounters(hom_checks={self.hom_checks}, "
             f"backtrack_nodes={self.backtrack_nodes}, "
             f"cover_games={self.cover_games}, "
-            f"vectorized_sweeps={self.vectorized_sweeps})"
+            f"vectorized_sweeps={self.vectorized_sweeps}, "
+            f"plan_compilations={self.plan_compilations})"
         )
 
 
@@ -281,6 +288,16 @@ class EvaluationEngine:
         Cap on the ``rows × columns`` size of any intermediate join table
         the numpy backend materializes; larger joins fall back to the
         Python path.  Ignored on ``backend="python"``.
+    store:
+        Optional warm-state store (a path string,
+        :class:`~repro.store.ContentStore`, or
+        :class:`~repro.store.WarmStore`).  When set, compiled plans and
+        memoized answers are persisted to disk and consulted on LRU
+        misses, so a fresh process against the same store starts hot.
+        Results are bit-identical with or without a store: every loaded
+        entry is checksum-verified and decode-validated, and anything
+        suspect is quarantined and recomputed.  Default ``None`` keeps the
+        engine purely in-memory.
     """
 
     def __init__(
@@ -289,6 +306,7 @@ class EvaluationEngine:
         use_plans: bool = True,
         backend: str = "python",
         max_vector_cells: Optional[int] = None,
+        store: Optional[Any] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ReproError(
@@ -306,6 +324,14 @@ class EvaluationEngine:
 
             max_vector_cells = DEFAULT_MAX_CELLS
         self.max_vector_cells = max_vector_cells
+        if store is None:
+            self.store = None
+        else:
+            # Local import: the store subsystem is optional machinery the
+            # default (store-less) engine never pays for.
+            from repro.store.warm import open_store
+
+            self.store = open_store(store)
         self.counters = EngineCounters()
         self._plan_counters: Optional["PlanCounters"] = None
         #: Most recent reason a vectorized evaluation fell back, or None.
@@ -415,16 +441,43 @@ class EvaluationEngine:
         Compiled at most once per query (LRU-cached by the query alone —
         plans never depend on a target database).  Hits and misses appear
         under ``"plans"`` in :meth:`cache_details` and are folded into
-        :meth:`cache_info`.
+        :meth:`cache_info`.  With a warm-state store attached, an LRU miss
+        consults the store before compiling (``plan_compilations`` counts
+        only actual compiles), and every fresh compile is persisted.
         """
         cached = self._plan_cache.lookup(query)
         if cached is not _LRUCache._MISSING:
             return cached
+        if self.store is not None:
+            plan = self.store.load_plan(query, self.backend)
+            if plan is not None:
+                self._plan_cache.store(query, plan)
+                return plan
         from repro.cq.plan import QueryPlan
 
         plan = QueryPlan.compile(query)
+        self.counters.plan_compilations += 1
+        if self.store is not None:
+            self.store.save_plan(query, plan, self.backend)
         self._plan_cache.store(query, plan)
         return plan
+
+    def _load_stored_answer(
+        self, query: CQ, database: Database
+    ) -> Optional[FrozenSet[Tuple[Element, ...]]]:
+        """A persisted ``q(D)`` answer, or ``None`` (no store / miss)."""
+        if self.store is None:
+            return None
+        return self.store.load_answer(query, database)
+
+    def _persist_answer(
+        self,
+        query: CQ,
+        database: Database,
+        answer: FrozenSet[Tuple[Element, ...]],
+    ) -> None:
+        if self.store is not None:
+            self.store.save_answer(query, database, answer)
 
     # ------------------------------------------------------------------
     # Homomorphism checks
@@ -528,22 +581,30 @@ class EvaluationEngine:
 
         One memoized pointed check per candidate assignment of the free
         variables; candidates are pre-filtered through the database index.
+        With a warm-state store, an LRU miss consults the persisted memo
+        before any computation, and every computed answer is persisted.
         """
         key = (query, database)
         cached = self._answer_cache.lookup(key)
         if cached is not _LRUCache._MISSING:
             return cached
+        stored = self._load_stored_answer(query, database)
+        if stored is not None:
+            self._answer_cache.store(key, stored)
+            return stored
 
         if self.active_backend == "numpy":
             result = self._vectorized_answer(query, database)
             if result is not None:
                 self._answer_cache.store(key, result)
+                self._persist_answer(query, database, result)
                 return result
 
         candidate_sets = self._free_variable_candidates(query, database)
         if any(not candidates for candidates in candidate_sets):
             result: FrozenSet[Tuple[Element, ...]] = frozenset()
             self._answer_cache.store(key, result)
+            self._persist_answer(query, database, result)
             return result
 
         canonical = query.canonical_database
@@ -558,6 +619,7 @@ class EvaluationEngine:
                 results.add(values)
         result = frozenset(results)
         self._answer_cache.store(key, result)
+        self._persist_answer(query, database, result)
         return result
 
     def evaluate_unary(
@@ -591,17 +653,22 @@ class EvaluationEngine:
         cached = self._answer_cache.lookup(key)
         if cached is not _LRUCache._MISSING:
             return frozenset(row[0] for row in cached)
+        stored = self._load_stored_answer(query, database)
+        if stored is not None:
+            self._answer_cache.store(key, stored)
+            return frozenset(row[0] for row in stored)
         if self.active_backend == "numpy":
             # Same answer memo as evaluate(): the vectorized sweep is
             # differentially verified against both reference paths.
             result = self._vectorized_answer(query, database)
             if result is not None:
                 self._answer_cache.store(key, result)
+                self._persist_answer(query, database, result)
                 return frozenset(row[0] for row in result)
         answer = structured.evaluate(database, self.plan_counters)
-        self._answer_cache.store(
-            key, frozenset((element,) for element in answer)
-        )
+        rows = frozenset((element,) for element in answer)
+        self._answer_cache.store(key, rows)
+        self._persist_answer(query, database, rows)
         return answer
 
     def selects(self, query: CQ, database: Database, element: Element) -> bool:
@@ -619,9 +686,14 @@ class EvaluationEngine:
             cached = self._answer_cache.lookup(key)
             if cached is not _LRUCache._MISSING:
                 return (element,) in cached
+            stored = self._load_stored_answer(query, database)
+            if stored is not None:
+                self._answer_cache.store(key, stored)
+                return (element,) in stored
             result = self._vectorized_answer(query, database)
             if result is not None:
                 self._answer_cache.store(key, result)
+                self._persist_answer(query, database, result)
                 return (element,) in result
         program = self.plan_for(query).program if self.use_plans else None
         return self.has_homomorphism(
@@ -676,7 +748,13 @@ class EvaluationEngine:
         for query in queries:
             cached = self._answer_cache.lookup((query, database))
             if cached is _LRUCache._MISSING:
-                if query not in answers:
+                if query in answers:
+                    continue
+                stored = self._load_stored_answer(query, database)
+                if stored is not None:
+                    self._answer_cache.store((query, database), stored)
+                    answers[query] = frozenset(row[0] for row in stored)
+                else:
                     answers[query] = frozenset()  # placeholder, filled below
                     pending.append(query)
             else:
@@ -691,10 +769,9 @@ class EvaluationEngine:
             )
             for query, answer in zip(pending, evaluated):
                 answers[query] = answer
-                self._answer_cache.store(
-                    (query, database),
-                    frozenset((element,) for element in answer),
-                )
+                rows = frozenset((element,) for element in answer)
+                self._answer_cache.store((query, database), rows)
+                self._persist_answer(query, database, rows)
         return [answers[query] for query in queries]
 
     def indicator_matrix(
@@ -845,7 +922,15 @@ class EvaluationEngine:
             migrated, dropped = cache.reconcile(decide)
             retained += migrated
             invalidated += dropped
-        return {"retained": retained, "invalidated": invalidated}
+        result = {"retained": retained, "invalidated": invalidated}
+        if self.store is not None:
+            # Hygiene mirror of the in-memory rule: the retired digest's
+            # touched entries are dead weight on disk (content-addressed
+            # keys make them unreachable for correctness purposes anyway).
+            result["store_invalidated"] = self.store.invalidate_database(
+                before, touched
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Cache management and instrumentation
@@ -888,17 +973,24 @@ class EvaluationEngine:
     def work_snapshot(self) -> Dict[str, int]:
         """Cumulative work counters, for delta-based benchmark reporting."""
         info = self.cache_info()
-        return {
+        snapshot = {
             "hom_checks": self.counters.hom_checks,
             "backtrack_nodes": self.counters.backtrack_nodes,
             "cover_games": self.counters.cover_games,
             "vectorized_sweeps": self.counters.vectorized_sweeps,
+            "plan_compilations": self.counters.plan_compilations,
             "backend_fallbacks": self._backend_fallbacks,
             "cache_hits": info.hits,
             "cache_misses": info.misses,
             "cache_retained": info.retained,
             "cache_invalidated": info.invalidated,
         }
+        if self.store is not None:
+            snapshot["store_plan_hits"] = self.store.plan_hits
+            snapshot["store_plan_misses"] = self.store.plan_misses
+            snapshot["store_memo_hits"] = self.store.memo_hits
+            snapshot["store_memo_misses"] = self.store.memo_misses
+        return snapshot
 
 
 _default_engine = EvaluationEngine()

@@ -49,6 +49,7 @@ class CQ:
         "_variables",
         "_canonical",
         "_hash",
+        "_digest",
     )
 
     def __init__(
@@ -75,6 +76,7 @@ class CQ:
         self._variables = variables
         self._canonical: Optional[Database] = None
         self._hash: Optional[int] = None
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Convenience constructors
@@ -311,6 +313,21 @@ class CQ:
         if self._hash is None:
             self._hash = hash((self._atoms, self._free))
         return self._hash
+
+    def digest(self) -> str:
+        """``sha256:<hex>`` content hash of the query, cached per instance.
+
+        Hashes the canonical rule text (``str(self)``; atoms are sorted at
+        construction), so a query and its parsed round-trip share a
+        digest.  The query half of the warm-state store's plan and memo
+        keys (:mod:`repro.store`); scheme shared with artifact checksums
+        via :mod:`repro.data.digest`.
+        """
+        if self._digest is None:
+            from repro.data.digest import cq_digest
+
+            self._digest = cq_digest(self)
+        return self._digest
 
     def __getstate__(self) -> Tuple[Tuple[Atom, ...], Tuple[Variable, ...]]:
         """Pickle the atoms and free variables, not the lazy caches.

@@ -165,6 +165,7 @@ class Database:
         "_domain",
         "_hash",
         "_index",
+        "_digest",
     )
 
     def __init__(
@@ -205,6 +206,7 @@ class Database:
         self._domain = domain
         self._hash: Optional[int] = None
         self._index: Optional[DatabaseIndex] = None
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -299,6 +301,20 @@ class Database:
         if self._hash is None:
             self._hash = hash(self._facts)
         return self._hash
+
+    def digest(self) -> str:
+        """``sha256:<hex>`` content hash of the facts, cached per instance.
+
+        Consistent with ``__eq__``: equal databases share a digest.  This
+        is the database half of the warm-state store's memo keys
+        (:mod:`repro.store`) and uses the same canonical-dump scheme as
+        model-artifact checksums (:mod:`repro.data.digest`).
+        """
+        if self._digest is None:
+            from repro.data.digest import database_digest
+
+            self._digest = database_digest(self)
+        return self._digest
 
     def __repr__(self) -> str:
         preview = ", ".join(str(fact) for fact in list(self)[:6])

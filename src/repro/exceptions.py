@@ -22,6 +22,7 @@ __all__ = [
     "ServeError",
     "StreamError",
     "GatewayError",
+    "StoreError",
 ]
 
 
@@ -79,3 +80,7 @@ class StreamError(ReproError):
 
 class GatewayError(ReproError):
     """The network gateway was misconfigured or a request cannot be served."""
+
+
+class StoreError(ReproError):
+    """The on-disk warm-state store is unusable (bad root, newer version)."""

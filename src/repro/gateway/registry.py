@@ -6,11 +6,17 @@ model, mid-rollout).  :class:`ModelRegistry` owns that mapping:
 - **Registration** binds ``name@version`` to an artifact path.  Versions
   are explicit strings; omitting one auto-numbers ``"1"``, ``"2"``, ... in
   registration order, and the first registered version of a name becomes
-  its default.
-- **Loading is lazy and warmed**: the artifact file is read, validated,
-  and compiled (:meth:`InferenceService.warm_up`) on first use, then the
-  warm service is cached.  Loads may run on worker threads — the registry
-  is fully lock-guarded.
+  its default.  With a warm-state ``store``, every model published to the
+  store's :class:`~repro.store.ModelStore` is enumerated and registered at
+  construction (store-backed entries carry no path — they load from the
+  store), and default-version pins are persisted back, so rollout and
+  rollback survive gateway restarts.
+- **Loading is lazy, warmed, and single-flight**: the artifact is read,
+  validated, and compiled (:meth:`InferenceService.warm_up`) on first
+  use, then the warm service is cached.  Loads may run on worker threads;
+  concurrent first requests for the same entry coalesce on a condition
+  variable — exactly one thread loads and warms, the rest wait and lease
+  the same service.
 - **Rollout / rollback** is default-version pinning: requests that name
   only a model get its *default* version, so ``set_default("m", "2")``
   rolls traffic forward and ``set_default("m", "1")`` rolls it back,
@@ -39,17 +45,25 @@ __all__ = ["ModelRegistry", "ModelLease"]
 
 
 class _Entry:
-    """One registered ``name@version``, loaded or not."""
+    """One registered ``name@version``, loaded or not.
 
-    __slots__ = ("name", "version", "path", "service", "leases", "last_used")
+    ``path`` is ``None`` for store-backed entries (the artifact loads from
+    the registry's :class:`~repro.store.ModelStore` instead of a file).
+    ``loading`` marks an in-flight load-and-warm; other acquirers of the
+    same entry wait on the registry condition instead of loading twice.
+    """
 
-    def __init__(self, name: str, version: str, path: str) -> None:
+    __slots__ = ("name", "version", "path", "service", "leases", "last_used",
+                 "loading")
+
+    def __init__(self, name: str, version: str, path: Optional[str]) -> None:
         self.name = name
         self.version = version
         self.path = path
         self.service: Optional[InferenceService] = None
         self.leases = 0
         self.last_used = 0
+        self.loading = False
 
 
 class ModelLease:
@@ -106,6 +120,13 @@ class ModelRegistry:
         lock) just after an evicted service is dropped from the table and
         just before it is closed — the gateway uses it to retire the
         model's dispatch lane.
+    store:
+        Optional warm-state store (path string or open store object).
+        Every model already published in the store is registered at
+        construction and loads lazily *from the store*; default-version
+        pins persist back; and every loaded service evaluates through the
+        store, so plans and answers warmed by one gateway process are hot
+        in the next.
     """
 
     def __init__(
@@ -115,6 +136,7 @@ class ModelRegistry:
         on_error: str = "abstain",
         max_loaded: Optional[int] = None,
         on_evict: Optional[Callable[[str, str, InferenceService], None]] = None,
+        store: Optional[Any] = None,
     ) -> None:
         if max_loaded is not None and max_loaded < 1:
             raise GatewayError(f"max_loaded must be >= 1, got {max_loaded}")
@@ -128,10 +150,35 @@ class ModelRegistry:
         self._defaults: Dict[str, str] = {}
         self._executor: Optional[Executor] = None
         self._lock = threading.RLock()
+        self._load_done = threading.Condition(self._lock)
         self._clock = 0
         self._closed = False
         self.loads = 0
         self.evictions = 0
+        if store is None:
+            self._store = None
+            self._model_store = None
+        else:
+            from repro.store import ModelStore
+            from repro.store.warm import open_store
+
+            self._store = open_store(store)
+            self._model_store = ModelStore(self._store.store)
+            self._register_from_store()
+
+    def _register_from_store(self) -> None:
+        """Register every model published in the store (store-backed)."""
+        assert self._model_store is not None
+        for name, info in sorted(self._model_store.models().items()):
+            for version in sorted(info["versions"]):
+                key = (name, version)
+                if key in self._entries:
+                    continue
+                self._entries[key] = _Entry(name, version, None)
+                self._versions.setdefault(name, []).append(version)
+            default = info.get("default")
+            if default is not None:
+                self._defaults[name] = default
 
     # ------------------------------------------------------------------
     # Registration and routing
@@ -164,7 +211,12 @@ class ModelRegistry:
             return version
 
     def set_default(self, name: str, version: str) -> None:
-        """Pin the version unversioned requests for ``name`` resolve to."""
+        """Pin the version unversioned requests for ``name`` resolve to.
+
+        With a store, a pin on a store-published model is persisted into
+        the store's refs index, so the rollout (or rollback) survives a
+        restart.
+        """
         with self._lock:
             if (name, version) not in self._entries:
                 raise GatewayError(
@@ -172,6 +224,13 @@ class ModelRegistry:
                     f"version {version!r}"
                 )
             self._defaults[name] = version
+            if (
+                self._model_store is not None
+                and version in self._model_store.models().get(name, {}).get(
+                    "versions", {}
+                )
+            ):
+                self._model_store.set_default(name, version)
 
     def resolve(
         self, name: Optional[str] = None, version: Optional[str] = None
@@ -208,55 +267,86 @@ class ModelRegistry:
     ) -> ModelLease:
         """Resolve, load-and-warm if needed, and lease the service.
 
-        Safe to call from worker threads (artifact loading and warm-up
-        happen outside the registry lock, once per entry — concurrent
-        first requests for the same model serialize on a per-call reload
-        check rather than compiling twice... in the rare race, the second
-        loader's service wins and the first is closed).
+        Safe to call from worker threads: artifact loading and warm-up
+        happen outside the registry lock, **single-flight per entry** —
+        the first acquirer marks the entry loading and compiles; every
+        concurrent acquirer of the same entry waits on the registry
+        condition and leases the one warmed service (``loads`` counts one
+        load, not one per caller).  If the loader fails, one waiter takes
+        over the load rather than failing on someone else's error.
         """
         name, version = self.resolve(name, version)
         key = (name, version)
-        with self._lock:
-            if self._closed:
-                raise GatewayError("registry is closed")
-            entry = self._entries[key]
-            if entry.service is not None:
-                entry.leases += 1
-                self._clock += 1
-                entry.last_used = self._clock
-                return ModelLease(
-                    name, version, entry.service, lambda: self._release(key)
-                )
-            path = entry.path
+        with self._load_done:
+            while True:
+                if self._closed:
+                    raise GatewayError("registry is closed")
+                entry = self._entries.get(key)
+                if entry is None:
+                    raise GatewayError(
+                        f"model {name!r}@{version!r} was removed"
+                    )
+                if entry.service is not None:
+                    entry.leases += 1
+                    self._clock += 1
+                    entry.last_used = self._clock
+                    return ModelLease(
+                        name, version, entry.service,
+                        lambda: self._release(key),
+                    )
+                if not entry.loading:
+                    entry.loading = True
+                    path = entry.path
+                    break
+                self._load_done.wait()
         # Load and warm outside the lock: compilation can take a while and
         # must not block routing of other models' requests.
-        artifact = ModelArtifact.load(path)
+        try:
+            service = self._load_service(name, version, path)
+        except BaseException:
+            with self._load_done:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    entry.loading = False
+                self._load_done.notify_all()
+            raise
+        with self._load_done:
+            entry = self._entries.get(key)
+            if entry is None:
+                # Unregistered while we compiled; nothing to cache.
+                service.close()
+                self._load_done.notify_all()
+                raise GatewayError(f"model {name!r}@{version!r} was removed")
+            entry.loading = False
+            entry.service = service
+            self.loads += 1
+            entry.leases += 1
+            self._clock += 1
+            entry.last_used = self._clock
+            self._evict_idle()
+            self._load_done.notify_all()
+            return ModelLease(
+                name, version, entry.service, lambda: self._release(key)
+            )
+
+    def _load_service(
+        self, name: str, version: str, path: Optional[str]
+    ) -> InferenceService:
+        """Load + warm one service (no registry lock held)."""
+        if path is not None:
+            artifact = ModelArtifact.load(path)
+        else:
+            assert self._model_store is not None
+            artifact = self._model_store.load(name, version)
         service = InferenceService(
             artifact,
             executor=self._shared_executor(),
             on_error=self.on_error,
             backend=self.backend,
+            store=self._store,
         )
         service.warm_up()
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                # Unregistered while we compiled; nothing to cache.
-                service.close()
-                raise GatewayError(f"model {name!r}@{version!r} was removed")
-            if entry.service is None:
-                entry.service = service
-                self.loads += 1
-            else:
-                # Lost a load race; discard ours, lease the winner's.
-                service.close()
-            entry.leases += 1
-            self._clock += 1
-            entry.last_used = self._clock
-            self._evict_idle()
-            return ModelLease(
-                name, version, entry.service, lambda: self._release(key)
-            )
+        return service
 
     def _release(self, key: Tuple[str, str]) -> None:
         with self._lock:
@@ -304,7 +394,11 @@ class ModelRegistry:
         with self._lock:
             if self._executor is None:
                 self._executor = make_executor(
-                    self.workers, backend=self.backend
+                    self.workers,
+                    backend=self.backend,
+                    store_path=(
+                        self._store.path if self._store is not None else None
+                    ),
                 )
             return self._executor
 
@@ -360,7 +454,7 @@ class ModelRegistry:
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            return {
+            stats = {
                 "registered": len(self._entries),
                 "loaded": sum(
                     1 for e in self._entries.values() if e.service is not None
@@ -371,10 +465,17 @@ class ModelRegistry:
                 "workers": self.workers,
                 "backend": self.backend,
             }
+            if self._store is not None:
+                stats["store"] = self._store.stats()
+            return stats
 
     def close(self) -> None:
-        """Close every loaded service and the shared pool.  Idempotent."""
-        with self._lock:
+        """Close every loaded service and the shared pool.  Idempotent.
+
+        Wakes any acquirers waiting on an in-flight load so they observe
+        the closed registry instead of blocking forever.
+        """
+        with self._load_done:
             self._closed = True
             for entry in self._entries.values():
                 if entry.service is not None:
@@ -383,6 +484,7 @@ class ModelRegistry:
             if self._executor is not None:
                 executor, self._executor = self._executor, None
                 executor.close()
+            self._load_done.notify_all()
 
     def __enter__(self) -> "ModelRegistry":
         return self

@@ -54,8 +54,8 @@ __all__ = [
 _PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
 
 _EMPTY_WORK = ("hom_checks", "backtrack_nodes", "cover_games",
-               "vectorized_sweeps", "backend_fallbacks",
-               "cache_hits", "cache_misses")
+               "vectorized_sweeps", "plan_compilations",
+               "backend_fallbacks", "cache_hits", "cache_misses")
 
 
 class Executor:
@@ -188,6 +188,11 @@ class ParallelExecutor(Executor):
         ``"numpy"``); ``None`` keeps the engine default.  Results are
         backend-independent, so mixing parent and worker backends is
         safe — this knob only decides where the workers spend their time.
+    store_path:
+        Warm-state store root for every worker engine (``None`` for no
+        store).  Paths rather than store objects cross the process
+        boundary; each worker opens its own handle.  The content store's
+        atomic same-content writes make concurrent workers safe.
 
     Workers are started lazily on first dispatch and reused across calls,
     so per-worker caches stay warm over a whole session.  Dispatch falls
@@ -201,6 +206,7 @@ class ParallelExecutor(Executor):
         cache_size: Optional[int] = None,
         plan_queries: Sequence[Any] = (),
         backend: Optional[str] = None,
+        store_path: Optional[str] = None,
     ) -> None:
         super().__init__()
         if workers < 2:
@@ -212,6 +218,7 @@ class ParallelExecutor(Executor):
         self._cache_size = cache_size
         self._plan_queries = tuple(plan_queries)
         self._backend = backend
+        self._store_path = store_path
         self._pool: Optional[Any] = None
         #: Last reason parallel dispatch fell back to serial, or None.
         self.fallback_reason: Optional[str] = None
@@ -227,7 +234,8 @@ class ParallelExecutor(Executor):
                     max_workers=self.workers,
                     initializer=initialize_worker,
                     initargs=(
-                        self._cache_size, self._plan_queries, self._backend
+                        self._cache_size, self._plan_queries, self._backend,
+                        self._store_path,
                     ),
                 )
             return self._pool
@@ -302,6 +310,7 @@ def make_executor(
     cache_size: Optional[int] = None,
     plan_queries: Optional[Sequence[Any]] = None,
     backend: Optional[str] = None,
+    store_path: Optional[str] = None,
 ) -> Executor:
     """The executor for a ``workers=`` knob: serial iff ``workers <= 1``.
 
@@ -321,4 +330,5 @@ def make_executor(
         cache_size=cache_size,
         plan_queries=() if plan_queries is None else plan_queries,
         backend=backend,
+        store_path=store_path,
     )

@@ -64,6 +64,7 @@ def initialize_worker(
     cache_size: Optional[int] = None,
     plan_queries: Sequence[CQ] = (),
     backend: Optional[str] = None,
+    store_path: Optional[str] = None,
 ) -> None:
     """Install a fresh engine as the worker process's default engine.
 
@@ -77,13 +78,17 @@ def initialize_worker(
     ``backend`` selects the worker engine's evaluation backend
     (``"python"``/``"numpy"``; ``None`` keeps the engine default), so a
     parallel fill runs the same backend in every worker as the parent
-    engine would serially.
+    engine would serially.  ``store_path`` attaches the warm-state store
+    at that root to the worker engine — workers then pull persisted plans
+    instead of compiling, and contribute their computed answers back.
     """
     kwargs: Dict[str, Any] = {}
     if cache_size is not None:
         kwargs["cache_size"] = cache_size
     if backend is not None:
         kwargs["backend"] = backend
+    if store_path is not None:
+        kwargs["store"] = store_path
     engine = EvaluationEngine(**kwargs)
     for query in plan_queries:
         engine.plan_for(query)

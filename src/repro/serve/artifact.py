@@ -28,7 +28,6 @@ Design constraints, in order:
 
 from __future__ import annotations
 
-import hashlib
 import json
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
@@ -36,6 +35,8 @@ from repro.cq.parser import parse_cq
 from repro.cq.query import CQ
 from repro.core.languages import AllCQ, BoundedAtomsCQ, GhwClass, QueryClass
 from repro.core.statistic import SeparatingPair, Statistic
+from repro.data.digest import canonical_dump
+from repro.data.digest import checksum as _content_checksum
 from repro.data.schema import ENTITY_SYMBOL, EntitySchema, RelationSymbol
 from repro.exceptions import ArtifactError, ReproError
 from repro.linsep.classifier import LinearClassifier
@@ -144,15 +145,17 @@ def _expect_number(value: Any, where: str) -> float:
 
 
 def _canonical_dump(payload: Dict[str, Any]) -> str:
-    """The canonical byte form the checksum is computed over."""
-    return json.dumps(
-        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
-    )
+    """The canonical byte form the checksum is computed over.
+
+    Shared with the warm-state store (:mod:`repro.store`) through
+    :mod:`repro.data.digest`, so artifact checksums and store keys use one
+    hashing discipline.
+    """
+    return canonical_dump(payload)
 
 
 def _checksum(payload: Dict[str, Any]) -> str:
-    digest = hashlib.sha256(_canonical_dump(payload).encode("ascii"))
-    return f"sha256:{digest.hexdigest()}"
+    return _content_checksum(payload)
 
 
 # ----------------------------------------------------------------------
@@ -444,6 +447,7 @@ class ModelArtifact:
             "training_errors": report.training_errors,
             "training_entities": len(training.entities),
             "training_facts": len(database),
+            "training_database_digest": database.digest(),
             "library": "repro",
         }
         merged.update(metadata or {})

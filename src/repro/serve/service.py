@@ -73,6 +73,15 @@ class InferenceService:
         (vectorized indicator fills with graceful per-instance fallback;
         see :meth:`~repro.cq.engine.EvaluationEngine.backend_info`, which
         :meth:`metrics_snapshot` re-exports under ``engine.backend``).
+    store:
+        Optional warm-state store (path string,
+        :class:`~repro.store.ContentStore`, or
+        :class:`~repro.store.WarmStore`) attached to the service-owned
+        engine and — as a path — to any service-owned worker pool.  A
+        restarted service against the same store pulls its compiled plans
+        and memoized answers from disk at :meth:`warm_up` instead of
+        recomputing them.  Ignored when an explicit ``engine`` is given
+        (attach the store to that engine instead).
     """
 
     def __init__(
@@ -83,6 +92,7 @@ class InferenceService:
         on_error: str = "fail",
         engine: Optional[EvaluationEngine] = None,
         backend: str = "python",
+        store: Optional[Any] = None,
     ) -> None:
         if on_error not in ON_ERROR_MODES:
             raise ServeError(
@@ -92,7 +102,9 @@ class InferenceService:
         self._pair = artifact.pair()
         self._on_error = on_error
         self._engine = (
-            engine if engine is not None else EvaluationEngine(backend=backend)
+            engine
+            if engine is not None
+            else EvaluationEngine(backend=backend, store=store)
         )
         self.metrics = ServiceMetrics()
         if executor is not None:
@@ -101,10 +113,14 @@ class InferenceService:
         elif workers > 1:
             from repro.runtime import make_executor
 
+            engine_store = self._engine.store
             self._executor = make_executor(
                 workers,
                 plan_queries=self._pair.statistic.queries,
                 backend=self._engine.backend,
+                store_path=(
+                    engine_store.path if engine_store is not None else None
+                ),
             )
             self._owns_executor = True
         else:
@@ -327,6 +343,8 @@ class InferenceService:
         snapshot["engine"]["compiled_plans"] = plans.currsize
         snapshot["engine"]["plan_cache_hits"] = plans.hits
         snapshot["engine"]["backend"] = self._engine.backend_info()
+        if self._engine.store is not None:
+            snapshot["engine"]["store"] = self._engine.store.stats()
         if self._executor is not None:
             pool_info = self._executor.cache_info()
             pool_attempts = pool_info.hits + pool_info.misses

@@ -1,0 +1,1 @@
+"""Tests for the warm-state persistence subsystem (:mod:`repro.store`)."""

@@ -1,0 +1,72 @@
+"""Canonical digests: determinism, type-tags, and equality alignment."""
+
+from __future__ import annotations
+
+from repro.cq import parse_cq
+from repro.data import Database
+from repro.data.digest import (
+    canonical_dump,
+    checksum,
+    cq_digest,
+    database_digest,
+    digest_hex,
+    element_token,
+)
+
+
+def test_canonical_dump_is_order_insensitive():
+    assert canonical_dump({"b": 1, "a": 2}) == canonical_dump({"a": 2, "b": 1})
+    assert canonical_dump({"a": 2, "b": 1}) == '{"a":2,"b":1}'
+
+
+def test_checksum_and_digest_agree():
+    payload = {"rows": [1, 2, 3]}
+    assert checksum(payload) == f"sha256:{digest_hex(payload)}"
+    assert checksum(payload) == checksum({"rows": [1, 2, 3]})
+
+
+def test_element_tokens_distinguish_types():
+    # 1, "1", and True print alike in the textual codec; tokens must not.
+    tokens = {tuple(element_token(e)) for e in (1, "1", True)}
+    assert len(tokens) == 3
+    assert element_token(1) == ["i", 1]
+    assert element_token("1") == ["s", "1"]
+    assert element_token(True) == ["b", True]
+    assert element_token(frozenset())[0] == "r"
+
+
+def test_database_digest_matches_equality(path_database):
+    same = Database.from_tuples(
+        {
+            "E": [("a", "b"), ("b", "c"), ("d", "e")],
+            "eta": [("a",), ("b",), ("d",)],
+        }
+    )
+    assert same == path_database
+    assert same.digest() == path_database.digest()
+    assert same.digest().startswith("sha256:")
+
+
+def test_database_digest_changes_with_facts(path_database):
+    changed = Database.from_tuples(
+        {
+            "E": [("a", "b"), ("b", "c"), ("d", "f")],  # one endpoint differs
+            "eta": [("a",), ("b",), ("d",)],
+        }
+    )
+    assert changed.digest() != path_database.digest()
+
+
+def test_database_digest_distinguishes_int_and_str_elements():
+    ints = Database.from_tuples({"E": [(1, 2)], "eta": [(1,)]})
+    strs = Database.from_tuples({"E": [("1", "2")], "eta": [("1",)]})
+    assert ints.digest() != strs.digest()
+
+
+def test_cq_digest_stable_across_parse_round_trip():
+    query = parse_cq("q(x) :- E(x, y), E(y, z), eta(x)")
+    again = parse_cq(str(query))
+    assert query.digest() == again.digest()
+    assert query.digest() == cq_digest(query)
+    other = parse_cq("q(x) :- E(x, y), eta(x)")
+    assert other.digest() != query.digest()

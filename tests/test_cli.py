@@ -614,3 +614,135 @@ class TestServeCommand:
         # pairs are rejected before the server ever binds a socket.
         assert main(["serve", "m@v1=a.json", "m@v1=b.json"]) == 2
         assert "already registered" in capsys.readouterr().err
+
+
+class TestStoreIntegration:
+    def test_train_requires_out_or_publish(self, training_file, capsys):
+        code = main(
+            ["train", training_file, "--language", "cqm", "--m", "2"]
+        )
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_publish_requires_store(self, training_file, tmp_path, capsys):
+        code = main(
+            ["train", training_file, "--language", "cqm", "--m", "2",
+             "--publish", "retail"]
+        )
+        assert code == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_malformed_publish_spec_exits_2(
+        self, training_file, tmp_path, capsys
+    ):
+        code = main(
+            ["train", training_file, "--language", "cqm", "--m", "2",
+             "--store", str(tmp_path / "s"), "--publish", "@v1"]
+        )
+        assert code == 2
+        assert "publish" in capsys.readouterr().err
+
+    def test_train_publish_predict_warm_round_trip(
+        self, training_file, requests_file, tmp_path, capsys
+    ):
+        import json
+
+        root = str(tmp_path / "wstore")
+        code = main(
+            ["train", training_file, "--language", "cqm", "--m", "2",
+             "--store", root, "--publish", "pathmodel"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "published pathmodel@1" in out
+
+        model_out = str(tmp_path / "model.json")
+        assert main(
+            ["train", training_file, "--language", "cqm", "--m", "2",
+             "--out", model_out]
+        ) == 0
+        capsys.readouterr()
+
+        # Run one: the store warms from train's plan warm-up.
+        assert main(
+            ["predict", requests_file, "--model", model_out,
+             "--store", root, "--metrics"]
+        ) == 0
+        first = capsys.readouterr()
+        first_metrics = json.loads(first.err)
+        # Run two: fully warm — zero fresh plan compilations, memo hits.
+        assert main(
+            ["predict", requests_file, "--model", model_out,
+             "--store", root, "--metrics"]
+        ) == 0
+        second = capsys.readouterr()
+        second_metrics = json.loads(second.err)
+        assert second.out == first.out  # bit-identical predictions
+        store_stats = second_metrics["engine"]["store"]
+        assert store_stats["memo_hits"] > 0
+        assert second_metrics["engine"]["plan_compilations"] == 0
+
+    def test_store_ls_gc_verify_rm(self, training_file, tmp_path, capsys):
+        root = str(tmp_path / "wstore")
+        assert main(
+            ["train", training_file, "--language", "cqm", "--m", "2",
+             "--store", root, "--publish", "pathmodel"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["store", "ls", root]) == 0
+        listing = capsys.readouterr().out
+        assert "# model pathmodel: versions 1 (default 1)" in listing
+        assert "model   " in listing
+        entry_lines = [
+            line for line in listing.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert entry_lines
+
+        assert main(["store", "verify", root]) == 0
+        assert "0 quarantined" in capsys.readouterr().out
+
+        kind, digest = entry_lines[0].split()[:2]
+        assert main(["store", "rm", root, kind, digest]) == 0
+        capsys.readouterr()
+        assert main(["store", "rm", root, kind, digest]) == 2
+        assert f"no {kind} entry" in capsys.readouterr().err
+
+        assert main(["store", "gc", root, "--max-entries", "1"]) == 0
+        report = capsys.readouterr().out
+        assert "kept 1" in report
+        assert main(["store", "ls", root]) == 0
+        assert "# 1 entries" in capsys.readouterr().out
+
+    def test_store_verify_flags_tampering(
+        self, training_file, tmp_path, capsys
+    ):
+        root = str(tmp_path / "wstore")
+        assert main(
+            ["train", training_file, "--language", "cqm", "--m", "2",
+             "--store", root, "--publish", "pathmodel"]
+        ) == 0
+        capsys.readouterr()
+        import os
+
+        objects = os.path.join(root, "objects", "model")
+        shard = os.listdir(objects)[0]
+        name = os.listdir(os.path.join(objects, shard))[0]
+        with open(os.path.join(objects, shard, name), "a") as handle:
+            handle.write("tamper")
+        assert main(["store", "verify", root]) == 1
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+
+    def test_serve_requires_models_or_store(self, capsys):
+        assert main(["serve"]) == 2
+        assert "store" in capsys.readouterr().err
+
+    def test_serve_empty_store_exits_2(self, tmp_path, capsys):
+        from repro.store import ContentStore
+
+        root = str(tmp_path / "empty")
+        ContentStore(root)
+        assert main(["serve", "--store", root]) == 2
+        assert "no published models" in capsys.readouterr().err
