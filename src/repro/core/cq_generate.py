@@ -94,10 +94,11 @@ class _HomPreorder:
             # Local import: repro.runtime imports repro.cq at load time.
             from repro.runtime.tasks import pointed_hom_checks
 
+            shared = executor.broadcast(database)
             answers = executor.run(
                 pointed_hom_checks,
                 pairs,
-                lambda chunk: (database, database, tuple(chunk)),
+                lambda chunk: (shared, shared, tuple(chunk)),
             )
         else:
             answers = [

@@ -64,14 +64,19 @@ def generate_ghw_statistic(
         # Local import: repro.runtime imports repro.cq at load time.
         from repro.runtime.tasks import unravel_features
 
+        shared = executor.broadcast(training.database)
+        shared_evaluations = tuple(
+            executor.broadcast(evaluation)
+            for evaluation in evaluation_databases
+        )
         generated = executor.run(
             unravel_features,
             representatives,
             lambda chunk: (
-                training.database,
+                shared,
                 tuple(chunk),
                 k,
-                tuple(evaluation_databases),
+                shared_evaluations,
                 max_depth,
                 max_nodes,
             ),

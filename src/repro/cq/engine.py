@@ -762,10 +762,14 @@ class EvaluationEngine:
                     row[0] for row in cached
                 )
         if pending:
+            # Broadcast the shared target database once (digest-keyed):
+            # shard payloads carry a tiny ref, workers resolve it from
+            # their resident cache, and only the query chunks ship.
+            target = executor.broadcast(database)
             evaluated = executor.run(
                 evaluate_unary_queries,
                 pending,
-                lambda chunk: (tuple(chunk), database),
+                lambda chunk: (tuple(chunk), target),
             )
             for query, answer in zip(pending, evaluated):
                 answers[query] = answer

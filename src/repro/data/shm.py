@@ -1,0 +1,218 @@
+"""``multiprocessing.shared_memory`` transport for zero-copy worker state.
+
+This is the byte layer of the broadcast runtime (:mod:`repro.runtime.
+broadcast`, DESIGN.md §3.15).  Two kinds of payload live in shared
+segments:
+
+- **Pickled object bytes** — the parent serializes a broadcast object once
+  into a segment; each worker copies the bytes out on its first miss and
+  unpickles once, so the object is never re-pickled per shard.
+- **Bitset arrays** — the numpy backend's packed ``uint64`` occurrence
+  bitsets and dense fact-id matrices (:class:`~repro.data.bitset.
+  BitsetIndex`) are laid out contiguously in one segment;
+  :func:`attach_bitsets` rebuilds the index from read-only ``np.ndarray``
+  *views* over the mapped buffer — vectorized workers map, never copy.
+
+Lifecycle discipline (one owner, many borrowers):
+
+- The **creator** (the parent's :class:`~repro.runtime.executor.
+  ParallelExecutor`) keeps the segment registered with the stdlib resource
+  tracker, so a crashed parent still gets its segments unlinked at tracker
+  exit — the crash-cleanup rule.  It calls ``close()`` + ``unlink()`` when
+  the broadcast is released (executor ``close()``).
+- **Attachers** (workers) are untracked (``track=False`` on 3.13+, a
+  tracker unregister otherwise): a borrowing process must never unlink a
+  segment it does not own, nor warn about it at exit.  Attached array
+  views die with the worker's resident cache entry; the mapping is
+  released by garbage collection rather than an explicit ``close()``,
+  because closing a buffer with live exported views raises ``BufferError``.
+
+Like numpy, shared memory is strictly optional: consumers check
+:data:`HAVE_SHM` at call time and fall back to shipping inline bytes.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Any, Dict, NamedTuple, Sequence, Tuple
+
+from repro.data.bitset import HAVE_NUMPY, BitsetIndex, np
+from repro.exceptions import DatabaseError
+
+try:
+    from multiprocessing import shared_memory
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - platforms without _posixshmem
+    shared_memory = None  # type: ignore[assignment]
+    HAVE_SHM = False
+
+__all__ = [
+    "HAVE_SHM",
+    "SEGMENT_PREFIX",
+    "ArraySpec",
+    "BitsetManifest",
+    "create_segment",
+    "attach_segment",
+    "export_bitsets",
+    "attach_bitsets",
+]
+
+#: Name prefix of every segment this library creates — the CI leak check
+#: greps ``/dev/shm`` for it after executors close.
+SEGMENT_PREFIX = "repro-shm-"
+
+
+class ArraySpec(NamedTuple):
+    """Location of one array inside a shared segment."""
+
+    #: ``("occ", relation, position)`` or ``("fact", relation)``.
+    key: Tuple[Any, ...]
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class BitsetManifest(NamedTuple):
+    """Picklable recipe to rebuild a :class:`BitsetIndex` from a segment.
+
+    Everything except the element order, which the attacher reconstructs
+    from the resolved database's ``sorted_domain`` (deterministic across
+    processes), so the manifest stays small and carries no domain values.
+    """
+
+    segment: str
+    total_bytes: int
+    n_elements: int
+    arrays: Tuple[ArraySpec, ...]
+
+
+def _require_shm() -> None:
+    if not HAVE_SHM:
+        raise DatabaseError(
+            "multiprocessing.shared_memory is unavailable on this "
+            "platform; check repro.data.shm.HAVE_SHM before calling"
+        )
+
+
+def create_segment(nbytes: int) -> Any:
+    """A fresh uniquely-named segment of at least ``nbytes`` bytes.
+
+    The creating process keeps the segment registered with the resource
+    tracker (crash insurance); the owner must ``close()`` and ``unlink()``
+    it when the broadcast is released.
+    """
+    _require_shm()
+    while True:
+        name = SEGMENT_PREFIX + secrets.token_hex(6)
+        try:
+            return shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, nbytes)
+            )
+        except FileExistsError:  # pragma: no cover - 48-bit collision
+            continue
+
+
+def attach_segment(name: str) -> Any:
+    """Attach to an existing segment as a non-owning borrower.
+
+    The attachment is never recorded in the resource tracker: workers can
+    share the parent's tracker process (spawn inherits the fd), so an
+    attach-then-unregister would erase the *creator's* registration and the
+    owner's later ``unlink()`` would KeyError inside the tracker.  On
+    3.13+ ``track=False`` skips registration natively; earlier versions
+    no-op ``resource_tracker.register`` for the duration of the attach.
+    """
+    _require_shm()
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _align(offset: int) -> int:
+    """Round up to 8 bytes so every array view starts word-aligned."""
+    return (offset + 7) & ~7
+
+
+def export_bitsets(bitsets: BitsetIndex) -> Tuple[Any, BitsetManifest]:
+    """Copy a :class:`BitsetIndex`'s arrays into one fresh shared segment.
+
+    Returns ``(segment, manifest)``; the caller owns the segment.  Array
+    order inside the segment is deterministic (sorted keys), so equal
+    indexes export byte-identical layouts.
+    """
+    _require_shm()
+    if not HAVE_NUMPY:
+        raise DatabaseError("export_bitsets requires numpy")
+    specs = []
+    arrays = []
+    offset = 0
+    for (relation, position), row in sorted(bitsets.occurrence_bits.items()):
+        arr = np.ascontiguousarray(row)
+        specs.append(
+            ArraySpec(("occ", relation, position), offset,
+                      tuple(arr.shape), str(arr.dtype))
+        )
+        arrays.append(arr)
+        offset = _align(offset + arr.nbytes)
+    for relation, table in sorted(bitsets.fact_tables.items()):
+        arr = np.ascontiguousarray(table)
+        specs.append(
+            ArraySpec(("fact", relation), offset,
+                      tuple(arr.shape), str(arr.dtype))
+        )
+        arrays.append(arr)
+        offset = _align(offset + arr.nbytes)
+    segment = create_segment(offset)
+    for spec, arr in zip(specs, arrays):
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype),
+            buffer=segment.buf, offset=spec.offset,
+        )
+        view[...] = arr
+    manifest = BitsetManifest(
+        segment.name, offset, bitsets.n_elements, tuple(specs)
+    )
+    return segment, manifest
+
+
+def attach_bitsets(
+    manifest: BitsetManifest, elements: Sequence[Any]
+) -> Tuple[Any, BitsetIndex]:
+    """Rebuild a :class:`BitsetIndex` as read-only views over a segment.
+
+    ``elements`` is the dense-id element order (the database's
+    ``sorted_domain``); it must have ``manifest.n_elements`` entries.
+    Returns ``(segment, index)`` — the caller must keep the segment object
+    referenced for as long as the index's arrays are alive.
+    """
+    _require_shm()
+    if not HAVE_NUMPY:
+        raise DatabaseError("attach_bitsets requires numpy")
+    if len(elements) != manifest.n_elements:
+        raise DatabaseError(
+            f"manifest encodes {manifest.n_elements} elements, resolver "
+            f"supplied {len(elements)}"
+        )
+    segment = attach_segment(manifest.segment)
+    occurrence: Dict[Tuple[str, int], Any] = {}
+    tables: Dict[str, Any] = {}
+    for spec in manifest.arrays:
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype),
+            buffer=segment.buf, offset=spec.offset,
+        )
+        view.flags.writeable = False
+        if spec.key[0] == "occ":
+            occurrence[(spec.key[1], spec.key[2])] = view
+        else:
+            tables[spec.key[1]] = view
+    index = BitsetIndex.from_arrays(elements, occurrence, tables)
+    return segment, index

@@ -12,25 +12,33 @@ This package executes those bags across worker processes:
   :class:`~repro.runtime.executor.ParallelExecutor` — the executor
   contract, with one :class:`~repro.cq.engine.EvaluationEngine` per worker
   process and aggregated work/cache accounting;
-- :mod:`~repro.runtime.tasks` — the picklable shard tasks.
+- :mod:`~repro.runtime.tasks` — the picklable shard tasks;
+- :mod:`~repro.runtime.broadcast` — the digest-keyed zero-copy protocol:
+  shared objects ship to each worker once (or never, under ``fork``),
+  payloads carry :class:`~repro.runtime.broadcast.BroadcastRef` handles,
+  and the numpy backend's bitset arrays ride shared memory.
 
 Entry points (`EvaluationEngine.indicator_matrix`, ``Statistic.vectors``,
 the generators, ``FeatureEngineeringSession``, the CLI's ``--workers``)
 accept an executor and skip dispatch entirely when ``workers <= 1``.
 """
 
+from repro.runtime.broadcast import BroadcastRef
 from repro.runtime.executor import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
     make_executor,
+    preferred_start_method,
 )
 from repro.runtime.shard import ShardPlan
 
 __all__ = [
+    "BroadcastRef",
     "Executor",
     "ParallelExecutor",
     "SerialExecutor",
     "ShardPlan",
     "make_executor",
+    "preferred_start_method",
 ]

@@ -1,0 +1,205 @@
+"""Digest-keyed broadcast: ship shared objects to workers once, not per shard.
+
+Before this module, every shard payload carried its own pickled copy of
+the objects all shards share — the evaluated :class:`~repro.data.database.
+Database` behind an indicator matrix, the model triple behind a served
+micro-batch — and every worker rebuilt indexes from cold.  A7/A8 measured
+the result: "parallel" runs slower than serial.
+
+The broadcast protocol (DESIGN.md §3.15) splits identity from bytes:
+
+- The **parent** (:meth:`~repro.runtime.executor.ParallelExecutor.
+  broadcast`) registers an object once under its content digest
+  (:meth:`Database.digest() <repro.data.database.Database.digest>`, a
+  model checksum, or a hash of the pickled bytes), serializes it once
+  into a shared-memory segment (inline bytes where shared memory is
+  unavailable), and from then on puts only a tiny :class:`BroadcastRef`
+  into shard payloads.
+- A **worker** resolves a ref through its process-resident cache: a hit
+  returns the pinned object (index and bitsets already built); a miss
+  fetches the bytes once, unpickles once, builds the
+  :class:`~repro.data.database.DatabaseIndex` eagerly, maps the parent's
+  shared :class:`~repro.data.bitset.BitsetIndex` arrays zero-copy when
+  the ref carries a manifest, pins the result, and never fetches that
+  digest again.
+- Under the ``fork`` start method the parent *seeds* its own resident
+  cache before the pool starts, so forked workers inherit the pinned
+  objects — and their built indexes and compiled plans — copy-on-write:
+  their first resolve is already a hit, with zero fetches.
+
+Hits and misses are counted per process; :func:`snapshot` exposes them so
+:func:`~repro.runtime.tasks.instrumented` can report per-shard deltas and
+executors can aggregate pool-wide ``broadcast_hits``/``broadcast_misses``
+in :meth:`~repro.runtime.executor.Executor.work_done`.  "Zero per-shard
+database pickles" is then checkable: misses are bounded by
+``workers × objects``, never by shard count.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from typing import Any, Dict, NamedTuple, Optional
+
+from repro.data.database import Database
+from repro.exceptions import ReproError
+
+__all__ = [
+    "BroadcastRef",
+    "RESIDENT_CAP",
+    "resolve",
+    "seed",
+    "snapshot",
+    "resident_digests",
+    "clear_resident",
+]
+
+#: Resident objects pinned per worker process.  Bounds worker memory when
+#: a long-lived pool sees many distinct broadcast objects; the executor's
+#: parent-side segment table is bounded the same way.
+RESIDENT_CAP = 8
+
+# Worker-resident state.  Under fork these dicts are inherited from the
+# parent (copy-on-write) — which is exactly the zero-copy seeding path —
+# and the counters are only ever read as deltas, so inherited absolute
+# values are harmless.
+_RESIDENT: "OrderedDict[str, Any]" = OrderedDict()
+_SEGMENTS: Dict[str, Any] = {}  # keep attached segments alive with their views
+_MISSING = object()
+_hits = 0
+_misses = 0
+
+
+class BroadcastRef(NamedTuple):
+    """A picklable pointer to a broadcast object — the payload-side handle.
+
+    Carries the content digest plus one of two byte sources: a shared
+    segment name (the zero-copy path) or inline pickled bytes (the
+    portable fallback).  ``bitsets`` optionally names the shared-memory
+    manifest of the object's :class:`~repro.data.bitset.BitsetIndex`, so
+    vectorized workers map the parent's arrays instead of re-packing.
+    """
+
+    digest: str
+    segment: Optional[str]
+    nbytes: int
+    inline: Optional[bytes]
+    bitsets: Optional[Any]  # repro.data.shm.BitsetManifest
+
+
+def snapshot() -> Dict[str, int]:
+    """Cumulative resolve counters for this process (delta-read them)."""
+    return {"broadcast_hits": _hits, "broadcast_misses": _misses}
+
+
+def resident_digests() -> tuple:
+    """Digests currently pinned in this process, LRU order (tests)."""
+    return tuple(_RESIDENT)
+
+
+def seed(digest: str, obj: Any) -> None:
+    """Pin an already-materialized object without counting a resolve.
+
+    The parent calls this at broadcast time, before the pool (possibly)
+    forks: forked workers inherit the pinned object and resolve it as a
+    hit, and the parent's own serial-fallback path resolves locally
+    without touching any segment.
+    """
+    _pin(digest, obj)
+
+
+def resolve(ref: Any) -> Any:
+    """The worker-side fetch: refs resolve, everything else passes through.
+
+    Tasks call this on every payload slot that may be broadcast, so one
+    task body serves ref-carrying and plain payloads alike (the serial
+    executor ships plain objects).
+    """
+    global _hits, _misses
+    if not isinstance(ref, BroadcastRef):
+        return ref
+    obj = _RESIDENT.get(ref.digest, _MISSING)
+    if obj is not _MISSING:
+        _RESIDENT.move_to_end(ref.digest)
+        _hits += 1
+        return obj
+    _misses += 1
+    obj = pickle.loads(_fetch_bytes(ref))
+    if isinstance(obj, Database):
+        _warm_database(ref, obj)
+    _pin(ref.digest, obj)
+    return obj
+
+
+def _fetch_bytes(ref: BroadcastRef) -> bytes:
+    if ref.segment is not None:
+        from repro.data import shm
+
+        try:
+            segment = shm.attach_segment(ref.segment)
+        except FileNotFoundError:
+            if ref.inline is not None:
+                return ref.inline
+            raise ReproError(
+                f"broadcast segment {ref.segment!r} for {ref.digest} is "
+                f"gone (owner closed or crashed) and the ref carries no "
+                f"inline bytes"
+            ) from None
+        try:
+            return bytes(segment.buf[: ref.nbytes])
+        finally:
+            segment.close()
+    if ref.inline is None:
+        raise ReproError(
+            f"broadcast ref {ref.digest} carries neither a segment nor "
+            f"inline bytes"
+        )
+    return ref.inline
+
+
+def _warm_database(ref: BroadcastRef, database: Database) -> None:
+    """Build the index now (a miss pays once, every later shard is warm).
+
+    When the ref carries a shared bitset manifest and numpy is usable,
+    the parent's packed arrays are attached as read-only views — the
+    vectorized backend then never re-encodes the database in any worker.
+    Attach failures (segment already released, numpy disabled) degrade to
+    the normal lazy local build.
+    """
+    index = database.index
+    if ref.bitsets is None:
+        return
+    from repro.data.bitset import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        return
+    from repro.data import shm
+    from repro.exceptions import DatabaseError
+
+    if not shm.HAVE_SHM:
+        return
+    try:
+        segment, bitsets = shm.attach_bitsets(
+            ref.bitsets, index.sorted_domain
+        )
+    except (FileNotFoundError, DatabaseError):
+        return
+    index._bitsets = bitsets
+    _SEGMENTS[ref.digest] = segment
+
+
+def _pin(digest: str, obj: Any) -> None:
+    _RESIDENT[digest] = obj
+    _RESIDENT.move_to_end(digest)
+    while len(_RESIDENT) > RESIDENT_CAP:
+        evicted, _ = _RESIDENT.popitem(last=False)
+        # Drop the keepalive only; the mapping is released by GC once the
+        # evicted object's array views die (an explicit close() here could
+        # raise BufferError while views are still reachable).
+        _SEGMENTS.pop(evicted, None)
+
+
+def clear_resident() -> None:
+    """Drop every pinned object and attached segment keepalive (tests)."""
+    _RESIDENT.clear()
+    _SEGMENTS.clear()

@@ -25,12 +25,15 @@ plain loop could finish.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import pickle
 import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cq.engine import CacheInfo
 from repro.exceptions import ReproError
+from repro.runtime import broadcast as _broadcast
 from repro.runtime.shard import DEFAULT_SHARDS_PER_WORKER, ShardPlan
 from repro.runtime.tasks import (
     Payload,
@@ -46,6 +49,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
+    "preferred_start_method",
 ]
 
 #: Exceptions that mean "this work cannot ship to a worker process", as
@@ -55,7 +59,35 @@ _PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
 
 _EMPTY_WORK = ("hom_checks", "backtrack_nodes", "cover_games",
                "vectorized_sweeps", "plan_compilations",
-               "backend_fallbacks", "cache_hits", "cache_misses")
+               "backend_fallbacks", "cache_hits", "cache_misses",
+               "broadcast_hits", "broadcast_misses")
+
+#: Environment override for the worker start method (the CLI's
+#: ``--start-method`` flag sets it); ``auto`` defers to
+#: :func:`preferred_start_method`.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+
+def preferred_start_method() -> str:
+    """The start method auto-selection resolves to on this platform, now.
+
+    ``fork`` wherever the platform offers it *and* the calling process is
+    still single-threaded — forked workers then inherit the parent's
+    broadcast-seeded databases, built indexes, and compiled plan tables
+    copy-on-write, the cheapest possible worker start.  Forking a
+    multi-threaded parent can deadlock the children (another thread may
+    hold a lock at fork time), so once threads exist — the gateway's
+    dispatch lanes, notably — auto falls back to the portable
+    ``spawn``+initializer path.
+    """
+    import multiprocessing
+
+    if (
+        "fork" in multiprocessing.get_all_start_methods()
+        and threading.active_count() == 1
+    ):
+        return "fork"
+    return "spawn"
 
 
 class Executor:
@@ -105,6 +137,18 @@ class Executor:
 
     def close(self) -> None:
         """Release any worker processes; the executor stays usable serially."""
+
+    def broadcast(self, obj: Any, digest: Optional[str] = None) -> Any:
+        """Register a shard-shared object; returns what payloads should carry.
+
+        The serial executor runs shards in the calling process, where the
+        object is already resident — payloads carry it directly and
+        :func:`~repro.runtime.broadcast.resolve` passes it through.
+        :class:`ParallelExecutor` overrides this with the digest-keyed
+        zero-copy protocol and returns a
+        :class:`~repro.runtime.broadcast.BroadcastRef`.
+        """
+        return obj
 
     # ------------------------------------------------------------------
     # Aggregated accounting
@@ -168,6 +212,53 @@ class SerialExecutor(Executor):
         return results
 
 
+class _BroadcastHandle:
+    """Parent-side ownership of one broadcast: the ref plus its segments.
+
+    Handles are never evicted before :meth:`ParallelExecutor.close` —
+    an in-flight shard may carry any ref ever issued, and unlinking its
+    segment early would turn a worker's cache miss into an error.  The
+    table is therefore bounded by the executor's lifetime working set
+    (the distinct databases/models a session broadcasts), which the
+    caller already holds in memory anyway; workers, by contrast, pin at
+    most :data:`~repro.runtime.broadcast.RESIDENT_CAP` objects and
+    re-fetch from the still-live segment after evicting one.
+    """
+
+    __slots__ = ("ref", "_segment", "_arrays_segment")
+
+    def __init__(self, ref: Any, segment: Any, arrays_segment: Any) -> None:
+        self.ref = ref
+        self._segment = segment
+        self._arrays_segment = arrays_segment
+
+    def segment_bytes(self) -> int:
+        total = 0
+        for segment in (self._segment, self._arrays_segment):
+            if segment is not None:
+                total += segment.size
+        return total
+
+    def release(self) -> None:
+        """Close and unlink the owned segments (idempotent).
+
+        Workers that already pinned the object are unaffected (their
+        mappings stay valid until they drop them); workers that have not
+        fetched yet fall back to the ref's inline bytes or rebuild
+        locally.
+        """
+        for attr in ("_segment", "_arrays_segment"):
+            segment = getattr(self, attr)
+            if segment is None:
+                continue
+            setattr(self, attr, None)
+            try:
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+
 class ParallelExecutor(Executor):
     """Process-pool execution with one evaluation engine per worker.
 
@@ -193,11 +284,22 @@ class ParallelExecutor(Executor):
         store).  Paths rather than store objects cross the process
         boundary; each worker opens its own handle.  The content store's
         atomic same-content writes make concurrent workers safe.
+    start_method:
+        Worker start method: ``"fork"``, ``"spawn"``, ``"forkserver"``,
+        or ``None``/``"auto"`` (the default) — the ``REPRO_START_METHOD``
+        environment variable if set, else :func:`preferred_start_method`,
+        decided at pool-creation time.  Under ``fork``, objects broadcast
+        before the pool starts are inherited copy-on-write — indexes,
+        bitsets, and compiled plans included — so workers start fully
+        warm; ``spawn`` workers build state through the initializer and
+        the shared-memory fetch path instead.
 
     Workers are started lazily on first dispatch and reused across calls,
     so per-worker caches stay warm over a whole session.  Dispatch falls
     back to in-process serial execution when the task graph cannot be
-    pickled or the pool dies; :attr:`fallback_reason` records why.
+    pickled or the pool dies — per shard, reusing every outcome that
+    already completed; :attr:`fallback_reason` records the latest cause
+    and :attr:`fallbacks` counts them.
     """
 
     def __init__(
@@ -207,6 +309,7 @@ class ParallelExecutor(Executor):
         plan_queries: Sequence[Any] = (),
         backend: Optional[str] = None,
         store_path: Optional[str] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         super().__init__()
         if workers < 2:
@@ -214,42 +317,178 @@ class ParallelExecutor(Executor):
                 "ParallelExecutor needs >= 2 workers; "
                 "use SerialExecutor (or make_executor) for workers <= 1"
             )
+        if start_method not in (None, "auto", "fork", "spawn", "forkserver"):
+            raise ReproError(
+                f"unknown start method {start_method!r}; expected fork, "
+                f"spawn, forkserver, or auto"
+            )
         self.workers = workers
         self._cache_size = cache_size
         self._plan_queries = tuple(plan_queries)
         self._backend = backend
         self._store_path = store_path
+        self._start_method = start_method
         self._pool: Optional[Any] = None
+        #: Picklable handles of everything broadcast through this executor,
+        #: by digest.  The executor owns the backing shared-memory segments
+        #: (created here, unlinked in :meth:`close`).
+        self._broadcasts: Dict[str, "_BroadcastHandle"] = {}
+        #: The start method the live pool was actually created with.
+        self.effective_start_method: Optional[str] = None
         #: Last reason parallel dispatch fell back to serial, or None.
         self.fallback_reason: Optional[str] = None
+        #: Number of dispatches that needed any serial fallback.
+        self.fallbacks: int = 0
 
     # ------------------------------------------------------------------
+
+    def _resolve_start_method(self) -> str:
+        requested = self._start_method
+        if requested in (None, "auto"):
+            requested = os.environ.get(START_METHOD_ENV) or "auto"
+        if requested == "auto":
+            return preferred_start_method()
+        import multiprocessing
+
+        if requested not in multiprocessing.get_all_start_methods():
+            raise ReproError(
+                f"start method {requested!r} is not supported on this "
+                f"platform (available: "
+                f"{multiprocessing.get_all_start_methods()})"
+            )
+        return requested
 
     def _ensure_pool(self) -> Any:
         with self._accounting_lock:
             if self._pool is None:
+                import multiprocessing
                 from concurrent.futures import ProcessPoolExecutor
 
+                method = self._resolve_start_method()
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
+                    mp_context=multiprocessing.get_context(method),
                     initializer=initialize_worker,
                     initargs=(
                         self._cache_size, self._plan_queries, self._backend,
                         self._store_path,
                     ),
                 )
+                self.effective_start_method = method
             return self._pool
+
+    # ------------------------------------------------------------------
+    # Broadcast (the zero-copy protocol's parent side)
+    # ------------------------------------------------------------------
+
+    def broadcast(self, obj: Any, digest: Optional[str] = None) -> Any:
+        """Register ``obj`` once; returns the ref payloads should carry.
+
+        Keyed by content digest — ``obj.digest()`` when the object has
+        one (databases), the caller-supplied ``digest`` (the serving path
+        passes the artifact checksum), or a hash of the pickled bytes.
+        The first call pickles the object once into a shared-memory
+        segment and seeds the parent's resident cache (so a pool forked
+        after this point inherits the object, and serial fallbacks
+        resolve locally); every later call returns the cached ref without
+        touching the object at all.
+
+        For databases, the parent's index is built here — before any
+        fork — and, when the workers run the numpy backend, the packed
+        bitset arrays are exported to shared memory so vectorized workers
+        map them read-only instead of re-encoding.
+        """
+        if digest is None:
+            method = getattr(obj, "digest", None)
+            if callable(method):
+                digest = method()
+        with self._accounting_lock:
+            if digest is not None and digest in self._broadcasts:
+                return self._broadcasts[digest].ref
+            data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            if digest is None:
+                digest = "sha256:" + hashlib.sha256(data).hexdigest()
+                if digest in self._broadcasts:
+                    return self._broadcasts[digest].ref
+            handle = self._make_handle(digest, obj, data)
+            self._broadcasts[digest] = handle
+            return handle.ref
+
+    def _make_handle(
+        self, digest: str, obj: Any, data: bytes
+    ) -> "_BroadcastHandle":
+        from repro.data.database import Database
+
+        _broadcast.seed(digest, obj)
+        manifest = None
+        arrays_segment = None
+        if isinstance(obj, Database):
+            index = obj.index  # built pre-fork: children inherit it warm
+            if self._backend == "numpy":
+                from repro.data.bitset import HAVE_NUMPY
+                from repro.data import shm
+
+                if HAVE_NUMPY and shm.HAVE_SHM:
+                    arrays_segment, manifest = shm.export_bitsets(
+                        index.bitsets()
+                    )
+        segment = None
+        segment_name = None
+        inline: Optional[bytes] = data
+        from repro.data import shm
+
+        if shm.HAVE_SHM:
+            try:
+                segment = shm.create_segment(len(data))
+                segment.buf[: len(data)] = data
+                segment_name = segment.name
+                inline = None
+            except OSError:
+                segment = None
+                segment_name = None
+                inline = data
+        ref = _broadcast.BroadcastRef(
+            digest, segment_name, len(data), inline, manifest
+        )
+        return _BroadcastHandle(ref, segment, arrays_segment)
+
+    def broadcast_info(self) -> Dict[str, Any]:
+        """Parent-side broadcast table: digests and segment bytes held."""
+        with self._accounting_lock:
+            return {
+                "objects": len(self._broadcasts),
+                "segment_bytes": sum(
+                    handle.segment_bytes()
+                    for handle in self._broadcasts.values()
+                ),
+                "digests": sorted(self._broadcasts),
+            }
+
+    def _release_broadcasts(self) -> None:
+        handles = list(self._broadcasts.values())
+        self._broadcasts.clear()
+        for handle in handles:
+            handle.release()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _note_fallback(self, reason: str) -> None:
+        with self._accounting_lock:
+            self.fallbacks += 1
+            self.fallback_reason = reason
+
+    def _run_serial(self, task: Task, payload: Payload) -> Any:
+        outcome = instrumented(task, payload)
+        self._absorb(outcome)
+        return outcome.result
 
     def _serial_fallback(
         self, task: Task, payloads: Sequence[Payload], reason: str
     ) -> List[Any]:
-        self.fallback_reason = reason
-        results: List[Any] = []
-        for payload in payloads:
-            outcome = instrumented(task, payload)
-            self._absorb(outcome)
-            results.append(outcome.result)
-        return results
+        self._note_fallback(reason)
+        return [self._run_serial(task, payload) for payload in payloads]
 
     def map_shards(self, task: Task, payloads: Sequence[Payload]) -> List[Any]:
         if not payloads:
@@ -266,30 +505,45 @@ class ParallelExecutor(Executor):
 
         from concurrent.futures.process import BrokenProcessPool
 
+        futures: List[Any] = []
+        reason: Optional[str] = None
         try:
             pool = self._ensure_pool()
-            futures = [
-                pool.submit(run_instrumented, (task, payload))
-                for payload in payloads
-            ]
-            outcomes: List[ShardOutcome] = [
-                future.result() for future in futures
-            ]
+            for payload in payloads:
+                futures.append(pool.submit(run_instrumented, (task, payload)))
         except _PICKLE_ERRORS as error:
-            # A later payload (or a task result) failed to pickle.
-            return self._serial_fallback(
-                task, payloads, f"pickling failed during dispatch: {error}"
-            )
+            reason = f"pickling failed during dispatch: {error}"
         except BrokenProcessPool as error:
-            self._discard_pool()
-            return self._serial_fallback(
-                task, payloads, f"worker pool broke: {error}"
-            )
+            reason = f"worker pool broke: {error}"
 
-        results: List[Any] = []
-        for outcome in outcomes:
+        # Collect per-future: a mid-dispatch failure (one unpicklable
+        # result, a dying pool) must not throw away shards that already
+        # completed — those outcomes are reused and only the remainder
+        # re-runs serially, so no shard ever executes twice.
+        results: List[Any] = [None] * len(payloads)
+        pending: List[int] = list(range(len(futures), len(payloads)))
+        broken = False
+        for index, future in enumerate(futures):
+            try:
+                outcome: ShardOutcome = future.result()
+            except _PICKLE_ERRORS as error:
+                reason = f"pickling failed during dispatch: {error}"
+                pending.append(index)
+                continue
+            except BrokenProcessPool as error:
+                reason = f"worker pool broke: {error}"
+                broken = True
+                pending.append(index)
+                continue
             self._absorb(outcome)
-            results.append(outcome.result)
+            results[index] = outcome.result
+        if broken:
+            self._discard_pool()
+        if pending:
+            assert reason is not None
+            self._note_fallback(reason)
+            for index in sorted(pending):
+                results[index] = self._run_serial(task, payloads[index])
         return results
 
     # ------------------------------------------------------------------
@@ -298,11 +552,20 @@ class ParallelExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+            self.effective_start_method = None
+        with self._accounting_lock:
+            # The dead workers' engines are gone with their processes; a
+            # restarted pool gets fresh pids, and summing stale entries
+            # (or letting a reused pid silently shadow a live worker)
+            # would misreport pool-wide cache statistics.
+            self._worker_caches.clear()
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+            self.effective_start_method = None
+        self._release_broadcasts()
 
 
 def make_executor(
@@ -311,6 +574,7 @@ def make_executor(
     plan_queries: Optional[Sequence[Any]] = None,
     backend: Optional[str] = None,
     store_path: Optional[str] = None,
+    start_method: Optional[str] = None,
 ) -> Executor:
     """The executor for a ``workers=`` knob: serial iff ``workers <= 1``.
 
@@ -321,7 +585,9 @@ def make_executor(
     :meth:`~repro.cq.engine.EvaluationEngine.plan_for`.  ``backend``
     selects the worker engines' evaluation backend; the serial executor
     ignores it too (serial shards run on the calling process's engine,
-    whose backend the caller already chose).
+    whose backend the caller already chose).  ``start_method`` picks the
+    worker start method (``None``/``"auto"``: ``REPRO_START_METHOD``,
+    else fork where safe, spawn otherwise).
     """
     if workers is None or workers <= 1:
         return SerialExecutor()
@@ -331,4 +597,5 @@ def make_executor(
         plan_queries=() if plan_queries is None else plan_queries,
         backend=backend,
         store_path=store_path,
+        start_method=start_method,
     )

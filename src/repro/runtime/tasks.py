@@ -31,6 +31,8 @@ from repro.cq.engine import (
 )
 from repro.cq.query import CQ
 from repro.data.database import Database
+from repro.runtime.broadcast import resolve
+from repro.runtime.broadcast import snapshot as broadcast_snapshot
 
 __all__ = [
     "ShardOutcome",
@@ -96,12 +98,23 @@ def initialize_worker(
 
 
 def instrumented(task: Task, payload: Payload) -> ShardOutcome:
-    """Run ``task(payload)`` on this process's engine, with accounting."""
+    """Run ``task(payload)`` on this process's engine, with accounting.
+
+    Besides the engine's work delta, the shard's broadcast-cache resolve
+    counters (:func:`repro.runtime.broadcast.snapshot`) are folded in as
+    ``broadcast_hits``/``broadcast_misses`` — executors aggregate them
+    pool-wide, which is how "zero per-shard database pickles after the
+    first broadcast" becomes an assertable number.
+    """
     engine = default_engine()
+    resolves_before = broadcast_snapshot()
     before = engine.work_snapshot()
     result = task(payload)
     after = engine.work_snapshot()
+    resolves_after = broadcast_snapshot()
     work = {key: after[key] - before[key] for key in after}
+    for key in resolves_after:
+        work[key] = resolves_after[key] - resolves_before[key]
     return ShardOutcome(result, work, os.getpid(), engine.cache_info())
 
 
@@ -119,11 +132,14 @@ def run_instrumented(task_and_payload: Tuple[Task, Payload]) -> ShardOutcome:
 def evaluate_unary_queries(payload: Payload) -> Tuple[Any, ...]:
     """Answer sets of a shard of unary feature queries over one database.
 
-    Payload: ``(queries, database)``.  Returns one frozenset per query, in
-    shard order — the unit of work behind ``indicator_matrix`` and
-    ``evaluate_statistic``.
+    Payload: ``(queries, database)`` — the database slot may be a
+    :class:`~repro.runtime.broadcast.BroadcastRef`, resolved through this
+    worker's resident cache (one fetch per worker, not per shard).
+    Returns one frozenset per query, in shard order — the unit of work
+    behind ``indicator_matrix`` and ``evaluate_statistic``.
     """
     queries, database = payload
+    database = resolve(database)
     engine = default_engine()
     return tuple(engine.evaluate_unary(query, database) for query in queries)
 
@@ -132,10 +148,13 @@ def pointed_hom_checks(payload: Payload) -> Tuple[bool, ...]:
     """Decide a shard of pointed homomorphism checks.
 
     Payload: ``(source, target, pairs)`` with ``pairs`` a sequence of
-    ``(source_element, target_element)``; returns one bool per pair.  The
-    unit of work behind the CQ-CLS hom-preorder (quadratic in entities).
+    ``(source_element, target_element)``; the database slots may be
+    broadcast refs.  Returns one bool per pair.  The unit of work behind
+    the CQ-CLS hom-preorder (quadratic in entities).
     """
     source, target, pairs = payload
+    source = resolve(source)
+    target = resolve(target)
     engine = default_engine()
     return tuple(
         engine.pointed_has_homomorphism(source, (left,), target, (right,))
@@ -146,15 +165,22 @@ def pointed_hom_checks(payload: Payload) -> Tuple[bool, ...]:
 def classify_databases(payload: Payload) -> Tuple[Tuple[str, Any], ...]:
     """Classify a shard of pointed databases under one separating pair.
 
-    Payload: ``(queries, weights, threshold, databases)``.  Returns one
-    ``("ok", {entity: label})`` or ``("error", message)`` outcome per
-    database, in shard order — the unit of work behind
+    Payload: ``(model, databases)`` where ``model`` is — or resolves to,
+    when it arrives as a broadcast ref keyed by the artifact checksum —
+    the triple ``(queries, weights, threshold)``; the legacy flat
+    ``(queries, weights, threshold, databases)`` shape is still accepted.
+    Returns one ``("ok", {entity: label})`` or ``("error", message)``
+    outcome per database, in shard order — the unit of work behind
     :meth:`repro.serve.InferenceService.predict_batch`.  Per-database
     errors are captured as data (rather than raised) so one malformed
     request cannot poison the whole shard; the service decides whether to
     fail or abstain.
     """
-    queries, weights, threshold, databases = payload
+    if len(payload) == 2:
+        model, databases = payload
+        queries, weights, threshold = resolve(model)
+    else:
+        queries, weights, threshold, databases = payload
     from repro.exceptions import ReproError
     from repro.linsep.classifier import LinearClassifier
 
@@ -182,11 +208,16 @@ def unravel_features(payload: Payload) -> Tuple[Tuple[CQ, int], ...]:
     """Generate GHW(k) unraveling features for a shard of representatives.
 
     Payload: ``(database, representatives, k, evaluation_databases,
-    max_depth, max_nodes)``.  Returns ``(feature, depth)`` per
-    representative — the per-class work of Prop 5.6 generation.
+    max_depth, max_nodes)`` — the database slots may be broadcast refs.
+    Returns ``(feature, depth)`` per representative — the per-class work
+    of Prop 5.6 generation.
     """
     database, representatives, k, evaluation_databases, max_depth, max_nodes = (
         payload
+    )
+    database = resolve(database)
+    evaluation_databases = tuple(
+        resolve(evaluation) for evaluation in evaluation_databases
     )
     from repro.covergame.unravel import generate_equivalent_feature
 

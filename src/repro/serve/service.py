@@ -82,6 +82,11 @@ class InferenceService:
         and memoized answers from disk at :meth:`warm_up` instead of
         recomputing them.  Ignored when an explicit ``engine`` is given
         (attach the store to that engine instead).
+    start_method:
+        Worker start method for a service-owned pool (``"fork"`` /
+        ``"spawn"`` / ``"forkserver"``; default auto — fork where safe,
+        spawn otherwise; see DESIGN.md §3.15).  Ignored when an explicit
+        ``executor`` is given.
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class InferenceService:
         engine: Optional[EvaluationEngine] = None,
         backend: str = "python",
         store: Optional[Any] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         if on_error not in ON_ERROR_MODES:
             raise ServeError(
@@ -100,6 +106,9 @@ class InferenceService:
             )
         self._artifact = artifact
         self._pair = artifact.pair()
+        # Computed once: the broadcast key of the model triple — a
+        # checksum walks every rule string, too slow per micro-batch.
+        self._model_digest = artifact.checksum()
         self._on_error = on_error
         self._engine = (
             engine
@@ -121,6 +130,7 @@ class InferenceService:
                 store_path=(
                     engine_store.path if engine_store is not None else None
                 ),
+                start_method=start_method,
             )
             self._owns_executor = True
         else:
@@ -283,14 +293,25 @@ class InferenceService:
     def _dispatch_batch(self, databases: Sequence[Database]):
         from repro.runtime.tasks import classify_databases
 
-        queries = self._pair.statistic.queries
-        weights = self._pair.classifier.weights
-        threshold = self._pair.classifier.threshold
         assert self._executor is not None
+        # Batch-level dispatch: the model triple is broadcast once, keyed
+        # by the artifact checksum — after the first micro-batch, worker
+        # payloads carry a ref plus their chunk of request databases and
+        # nothing else.  One shard per worker keeps it to one payload per
+        # worker per micro-batch.
+        model = self._executor.broadcast(
+            (
+                self._pair.statistic.queries,
+                self._pair.classifier.weights,
+                self._pair.classifier.threshold,
+            ),
+            digest=self._model_digest,
+        )
         return self._executor.run(
             classify_databases,
             list(databases),
-            lambda chunk: (queries, weights, threshold, tuple(chunk)),
+            lambda chunk: (model, tuple(chunk)),
+            shards_per_worker=1,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,140 @@
+"""Shared-memory transport tests: layout round-trips and lifecycle.
+
+:mod:`repro.data.shm` is the byte layer under the broadcast runtime; its
+contract is that an exported :class:`~repro.data.bitset.BitsetIndex`
+attaches back bit-identical, as read-only views, without the attacher
+ever owning (or unlinking) the creator's segment.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.data import shm
+from repro.data.bitset import HAVE_NUMPY
+from repro.exceptions import DatabaseError
+from repro.workloads.retail import retail_database
+
+pytestmark = pytest.mark.skipif(
+    not shm.HAVE_SHM, reason="multiprocessing.shared_memory unavailable"
+)
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="bitset export requires numpy"
+)
+
+
+@pytest.fixture()
+def index():
+    return retail_database(n_customers=5, seed=9).database.index
+
+
+class TestSegments:
+    def test_create_attach_roundtrip(self):
+        payload = b"broadcast bytes"
+        segment = shm.create_segment(len(payload))
+        try:
+            segment.buf[: len(payload)] = payload
+            attached = shm.attach_segment(segment.name)
+            try:
+                assert bytes(attached.buf[: len(payload)]) == payload
+            finally:
+                attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_names_carry_the_leak_check_prefix(self):
+        segment = shm.create_segment(8)
+        try:
+            assert segment.name.startswith(shm.SEGMENT_PREFIX)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attacher_close_leaves_segment_alive(self):
+        segment = shm.create_segment(4)
+        try:
+            borrower = shm.attach_segment(segment.name)
+            borrower.close()
+            # The owner can still attach: the borrower did not unlink.
+            again = shm.attach_segment(segment.name)
+            again.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_unlink_removes_the_backing_file(self):
+        segment = shm.create_segment(4)
+        name = segment.name
+        segment.close()
+        segment.unlink()
+        assert not glob.glob(f"/dev/shm/{name}")
+
+
+@needs_numpy
+class TestBitsetRoundTrip:
+    def test_attach_is_bit_identical(self, index):
+        import numpy as np
+
+        original = index.bitsets()
+        segment, manifest = shm.export_bitsets(original)
+        try:
+            attached_segment, rebuilt = shm.attach_bitsets(
+                manifest, index.sorted_domain
+            )
+            assert rebuilt.elements == original.elements
+            assert rebuilt.element_id == original.element_id
+            assert rebuilt.n_elements == original.n_elements
+            assert rebuilt.n_words == original.n_words
+            assert set(rebuilt.occurrence_bits) == set(
+                original.occurrence_bits
+            )
+            for key, words in original.occurrence_bits.items():
+                assert np.array_equal(rebuilt.occurrence_bits[key], words)
+            assert set(rebuilt.fact_tables) == set(original.fact_tables)
+            for name, table in original.fact_tables.items():
+                assert np.array_equal(rebuilt.fact_tables[name], table)
+            del attached_segment, rebuilt
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attached_views_are_read_only(self, index):
+        segment, manifest = shm.export_bitsets(index.bitsets())
+        try:
+            attached_segment, rebuilt = shm.attach_bitsets(
+                manifest, index.sorted_domain
+            )
+            for view in rebuilt.occurrence_bits.values():
+                assert not view.flags.writeable
+            for view in rebuilt.fact_tables.values():
+                assert not view.flags.writeable
+            del attached_segment, rebuilt
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_manifest_is_small_and_picklable(self, index):
+        import pickle
+
+        segment, manifest = shm.export_bitsets(index.bitsets())
+        try:
+            blob = pickle.dumps(manifest)
+            # The manifest is a recipe, not the data: far below the arrays.
+            assert len(blob) < manifest.total_bytes + 1024
+            assert pickle.loads(blob) == manifest
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_element_count_mismatch_is_an_error(self, index):
+        segment, manifest = shm.export_bitsets(index.bitsets())
+        try:
+            with pytest.raises(DatabaseError):
+                shm.attach_bitsets(manifest, index.sorted_domain[:-1])
+        finally:
+            segment.close()
+            segment.unlink()
